@@ -1,0 +1,223 @@
+//! Ablation studies for the design choices the paper discusses in passing:
+//!
+//! * §5.1 — round-robin vs random static replica selection (round-robin
+//!   should win via spatial locality).
+//! * §5.1 — greedy vs optimal superinstruction parsing ("almost no
+//!   difference").
+//! * §3   — plain BTB vs BTB with 2-bit counters (slightly fewer threaded
+//!   mispredictions).
+//! * §8   — a two-level predictor makes the software techniques mostly
+//!   unnecessary (the Pentium M argument).
+//! * §7.4 — BTB size sweep: dynamic replication wants one entry per
+//!   instruction instance; small BTBs take conflict misses back.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin ablations`
+
+use ivm_bench::{forth_training, print_table, Row};
+use ivm_bpred::{
+    Btb, BtbConfig, CascadedPredictor, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
+    TwoLevelPredictor,
+};
+use ivm_cache::{CpuSpec, Icache, IcacheConfig};
+use ivm_core::{CoverAlgorithm, Engine, Profile, ReplicaSelection, Technique};
+use ivm_forth::programs::SUITE;
+
+fn engine_with(pred: Box<dyn IndirectPredictor>, cpu: &CpuSpec) -> Engine {
+    Engine::new(pred, cpu.fetch_cache(), cpu.costs)
+}
+
+fn replica_selection(training: &Profile) {
+    let cpu = CpuSpec::celeron800();
+    let mut rows = Vec::new();
+    for b in SUITE {
+        let image = b.image();
+        let (rr, _) = ivm_forth::measure(
+            &image,
+            Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin },
+            &cpu,
+            Some(training),
+        )
+        .expect("runs");
+        let image = b.image();
+        let (rand, _) = ivm_forth::measure(
+            &image,
+            Technique::StaticRepl { budget: 400, selection: ReplicaSelection::Random { seed: 3 } },
+            &cpu,
+            Some(training),
+        )
+        .expect("runs");
+        rows.push(Row {
+            label: b.name.to_owned(),
+            values: vec![
+                rr.counters.indirect_mispredicted as f64,
+                rand.counters.indirect_mispredicted as f64,
+                rand.cycles / rr.cycles,
+            ],
+        });
+    }
+    print_table(
+        "§5.1 replica selection: mispredictions, round-robin vs random \
+         (3rd col: round-robin speed advantage)",
+        &["rr-mispred", "rnd-mispred", "rr-adv"],
+        &rows,
+        2,
+    );
+}
+
+fn cover_algorithms(training: &Profile) {
+    let cpu = CpuSpec::celeron800();
+    let mut rows = Vec::new();
+    for b in SUITE {
+        let image = b.image();
+        let (g, _) = ivm_forth::measure(
+            &image,
+            Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Greedy },
+            &cpu,
+            Some(training),
+        )
+        .expect("runs");
+        let image = b.image();
+        let (o, _) = ivm_forth::measure(
+            &image,
+            Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Optimal },
+            &cpu,
+            Some(training),
+        )
+        .expect("runs");
+        rows.push(Row {
+            label: b.name.to_owned(),
+            values: vec![
+                g.counters.dispatches as f64,
+                o.counters.dispatches as f64,
+                g.cycles / o.cycles,
+            ],
+        });
+    }
+    print_table(
+        "§5.1 block parsing: dispatches, greedy vs optimal \
+         (3rd col: optimal speedup over greedy — paper: ~none)",
+        &["greedy", "optimal", "opt-adv"],
+        &rows,
+        3,
+    );
+}
+
+fn predictor_family(training: &Profile) {
+    let cpu = CpuSpec::celeron800();
+    let mut rows = Vec::new();
+    type MakePredictor = fn() -> Box<dyn IndirectPredictor>;
+    let families: [(&str, MakePredictor); 4] = [
+        ("btb", || Box::new(Btb::new(BtbConfig::celeron()))),
+        ("btb-2bit", || Box::new(TwoBitBtb::new())),
+        ("two-level", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
+        ("cascaded", || Box::new(CascadedPredictor::with_defaults())),
+    ];
+    for b in SUITE.iter().take(3) {
+        for &(pname, make) in &families {
+            let image = b.image();
+            let (plain, _) = ivm_forth::measure_with(
+                &image,
+                Technique::Threaded,
+                engine_with(make(), &cpu),
+                Some(training),
+            )
+            .expect("runs");
+            rows.push(Row {
+                label: format!("{} / {}", b.name, pname),
+                values: vec![
+                    100.0 * plain.counters.misprediction_rate(),
+                    plain.cycles,
+                ],
+            });
+        }
+    }
+    print_table(
+        "§3/§8 predictor families on plain threaded code \
+         (2-bit slightly better than BTB; two-level/cascaded much better)",
+        &["mispred%", "cycles"],
+        &rows,
+        1,
+    );
+}
+
+fn btb_size_sweep(training: &Profile) {
+    let cpu = CpuSpec::celeron800();
+    let b = ivm_forth::programs::BENCH_GC;
+    let sizes = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192];
+    let mut rows = Vec::new();
+    for tech in [Technique::Threaded, Technique::DynamicRepl] {
+        let mut values = Vec::new();
+        for &entries in &sizes {
+            let image = b.image();
+            let pred = Box::new(Btb::new(BtbConfig::new(entries, 4)));
+            let engine = Engine::new(
+                pred,
+                Box::new(Icache::new(IcacheConfig::celeron_l1i())),
+                cpu.costs,
+            );
+            let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(training))
+                .expect("runs");
+            values.push(r.counters.indirect_mispredicted as f64);
+        }
+        rows.push(Row { label: tech.paper_name().to_owned(), values });
+    }
+    let cols: Vec<String> = sizes.iter().map(|s| format!("{s}e")).collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    print_table(
+        "§7.4 BTB size sweep (bench-gc mispredictions): dynamic replication \
+         needs capacity for one entry per instance",
+        &col_refs,
+        &rows,
+        0,
+    );
+}
+
+fn tos_caching(training: &Profile) {
+    // Paper §7.2.2, reason 3: Gforth caches the top of stack in a register;
+    // the JVM does not. Translate the same programs against a spec without
+    // TOS caching and compare the optimization headroom.
+    let cpu = CpuSpec::pentium4_northwood();
+    let no_tos = ivm_forth::spec_without_tos_caching();
+    let mut rows = Vec::new();
+    for b in SUITE.iter().take(4) {
+        let image = b.image();
+        let gain = |spec: &ivm_core::VmSpec| {
+            let cycles = |tech| {
+                let translation = ivm_core::translate(
+                    spec,
+                    &image.program,
+                    tech,
+                    Some(training),
+                    ivm_core::SuperSelection::gforth(),
+                );
+                let mut m = ivm_core::Measurement::new(
+                    translation,
+                    ivm_core::Runner::new(Engine::for_cpu(&cpu)),
+                );
+                ivm_forth::run(&image, &mut m, ivm_forth::DEFAULT_FUEL).expect("runs");
+                m.finish().cycles
+            };
+            cycles(Technique::Threaded) / cycles(Technique::AcrossBb)
+        };
+        rows.push(Row {
+            label: b.name.to_owned(),
+            values: vec![gain(&ivm_forth::ops().spec), gain(&no_tos)],
+        });
+    }
+    print_table(
+        "§7.2.2 TOS caching: across-bb speedup with and without top-of-stack \
+         register caching (less caching = more work per dispatch = smaller gain)",
+        &["cached", "uncached"],
+        &rows,
+        2,
+    );
+}
+
+fn main() {
+    let training = forth_training();
+    replica_selection(&training);
+    cover_algorithms(&training);
+    predictor_family(&training);
+    btb_size_sweep(&training);
+    tos_caching(&training);
+}

@@ -1,0 +1,132 @@
+//! Figures 10–13: performance-counter metrics per interpreter variant.
+//!
+//! * Figure 10: bench-gc (Gforth) on a Pentium 4
+//! * Figure 11: brew (Gforth) on a Pentium 4
+//! * Figure 12: mpegaudio (Java) on a Pentium 4
+//! * Figure 13: compress (Java) on a Pentium 4
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin figure10_13 -- [bench-gc|brew|mpeg|compress|<any suite name>]`
+//! (default: all four of the paper's figures)
+
+use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::{RunResult, Technique};
+
+fn metrics_row(r: &RunResult, costs: &ivm_cache::CycleCosts) -> Vec<f64> {
+    vec![
+        r.cycles,
+        r.counters.instructions as f64,
+        r.counters.indirect_branches as f64,
+        r.counters.indirect_mispredicted as f64,
+        r.counters.icache_misses as f64,
+        r.counters.miss_cycles(costs),
+        r.counters.code_bytes as f64,
+    ]
+}
+
+fn report(figure: &str, bench: &str, results: &[(Technique, RunResult)], costs: &ivm_cache::CycleCosts) {
+    let columns = [
+        "cycles",
+        "instrs",
+        "ind.br.",
+        "mispred",
+        "ic.miss",
+        "misscyc",
+        "codeB",
+    ];
+    let raw: Vec<Row> = results
+        .iter()
+        .map(|(t, r)| Row { label: t.paper_name().to_owned(), values: metrics_row(r, costs) })
+        .collect();
+    print_table(&format!("{figure}: performance counters for {bench} (raw)"), &columns, &raw, 0);
+
+    // The paper's figures are normalised bar charts: print each metric
+    // relative to its maximum across variants.
+    let ncols = columns.len();
+    let maxima: Vec<f64> = (0..ncols)
+        .map(|c| raw.iter().map(|r| r.values[c]).fold(0.0_f64, f64::max).max(1e-9))
+        .collect();
+    let normalised: Vec<Row> = raw
+        .iter()
+        .map(|r| Row {
+            label: r.label.clone(),
+            values: r.values.iter().zip(&maxima).map(|(v, m)| v / m).collect(),
+        })
+        .collect();
+    print_table(
+        &format!("{figure}: performance counters for {bench} (normalised to max, as plotted)"),
+        &columns,
+        &normalised,
+        2,
+    );
+}
+
+fn run_forth(figure: &str, name: &str) {
+    let cpu = CpuSpec::pentium4_northwood();
+    let training = forth_training();
+    let b = ivm_forth::programs::find(name).expect("known forth benchmark");
+    let results: Vec<(Technique, RunResult)> = Technique::gforth_suite()
+        .into_iter()
+        .map(|t| {
+            let image = b.image();
+            let (r, _) = ivm_forth::measure(&image, t, &cpu, Some(&training))
+                .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
+            (t, r)
+        })
+        .collect();
+    report(figure, &format!("{name} (Gforth)"), &results, &cpu.costs);
+}
+
+fn run_java(figure: &str, name: &str) {
+    let cpu = CpuSpec::pentium4_northwood();
+    let idx = ivm_java::programs::SUITE
+        .iter()
+        .position(|b| b.name == name)
+        .expect("known java benchmark");
+    let training = &java_trainings()[idx];
+    let b = ivm_java::programs::SUITE[idx];
+    let results: Vec<(Technique, RunResult)> = Technique::jvm_suite()
+        .into_iter()
+        .map(|t| {
+            let image = (b.build)();
+            let (r, _) = ivm_java::measure(&image, t, &cpu, Some(training))
+                .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
+            (t, r)
+        })
+        .collect();
+    report(figure, &format!("{name} (Java)"), &results, &cpu.costs);
+}
+
+fn run_one(name: &str) {
+    if ivm_forth::programs::find(name).is_some() {
+        let figure = match name {
+            "bench-gc" => "Figure 10",
+            "brew" => "Figure 11",
+            _ => "Counter metrics",
+        };
+        run_forth(figure, name);
+    } else if ivm_java::programs::find(name).is_some() {
+        let figure = match name {
+            "mpeg" => "Figure 12",
+            "compress" => "Figure 13",
+            _ => "Counter metrics",
+        };
+        run_java(figure, name);
+    } else {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for name in ["bench-gc", "brew", "mpeg", "compress"] {
+            run_one(name);
+        }
+    } else {
+        for name in &args {
+            run_one(name);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Figures 14–16: balancing static replication against superinstructions.
+//!
+//! * Figure 14: cycles for bench-gc (Gforth) on a Celeron-800, sweeping the
+//!   replica/superinstruction split for several total budgets.
+//! * Figure 15: cycles for mpegaudio (Java) on a Pentium 4, same sweep.
+//! * Figure 16: indirect branch mispredictions for the Figure 15 sweep.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin figure14_16 -- [forth|java]`
+//! (default: both)
+
+use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::{CoverAlgorithm, Profile, ReplicaSelection, Technique};
+
+const PERCENTS: [usize; 11] = [0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+fn split_technique(total: usize, pct_super: usize) -> Technique {
+    let supers = total * pct_super / 100;
+    let replicas = total - supers;
+    match (replicas, supers) {
+        (0, 0) => Technique::Threaded,
+        (r, 0) => Technique::StaticRepl { budget: r, selection: ReplicaSelection::RoundRobin },
+        (0, s) => Technique::StaticSuper { budget: s, algo: CoverAlgorithm::Greedy },
+        (r, s) => Technique::StaticBoth {
+            replicas: r,
+            supers: s,
+            selection: ReplicaSelection::RoundRobin,
+            algo: CoverAlgorithm::Greedy,
+        },
+    }
+}
+
+fn sweep(
+    totals: &[usize],
+    mut run: impl FnMut(Technique) -> (f64, u64),
+) -> (Vec<Row>, Vec<Row>) {
+    let mut cycle_rows = Vec::new();
+    let mut mispred_rows = Vec::new();
+    for &total in totals {
+        let mut cycles = Vec::new();
+        let mut mispreds = Vec::new();
+        for pct in PERCENTS {
+            let (c, m) = run(split_technique(total, pct));
+            cycles.push(c);
+            mispreds.push(m as f64);
+        }
+        cycle_rows.push(Row { label: format!("total {total}"), values: cycles });
+        mispred_rows.push(Row { label: format!("total {total}"), values: mispreds });
+    }
+    (cycle_rows, mispred_rows)
+}
+
+fn percent_columns() -> Vec<String> {
+    PERCENTS.iter().map(|p| format!("{p}%sup")).collect()
+}
+
+fn forth_sweep() {
+    let cpu = CpuSpec::celeron800();
+    let training = forth_training();
+    let bench = ivm_forth::programs::BENCH_GC;
+    // The paper sweeps up to 1600 additional instructions (Figure 14).
+    let totals = [0usize, 25, 50, 100, 200, 400, 800, 1600];
+    // Record the execution once and replay it per configuration — the
+    // sweep measures the same run under many layouts.
+    let image = bench.image();
+    let (trace, _) = ivm_forth::record(&image).expect("recording run");
+    let (cycles, _) = sweep(&totals, |tech| {
+        let r = ivm_forth::measure_trace(&image, &trace, tech, &cpu, Some(&training));
+        (r.cycles, r.counters.indirect_mispredicted)
+    });
+    let cols = percent_columns();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 14: cycles for bench-gc (Gforth) on {}, replica/super split", cpu.name),
+        &col_refs,
+        &cycles,
+        0,
+    );
+}
+
+fn java_sweep() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let idx = ivm_java::programs::SUITE
+        .iter()
+        .position(|b| b.name == "mpeg")
+        .expect("mpeg exists");
+    let training: Profile = java_trainings().swap_remove(idx);
+    let bench = ivm_java::programs::SUITE[idx];
+    let totals = [0usize, 50, 100, 200, 300, 400];
+    let image = (bench.build)();
+    let (trace, _) = ivm_java::record(&image).expect("recording run");
+    let (cycles, mispreds) = sweep(&totals, |tech| {
+        let r = ivm_java::measure_trace(&image, &trace, tech, &cpu, Some(&training));
+        (r.cycles, r.counters.indirect_mispredicted)
+    });
+    let cols = percent_columns();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 15: cycles for mpegaudio (Java) on {}, replica/super split", cpu.name),
+        &col_refs,
+        &cycles,
+        0,
+    );
+    print_table(
+        "Figure 16: indirect branch mispredictions for the Figure 15 sweep",
+        &col_refs,
+        &mispreds,
+        0,
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("forth") => forth_sweep(),
+        Some("java") => java_sweep(),
+        _ => {
+            forth_sweep();
+            java_sweep();
+        }
+    }
+}

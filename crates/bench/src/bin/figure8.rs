@@ -1,0 +1,40 @@
+//! Figure 8: speedups of the Gforth interpreter variants on a Pentium 4.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin figure8`
+
+use ivm_bench::{forth_names, forth_suite, forth_training, print_table, speedup_rows, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::Technique;
+
+fn main() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let training = forth_training();
+    let baselines = forth_suite(&cpu, Technique::Threaded, &training);
+
+    let per_technique: Vec<_> = Technique::gforth_suite()
+        .into_iter()
+        .map(|t| {
+            let results = forth_suite(&cpu, t, &training);
+            (t, results)
+        })
+        .collect();
+
+    let mut rows = vec![Row {
+        label: "plain".to_owned(),
+        values: vec![1.0; baselines.len()],
+    }];
+    rows.extend(
+        speedup_rows(&baselines, &per_technique)
+            .into_iter()
+            .filter(|r| r.label != "plain"),
+    );
+    print_table(
+        &format!(
+            "Figure 8: speedups of Gforth interpreter optimizations on {} (training: brainless)",
+            cpu.name
+        ),
+        &forth_names(),
+        &rows,
+        2,
+    );
+}

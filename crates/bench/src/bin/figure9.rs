@@ -1,0 +1,41 @@
+//! Figure 9: speedups of the Java interpreter variants on a Pentium 4.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin figure9`
+
+use ivm_bench::{java_names, java_suite, java_trainings, print_table, speedup_rows, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::Technique;
+
+fn main() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let trainings = java_trainings();
+    let baselines = java_suite(&cpu, Technique::Threaded, &trainings);
+
+    let per_technique: Vec<_> = Technique::jvm_suite()
+        .into_iter()
+        .map(|t| {
+            let results = java_suite(&cpu, t, &trainings);
+            (t, results)
+        })
+        .collect();
+
+    let mut rows = vec![Row {
+        label: "plain".to_owned(),
+        values: vec![1.0; baselines.len()],
+    }];
+    rows.extend(
+        speedup_rows(&baselines, &per_technique)
+            .into_iter()
+            .filter(|r| r.label != "plain"),
+    );
+    print_table(
+        &format!(
+            "Figure 9: speedups of Java interpreter optimizations on {} \
+             (training: cross-validated over the other benchmarks)",
+            cpu.name
+        ),
+        &java_names(),
+        &rows,
+        2,
+    );
+}

@@ -1,0 +1,74 @@
+//! Section 3 validation: BTB misprediction rates of switch-dispatch vs
+//! threaded-code interpreters.
+//!
+//! The paper (§1, §3, citing Ertl & Gregg 2003b) reports that BTBs
+//! mispredict 81%–98% of indirect branches under switch dispatch and
+//! 57%–63% under threaded code (50%–61% with 2-bit counters), and that
+//! ~13%–16.5% of retired instructions are indirect branches in Gforth
+//! vs ~6% in the JVM (§7.2.2).
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin section3`
+
+use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::Technique;
+
+fn main() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let training = forth_training();
+
+    let mut rows = Vec::new();
+    let mut ratio_rows = Vec::new();
+    for b in ivm_forth::programs::SUITE {
+        let image = b.image();
+        let (switch, _) = ivm_forth::measure(&image, Technique::Switch, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let image = b.image();
+        let (plain, _) = ivm_forth::measure(&image, Technique::Threaded, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        rows.push(Row {
+            label: b.name.to_owned(),
+            values: vec![
+                100.0 * switch.counters.misprediction_rate(),
+                100.0 * plain.counters.misprediction_rate(),
+            ],
+        });
+        ratio_rows.push(Row {
+            label: b.name.to_owned(),
+            values: vec![100.0 * plain.counters.indirect_branch_ratio()],
+        });
+    }
+    print_table(
+        "BTB misprediction rates (%), Forth suite (paper: switch 81-98%, threaded 57-63%)",
+        &["switch", "threaded"],
+        &rows,
+        1,
+    );
+    print_table(
+        "Indirect branches as % of retired instructions, Forth plain (paper: up to 16.5%)",
+        &["ind.br.%"],
+        &ratio_rows,
+        1,
+    );
+
+    let trainings = java_trainings();
+    let mut jrows = Vec::new();
+    for (b, t) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+        let image = (b.build)();
+        let (plain, _) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(t))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        jrows.push(Row {
+            label: b.name.to_owned(),
+            values: vec![
+                100.0 * plain.counters.misprediction_rate(),
+                100.0 * plain.counters.indirect_branch_ratio(),
+            ],
+        });
+    }
+    print_table(
+        "Java plain interpreter (paper: ~6.1% of instructions are indirect branches)",
+        &["mispred%", "ind.br.%"],
+        &jrows,
+        1,
+    );
+}

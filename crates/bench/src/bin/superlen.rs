@@ -1,0 +1,63 @@
+//! Superinstruction length study (§7.3): the paper reports that the
+//! *average executed* static superinstruction is short (≈1.5 components)
+//! while dynamic superinstructions average ≈3 components, and that
+//! across-bb barely lengthens them for Forth (blocks are broken by calls).
+//!
+//! Components per dispatch = executed VM instructions / dispatches.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin superlen`
+
+use ivm_bench::{forth_names, forth_training, java_trainings, print_table, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::Technique;
+
+fn main() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let training = forth_training();
+    let techniques = [
+        Technique::Threaded,
+        Technique::StaticSuper { budget: 400, algo: ivm_core::CoverAlgorithm::Greedy },
+        Technique::DynamicSuper,
+        Technique::AcrossBb,
+    ];
+
+    let mut rows = Vec::new();
+    for tech in techniques {
+        let mut values = Vec::new();
+        for b in ivm_forth::programs::SUITE {
+            let image = b.image();
+            let (r, out) = ivm_forth::measure(&image, tech, &cpu, Some(&training))
+                .unwrap_or_else(|e| panic!("{tech}: {e}"));
+            values.push(out.steps as f64 / r.counters.dispatches as f64);
+        }
+        rows.push(Row { label: tech.paper_name().to_owned(), values });
+    }
+    print_table(
+        "Average executed components per dispatch, Forth suite \
+         (paper §7.3: static ≈1.5, dynamic ≈3, across-bb barely longer)",
+        &forth_names(),
+        &rows,
+        2,
+    );
+
+    let trainings = java_trainings();
+    let mut rows = Vec::new();
+    for tech in techniques {
+        let mut values = Vec::new();
+        for (b, t) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+            let image = (b.build)();
+            let (r, out) = ivm_java::measure(&image, tech, &cpu, Some(t))
+                .unwrap_or_else(|e| panic!("{tech}: {e}"));
+            values.push(out.steps as f64 / r.counters.dispatches as f64);
+        }
+        rows.push(Row { label: tech.paper_name().to_owned(), values });
+    }
+    let names = ivm_bench::java_names();
+    print_table(
+        "Average executed components per dispatch, Java suite \
+         (paper §7.3: longer blocks than Forth, across-bb helps more)",
+        &names,
+        &rows,
+        2,
+    );
+}

@@ -1,0 +1,86 @@
+//! Tables IX and X: how far the optimized interpreters are from
+//! native-code compilers.
+//!
+//! * Table IX: Gforth's `across bb` vs bigForth/iForth on tscp, brainless
+//!   and brew (Athlon-1200 in the paper).
+//! * Table X: the JVM's `w/static super across` vs Kaffe's JIT and Hotspot
+//!   on SPECjvm98.
+//!
+//! **Substitution**: the native compilers are cost models (see
+//! `crates/bench/src/native_model.rs`); what is preserved is the paper's
+//! point that the gap between an optimized interpreter and a simple native
+//! compiler is small — speedups over `plain`, side by side.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin table9_10`
+
+use ivm_bench::native_model::NativeCompiler;
+use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_cache::CpuSpec;
+use ivm_core::{CoverAlgorithm, Technique};
+
+fn table9() {
+    let cpu = CpuSpec::athlon1200();
+    let training = forth_training();
+    let compilers = [NativeCompiler::big_forth(), NativeCompiler::i_forth()];
+
+    let mut rows = Vec::new();
+    for name in ["tscp", "brainless", "brew"] {
+        let b = ivm_forth::programs::find(name).expect("known benchmark");
+        let image = b.image();
+        let (plain, _) = ivm_forth::measure(&image, Technique::Threaded, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let image = b.image();
+        let (across, _) = ivm_forth::measure(&image, Technique::AcrossBb, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut values = vec![across.speedup_over(&plain)];
+        values.extend(compilers.iter().map(|c| c.speedup_over(&plain, &cpu.costs)));
+        rows.push(Row { label: name.to_owned(), values });
+    }
+    print_table(
+        &format!("Table IX: Gforth speedups over plain on {} (native columns modelled)", cpu.name),
+        &["across bb", "bigForth", "iForth"],
+        &rows,
+        2,
+    );
+}
+
+fn table10() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let trainings = java_trainings();
+    let compilers = [
+        NativeCompiler::kaffe_jit(),
+        NativeCompiler::hotspot_interpreter(),
+        NativeCompiler::hotspot_mixed(),
+    ];
+    let best = Technique::WithStaticSuperAcross { supers: 400, algo: CoverAlgorithm::Greedy };
+
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0f64; 1 + compilers.len()];
+    for (b, training) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+        let image = (b.build)();
+        let (plain, _) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(training))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let image = (b.build)();
+        let (opt, _) = ivm_java::measure(&image, best, &cpu, Some(training))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let mut values = vec![opt.speedup_over(&plain)];
+        values.extend(compilers.iter().map(|c| c.speedup_over(&plain, &cpu.costs)));
+        for (s, v) in sums.iter_mut().zip(&values) {
+            *s += v;
+        }
+        rows.push(Row { label: b.name.to_owned(), values });
+    }
+    let n = ivm_java::programs::SUITE.len() as f64;
+    rows.push(Row { label: "average".to_owned(), values: sums.into_iter().map(|s| s / n).collect() });
+    print_table(
+        "Table X: JVM speedups over plain (native/JIT columns modelled)",
+        &["w/static acr", "kaffe JIT", "HS interp", "HS mixed"],
+        &rows,
+        2,
+    );
+}
+
+fn main() {
+    table9();
+    table10();
+}

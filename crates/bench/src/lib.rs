@@ -1,0 +1,174 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; this library
+//! holds the common plumbing: suite runners with cross-validated training
+//! (paper §7.1), the native-code cost model used for the Table IX/X
+//! substitution, and text-table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod native_model;
+
+use ivm_cache::CpuSpec;
+use ivm_core::{Profile, RunResult, Technique};
+
+/// A labelled results row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. the technique name).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+/// Prints a fixed-width table with a title, column headers and rows.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Row], precision: usize) {
+    println!("{title}");
+    print!("{:<24}", "");
+    for c in columns {
+        print!(" {c:>10}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<24}", row.label);
+        for v in &row.values {
+            print!(" {v:>10.precision$}");
+        }
+        println!();
+    }
+    println!();
+}
+
+/// The Forth benchmark names, in paper order.
+pub fn forth_names() -> Vec<&'static str> {
+    ivm_forth::programs::SUITE.iter().map(|b| b.name).collect()
+}
+
+/// The Java benchmark names, in paper order.
+pub fn java_names() -> Vec<&'static str> {
+    ivm_java::programs::SUITE.iter().map(|b| b.name).collect()
+}
+
+/// Runs every Forth benchmark under `technique` on `cpu`.
+///
+/// Training uses the brainless profile, the paper's §7.1 choice for Gforth.
+///
+/// # Panics
+///
+/// Panics if a bundled benchmark fails at runtime (a bug in this crate).
+pub fn forth_suite(cpu: &CpuSpec, technique: Technique, training: &Profile) -> Vec<RunResult> {
+    ivm_forth::programs::SUITE
+        .iter()
+        .map(|b| {
+            let image = b.image();
+            ivm_forth::measure(&image, technique, cpu, Some(training))
+                .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
+                .0
+        })
+        .collect()
+}
+
+/// The Gforth training profile (brainless, paper §7.1).
+///
+/// # Panics
+///
+/// Panics if the training run fails.
+pub fn forth_training() -> Profile {
+    ivm_forth::profile(&ivm_forth::programs::BRAINLESS.image()).expect("training run")
+}
+
+/// Cross-validated training profiles for the Java suite: benchmark `i`
+/// trains on the profiles of all *other* benchmarks (paper §7.1, the
+/// compress example).
+///
+/// # Panics
+///
+/// Panics if a training run fails.
+pub fn java_trainings() -> Vec<Profile> {
+    let profiles: Vec<Profile> = ivm_java::programs::SUITE
+        .iter()
+        .map(|b| ivm_java::profile(&(b.build)()).expect("training run"))
+        .collect();
+    (0..profiles.len())
+        .map(|i| {
+            let mut p = Profile::new();
+            for (j, other) in profiles.iter().enumerate() {
+                if i != j {
+                    p.merge(other);
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Runs every Java benchmark under `technique` on `cpu` with the given
+/// per-benchmark training profiles.
+///
+/// # Panics
+///
+/// Panics if a bundled benchmark fails at runtime.
+pub fn java_suite(cpu: &CpuSpec, technique: Technique, trainings: &[Profile]) -> Vec<RunResult> {
+    ivm_java::programs::SUITE
+        .iter()
+        .zip(trainings)
+        .map(|(b, training)| {
+            let image = (b.build)();
+            ivm_java::measure(&image, technique, cpu, Some(training))
+                .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
+                .0
+        })
+        .collect()
+}
+
+/// Speedup rows over a plain baseline, one row per technique.
+pub fn speedup_rows(
+    baselines: &[RunResult],
+    per_technique: &[(Technique, Vec<RunResult>)],
+) -> Vec<Row> {
+    per_technique
+        .iter()
+        .map(|(tech, results)| Row {
+            label: tech.paper_name().to_owned(),
+            values: results
+                .iter()
+                .zip(baselines)
+                .map(|(r, b)| r.speedup_over(b))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_suites() {
+        assert_eq!(forth_names().len(), 7);
+        assert_eq!(java_names().len(), 7);
+        assert!(forth_names().contains(&"brew"));
+        assert!(java_names().contains(&"mtrt"));
+    }
+
+    #[test]
+    fn speedup_rows_divide_cycles() {
+        let mk = |cycles: f64| RunResult {
+            cpu: "t".into(),
+            technique: Technique::Threaded,
+            counters: Default::default(),
+            cycles,
+        };
+        let base = vec![mk(100.0), mk(200.0)];
+        let rows = speedup_rows(&base, &[(Technique::DynamicRepl, vec![mk(50.0), mk(100.0)])]);
+        assert_eq!(rows[0].values, vec![2.0, 2.0]);
+        assert_eq!(rows[0].label, "dynamic repl");
+    }
+
+    #[test]
+    fn forth_training_is_nonempty() {
+        let p = forth_training();
+        assert!(p.total_ops() > 10_000);
+    }
+}

@@ -1,0 +1,133 @@
+//! Indirect branch predictor simulators.
+//!
+//! This crate models the hardware predictors discussed in Casey, Ertl and
+//! Gregg, *Optimizing Indirect Branch Prediction Accuracy in Virtual Machine
+//! Interpreters*:
+//!
+//! * [`IdealBtb`] — an unbounded branch target buffer: one entry per branch,
+//!   predicting the target of the previous execution (paper §2.2, Figure 3).
+//! * [`Btb`] — a finite, set-associative BTB with either *tagged* entries
+//!   (a tag mismatch yields no prediction, counted as a misprediction for
+//!   an indirect branch that is always taken) or *tagless* entries (aliasing
+//!   branches silently share slots, producing conflict mispredictions), as in
+//!   the Celeron's 512-entry and the Northwood Pentium 4's 4096-entry BTBs.
+//! * [`TwoBitBtb`] — the "BTB with two-bit counters" variation (paper §3):
+//!   the stored target is only replaced after two consecutive mispredictions,
+//!   which raises accuracy for threaded-code interpreters from 37–43% to
+//!   39–50%.
+//! * [`TwoLevelPredictor`] — a history-based indirect predictor in the style
+//!   of Driesen and Hölzle, as shipped in the Intel Pentium M (paper §8).
+//! * [`CascadedPredictor`] — Driesen and Hölzle's multi-stage cascade: a
+//!   cheap filter stage plus a history stage for promoted branches (§2.2).
+//! * [`CaseBlockTable`] — Kaeli and Emma's predictor for `switch` statements,
+//!   indexed by the switch operand (the VM opcode) rather than the branch
+//!   address (paper §8).
+//!
+//! All predictors implement [`IndirectPredictor`]: feed every executed
+//! indirect branch through [`IndirectPredictor::predict_and_update`] and it
+//! reports whether the prediction made *before* the update was correct.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivm_bpred::{Btb, BtbConfig, IndirectPredictor};
+//!
+//! let mut btb = Btb::new(BtbConfig::celeron());
+//! // A dispatch branch at 0x1000 alternates between two targets: the BTB
+//! // mispredicts every time because it always predicts the previous target.
+//! assert!(!btb.predict_and_update(0x1000, 0xA000)); // cold miss
+//! assert!(!btb.predict_and_update(0x1000, 0xB000));
+//! assert!(!btb.predict_and_update(0x1000, 0xA000));
+//! // A monomorphic branch is predicted perfectly after warm-up.
+//! assert!(!btb.predict_and_update(0x2000, 0xC000)); // cold miss
+//! assert!(btb.predict_and_update(0x2000, 0xC000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod cascaded;
+mod case_block;
+mod ideal;
+mod stats;
+mod two_bit;
+mod two_level;
+
+pub use btb::{Btb, BtbConfig};
+pub use cascaded::CascadedPredictor;
+pub use case_block::CaseBlockTable;
+pub use ideal::IdealBtb;
+pub use stats::PredictorStats;
+pub use two_bit::TwoBitBtb;
+pub use two_level::{TwoLevelConfig, TwoLevelPredictor};
+
+/// A simulated native-code address.
+///
+/// Interpreter code layouts assign every routine copy and every dispatch
+/// branch a distinct `Addr`; the predictors only compare and hash these
+/// values, so any consistent assignment works.
+pub type Addr = u64;
+
+/// An indirect branch predictor simulator.
+///
+/// Implementations record one executed indirect branch per call and report
+/// whether the target was predicted correctly. Predictors are deterministic:
+/// replaying the same sequence of `(branch, target)` pairs produces the same
+/// sequence of outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_bpred::{IdealBtb, IndirectPredictor};
+///
+/// let mut p = IdealBtb::new();
+/// assert!(!p.predict_and_update(4, 100)); // first execution: cold miss
+/// assert!(p.predict_and_update(4, 100)); // same target: hit
+/// ```
+pub trait IndirectPredictor {
+    /// Simulates one execution of the indirect branch at `branch` jumping to
+    /// `target`, updating predictor state.
+    ///
+    /// Returns `true` if the predictor had predicted `target` before the
+    /// update (a *hit*), `false` on a misprediction. A branch that has never
+    /// been seen (or whose entry was evicted) counts as a misprediction,
+    /// matching how an unconditionally-taken indirect branch behaves on a
+    /// BTB miss.
+    fn predict_and_update(&mut self, branch: Addr, target: Addr) -> bool;
+
+    /// Clears all predictor state, as if the simulated machine were reset.
+    fn reset(&mut self);
+
+    /// A short human-readable description, e.g. `"btb-512x1-tagless"`.
+    fn describe(&self) -> String;
+}
+
+impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
+    fn predict_and_update(&mut self, branch: Addr, target: Addr) -> bool {
+        (**self).predict_and_update(branch, target)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxed_predictor_delegates() {
+        let mut p: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
+        assert!(!p.predict_and_update(1, 2));
+        assert!(p.predict_and_update(1, 2));
+        assert!(p.describe().contains("ideal"));
+        p.reset();
+        assert!(!p.predict_and_update(1, 2));
+    }
+}

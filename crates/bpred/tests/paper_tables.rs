@@ -1,0 +1,122 @@
+//! Reproduces the hand traces of Tables I–IV of the paper with an idealised
+//! BTB, verifying that the simulated predictor shows exactly the behaviour
+//! the paper narrates.
+
+use ivm_bpred::{IdealBtb, IndirectPredictor};
+
+/// Routine entry addresses for the hand examples.
+const A: u64 = 0xA00;
+const A1: u64 = 0xA10;
+const A2: u64 = 0xA20;
+const B: u64 = 0xB00;
+const B1: u64 = 0xB10;
+const B2: u64 = 0xB20;
+const GOTO: u64 = 0xC00;
+const B_A: u64 = 0xD00;
+
+/// Dispatch branch address at the end of the routine that starts at `entry`.
+fn br(entry: u64) -> u64 {
+    entry + 8
+}
+
+/// Runs `iters` iterations of a dispatch sequence (pairs of branch address
+/// and actual target) and returns mispredictions per iteration in steady
+/// state.
+fn steady_misses(seq: &[(u64, u64)], iters: usize) -> usize {
+    let mut btb = IdealBtb::new();
+    // Warm up one iteration (the paper assumes the loop executed once).
+    for &(b, t) in seq {
+        btb.predict_and_update(b, t);
+    }
+    let mut misses = 0;
+    for _ in 0..iters {
+        for &(b, t) in seq {
+            if !btb.predict_and_update(b, t) {
+                misses += 1;
+            }
+        }
+    }
+    misses / iters
+}
+
+/// Table I, switch dispatch: the single switch branch visits A, B, A, GOTO —
+/// every dispatch mispredicts (4 per iteration).
+#[test]
+fn table1_switch_dispatch_mispredicts_everything() {
+    let sw = 0x40;
+    let seq = [(sw, A), (sw, B), (sw, A), (sw, GOTO)];
+    assert_eq!(steady_misses(&seq, 100), 4);
+}
+
+/// Table I, threaded dispatch: br-A alternates between B and GOTO and always
+/// mispredicts; br-B and br-GOTO are monomorphic and always hit (2 misses
+/// per iteration).
+#[test]
+fn table1_threaded_dispatch_two_misses() {
+    // Loop body: A -> B -> A -> GOTO -> (A ...)
+    let seq = [(br(A), B), (br(B), A), (br(A), GOTO), (br(GOTO), A)];
+    assert_eq!(steady_misses(&seq, 100), 2);
+}
+
+/// Table II: with two replicas A1 and A2 every dispatch branch is
+/// monomorphic — zero mispredictions in steady state.
+#[test]
+fn table2_replication_eliminates_mispredictions() {
+    let seq = [(br(A1), B), (br(B), A2), (br(A2), GOTO), (br(GOTO), A1)];
+    assert_eq!(steady_misses(&seq, 100), 0);
+}
+
+/// Table III, original code: loop A B A B A GOTO has 2 misses per iteration
+/// (first and third A dispatch mispredict; the middle one hits).
+#[test]
+fn table3_original_code_two_misses() {
+    // Instruction stream: A B A B A GOTO, back to start.
+    // Dispatches: br-A->B, br-B->A, br-A->B, br-B->A, br-A->GOTO, br-GOTO->A.
+    let seq = [
+        (br(A), B),
+        (br(B), A),
+        (br(A), B),
+        (br(B), A),
+        (br(A), GOTO),
+        (br(GOTO), A),
+    ];
+    assert_eq!(steady_misses(&seq, 100), 2);
+}
+
+/// Table III, modified code: replicating B into B1/B2 makes *all three* A
+/// dispatches mispredict — bad replication increases mispredictions from 2
+/// to 3 per iteration.
+#[test]
+fn table3_bad_replication_three_misses() {
+    let seq = [
+        (br(A), B1),
+        (br(B1), A),
+        (br(A), B2),
+        (br(B2), A),
+        (br(A), GOTO),
+        (br(GOTO), A),
+    ];
+    assert_eq!(steady_misses(&seq, 100), 3);
+}
+
+/// Table IV: combining B and A into superinstruction B_A leaves every
+/// dispatch branch monomorphic — zero mispredictions in steady state, and
+/// one dispatch fewer per iteration.
+#[test]
+fn table4_superinstruction_eliminates_mispredictions() {
+    let seq = [(br(A), B_A), (br(B_A), GOTO), (br(GOTO), A)];
+    assert_eq!(steady_misses(&seq, 100), 0);
+}
+
+/// Paper §3: "with switch dispatch, the BTB always predicts that the current
+/// instruction will also be the next one" — verify the stored entry after
+/// each dispatch.
+#[test]
+fn switch_dispatch_predicts_current_as_next() {
+    let sw = 0x40;
+    let mut btb = IdealBtb::new();
+    btb.predict_and_update(sw, A);
+    assert_eq!(btb.predicted_target(sw), Some(A));
+    btb.predict_and_update(sw, B);
+    assert_eq!(btb.predicted_target(sw), Some(B));
+}

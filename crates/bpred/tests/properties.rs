@@ -1,0 +1,111 @@
+//! Property tests for the predictor simulators.
+
+use proptest::prelude::*;
+
+use ivm_bpred::{
+    Btb, BtbConfig, CaseBlockTable, IdealBtb, IndirectPredictor, PredictorStats, TwoBitBtb,
+    TwoLevelConfig, TwoLevelPredictor,
+};
+
+/// A random dispatch stream: branch/target pairs drawn from small pools so
+/// that re-use (the interesting case) actually happens.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..24, 0u64..24), 1..300)
+        .prop_map(|v| v.into_iter().map(|(b, t)| (0x1000 + b * 16, 0x9000 + t * 16)).collect())
+}
+
+fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
+    vec![
+        Box::new(IdealBtb::new()),
+        Box::new(Btb::new(BtbConfig::new(16, 1))),
+        Box::new(Btb::new(BtbConfig::new(16, 4))),
+        Box::new(Btb::new(BtbConfig::new(16, 1).tagless())),
+        Box::new(Btb::new(BtbConfig::celeron())),
+        Box::new(TwoBitBtb::new()),
+        Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m())),
+    ]
+}
+
+proptest! {
+    /// Predictors are deterministic: replaying a stream after reset gives
+    /// identical outcomes.
+    #[test]
+    fn deterministic_after_reset(stream in stream_strategy()) {
+        for mut p in predictors() {
+            let first: Vec<bool> =
+                stream.iter().map(|&(b, t)| p.predict_and_update(b, t)).collect();
+            p.reset();
+            let second: Vec<bool> =
+                stream.iter().map(|&(b, t)| p.predict_and_update(b, t)).collect();
+            prop_assert_eq!(&first, &second, "{} diverged after reset", p.describe());
+        }
+    }
+
+    /// A monomorphic branch is predicted by every BTB-family predictor
+    /// after one execution, regardless of interleaved other branches that
+    /// do not alias it away (ideal/2-bit have no aliasing at all).
+    #[test]
+    fn monomorphic_branches_hit_on_unbounded_predictors(target in 0u64..1000) {
+        let target = 0x5000 + target * 8;
+        for mut p in [
+            Box::new(IdealBtb::new()) as Box<dyn IndirectPredictor>,
+            Box::new(TwoBitBtb::new()),
+        ] {
+            p.predict_and_update(0x42, target);
+            for _ in 0..10 {
+                prop_assert!(p.predict_and_update(0x42, target), "{}", p.describe());
+            }
+        }
+    }
+
+    /// The ideal BTB is an upper bound for any finite tagged BTB on the
+    /// same stream (finite ones only add capacity/conflict misses).
+    #[test]
+    fn ideal_upper_bounds_finite_tagged(stream in stream_strategy()) {
+        let mut ideal = PredictorStats::new(IdealBtb::new());
+        let mut finite = PredictorStats::new(Btb::new(BtbConfig::new(8, 1)));
+        for &(b, t) in &stream {
+            ideal.predict_and_update(b, t);
+            finite.predict_and_update(b, t);
+        }
+        prop_assert!(ideal.mispredicted() <= finite.mispredicted());
+    }
+
+    /// Statistics wrapper counts every execution.
+    #[test]
+    fn stats_count_everything(stream in stream_strategy()) {
+        let mut p = PredictorStats::new(IdealBtb::new());
+        for &(b, t) in &stream {
+            p.predict_and_update(b, t);
+        }
+        prop_assert_eq!(p.executed(), stream.len() as u64);
+        prop_assert!(p.mispredicted() <= p.executed());
+        let rate = p.misprediction_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+
+    /// BTB occupancy never exceeds capacity.
+    #[test]
+    fn occupancy_bounded(stream in stream_strategy()) {
+        let cfg = BtbConfig::new(16, 4);
+        let mut btb = Btb::new(cfg);
+        for &(b, t) in &stream {
+            btb.predict_and_update(b, t);
+            prop_assert!(btb.occupancy() <= cfg.entries());
+        }
+    }
+
+    /// The case block table keyed by opcode predicts a switch interpreter
+    /// perfectly once every opcode has been seen (targets fixed per key).
+    #[test]
+    fn case_block_table_is_perfect_for_switch(ops in proptest::collection::vec(0u64..16, 1..200)) {
+        let mut cbt = CaseBlockTable::new();
+        let case_addr = |op: u64| 0x7000 + op * 64;
+        let mut seen = std::collections::HashSet::new();
+        for &op in &ops {
+            let hit = cbt.predict_and_update(0x40, op, case_addr(op));
+            prop_assert_eq!(hit, seen.contains(&op));
+            seen.insert(op);
+        }
+    }
+}

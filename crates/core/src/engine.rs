@@ -1,0 +1,317 @@
+//! The instrumented dispatch engine: predictors, caches and counters glued
+//! to an executing interpreter.
+
+use ivm_bpred::{Addr, IndirectPredictor};
+use ivm_cache::{CpuSpec, CycleCosts, FetchCache, PerfCounters};
+
+use crate::slots::{AltCode, DispatchPoint};
+use crate::technique::Technique;
+use crate::translate::Translation;
+
+/// Simulated microarchitectural state fed by an interpreter run.
+pub struct Engine {
+    predictor: Box<dyn IndirectPredictor>,
+    fetch: Box<dyn FetchCache>,
+    counters: PerfCounters,
+    costs: CycleCosts,
+    cpu_name: String,
+    branch_stats: Option<std::collections::HashMap<Addr, (u64, u64)>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cpu", &self.cpu_name)
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine modeling `cpu` (fresh predictor and fetch cache).
+    pub fn for_cpu(cpu: &CpuSpec) -> Self {
+        Self {
+            predictor: cpu.predictor(),
+            fetch: cpu.fetch_cache(),
+            counters: PerfCounters::default(),
+            costs: cpu.costs,
+            cpu_name: cpu.name.to_owned(),
+            branch_stats: None,
+        }
+    }
+
+    /// An engine with explicit components (for experiments mixing
+    /// predictors and caches).
+    pub fn new(
+        predictor: Box<dyn IndirectPredictor>,
+        fetch: Box<dyn FetchCache>,
+        costs: CycleCosts,
+    ) -> Self {
+        Self {
+            predictor,
+            fetch,
+            counters: PerfCounters::default(),
+            costs,
+            cpu_name: "custom".into(),
+            branch_stats: None,
+        }
+    }
+
+    /// The machine name this engine models.
+    pub fn cpu_name(&self) -> &str {
+        &self.cpu_name
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// The engine's cycle cost constants.
+    pub fn costs(&self) -> &CycleCosts {
+        &self.costs
+    }
+
+    /// Enables per-branch statistics: every executed indirect branch gets
+    /// an `(executions, mispredictions)` tally, readable afterwards with
+    /// [`Engine::top_mispredicted`]. Costs one hash update per branch, so
+    /// it is off by default.
+    #[must_use]
+    pub fn with_branch_stats(mut self) -> Self {
+        self.branch_stats = Some(std::collections::HashMap::new());
+        self
+    }
+
+    /// The `n` branches with the most mispredictions, as
+    /// `(branch, executions, mispredictions)` sorted worst-first. Empty
+    /// unless [`Engine::with_branch_stats`] was enabled.
+    pub fn top_mispredicted(&self, n: usize) -> Vec<(Addr, u64, u64)> {
+        let Some(stats) = &self.branch_stats else {
+            return Vec::new();
+        };
+        let mut v: Vec<(Addr, u64, u64)> =
+            stats.iter().map(|(&b, &(e, m))| (b, e, m)).collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    fn retire(&mut self, n: u32) {
+        self.counters.instructions += u64::from(n);
+    }
+
+    fn fetch_code(&mut self, addr: Addr, len: u32) {
+        if len > 0 {
+            self.counters.icache_misses += self.fetch.fetch(addr, len);
+            self.counters.icache_accesses += 1;
+        }
+    }
+
+    fn indirect(&mut self, branch: Addr, target: Addr) {
+        self.counters.indirect_branches += 1;
+        let hit = self.predictor.predict_and_update(branch, target);
+        if !hit {
+            self.counters.indirect_mispredicted += 1;
+        }
+        if let Some(stats) = &mut self.branch_stats {
+            let entry = stats.entry(branch).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += u64::from(!hit);
+        }
+    }
+}
+
+/// The outcome of one measured interpreter run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Machine name.
+    pub cpu: String,
+    /// Interpreter technique measured.
+    pub technique: Technique,
+    /// The hardware-counter bundle.
+    pub counters: PerfCounters,
+    /// Simulated cycles under the machine's cost model.
+    pub cycles: f64,
+}
+
+impl RunResult {
+    /// Speedup of this run over a `baseline` run of the same workload.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.cycles / self.cycles
+    }
+}
+
+/// Per-slot view after resolving side-entry (alt) state.
+struct View {
+    entry: Addr,
+    work_instrs: u32,
+    fetch: (Addr, u32),
+    fall: Option<DispatchPoint>,
+    taken: Option<DispatchPoint>,
+}
+
+/// Drives an [`Engine`] from the control-transfer stream of an interpreter
+/// run over a [`Translation`].
+#[derive(Debug)]
+pub struct Runner {
+    engine: Engine,
+    /// While `Some(u)`, execution is in non-replicated side-entry code up to
+    /// and including instance `u`.
+    side_until: Option<u32>,
+}
+
+impl Runner {
+    /// Wraps an engine.
+    pub fn new(engine: Engine) -> Self {
+        Self { engine, side_until: None }
+    }
+
+    /// Read access to the engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn in_side(&self, i: usize) -> bool {
+        self.side_until.is_some_and(|u| i as u32 <= u)
+    }
+
+    fn view(&self, t: &Translation, i: usize) -> View {
+        let slot = t.slot(i);
+        match slot.alt {
+            Some(AltCode { entry, work_instrs, fetch, fall, .. }) if self.in_side(i) => View {
+                entry,
+                work_instrs,
+                fetch,
+                fall: Some(fall),
+                taken: Some(fall),
+            },
+            _ => View {
+                entry: slot.entry,
+                work_instrs: slot.work_instrs,
+                fetch: slot.fetch,
+                fall: slot.fall,
+                taken: slot.taken,
+            },
+        }
+    }
+
+    fn enter(&mut self, t: &Translation, i: usize) {
+        // Pre-dispatch stubs are not used on the side-entry path.
+        if !self.in_side(i) {
+            if let Some(pre) = t.slot(i).pre {
+                self.engine.retire(pre.instrs);
+                self.engine.fetch_code(pre.fetch.0, pre.fetch.1);
+                self.engine.counters.dispatches += 1;
+                self.engine.indirect(pre.branch, pre.target);
+            }
+        }
+        let v = self.view(t, i);
+        self.engine.retire(v.work_instrs);
+        self.engine.fetch_code(v.fetch.0, v.fetch.1);
+        if !self.in_side(i) {
+            let (addr, len) = t.slot(i).extra_fetch;
+            self.engine.fetch_code(addr, len);
+        }
+    }
+
+    /// Starts (or restarts) execution at instance `entry`.
+    pub fn begin(&mut self, t: &Translation, entry: usize) {
+        self.side_until = None;
+        if t.slot(entry).alt.is_some() {
+            // Entering mid-superinstruction from outside: side path.
+            self.side_until = t.slot(entry).alt.map(|a| a.until);
+        }
+        self.enter(t, entry);
+    }
+
+    /// Records the control transfer `from → to`; `taken` distinguishes a
+    /// taken VM branch/jump/call/return from sequential fall-through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the translation has no dispatch for a taken transfer out of
+    /// `from` — that indicates a translator bug or a VM reporting an
+    /// impossible transfer.
+    pub fn transfer(&mut self, t: &Translation, from: usize, to: usize, taken: bool) {
+        let vf = self.view(t, from);
+        let dp = if taken {
+            Some(vf.taken.unwrap_or_else(|| {
+                panic!("instance {from} has no taken dispatch but VM took a branch")
+            }))
+        } else {
+            vf.fall
+        };
+
+        // Update side-entry state before resolving the target's view.
+        if taken {
+            self.side_until = t.slot(to).alt.map(|a| a.until);
+        } else if self.side_until.is_some_and(|u| to as u32 > u) {
+            self.side_until = None;
+        }
+
+        if let Some(dp) = dp {
+            let target = self.view(t, to).entry;
+            self.engine.retire(dp.instrs);
+            self.engine.fetch_code(dp.fetch.0, dp.fetch.1);
+            self.engine.counters.dispatches += 1;
+            self.engine.indirect(dp.branch, target);
+        }
+        self.enter(t, to);
+    }
+
+    /// Finalises the run, attributing the translation's generated code size.
+    pub fn finish(mut self, t: &Translation) -> RunResult {
+        self.engine.counters.code_bytes = t.code_bytes();
+        let cycles = self.engine.counters.cycles(&self.engine.costs);
+        RunResult {
+            cpu: self.engine.cpu_name,
+            technique: t.technique(),
+            counters: self.engine.counters,
+            cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_bpred::IdealBtb;
+    use ivm_cache::PerfectIcache;
+
+    fn engine() -> Engine {
+        Engine::new(
+            Box::new(IdealBtb::new()),
+            Box::new(PerfectIcache::default()),
+            CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
+        )
+    }
+
+    #[test]
+    fn branch_stats_are_opt_in() {
+        let mut e = engine();
+        e.indirect(1, 10);
+        assert!(e.top_mispredicted(5).is_empty(), "off by default");
+
+        let mut e = engine().with_branch_stats();
+        // Branch 1 alternates (always misses); branch 2 is monomorphic.
+        for i in 0..10u64 {
+            e.indirect(1, i % 2);
+            e.indirect(2, 42);
+        }
+        let top = e.top_mispredicted(2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[0].1, 10);
+        assert_eq!(top[0].2, 10);
+        assert_eq!(top[1].0, 2);
+        assert_eq!(top[1].2, 1); // only the cold miss
+    }
+
+    #[test]
+    fn engine_debug_and_accessors() {
+        let e = engine();
+        assert_eq!(e.cpu_name(), "custom");
+        assert_eq!(e.counters().instructions, 0);
+        assert!(format!("{e:?}").contains("Engine"));
+        assert!((e.costs().cpi - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulated code-space layout: where routine copies live.
+
+use std::collections::HashMap;
+
+use ivm_bpred::Addr;
+
+use crate::native::{align_up, InstKind, NativeSpec, DISPATCH_BYTES, SWITCH_DISPATCH_BYTES};
+use crate::replicate::UnitOp;
+use crate::spec::VmSpec;
+use crate::superinst::SuperTable;
+
+/// Base address of the interpreter's compiled (static) code segment.
+pub const STATIC_BASE: Addr = 0x0800_0000;
+
+/// Base address of run-time generated code (the "data segment" copies of
+/// paper Figure 4).
+pub const DYNAMIC_BASE: Addr = 0x4000_0000;
+
+/// A bump allocator over a simulated code segment.
+#[derive(Debug, Clone)]
+pub struct CodeSpace {
+    base: Addr,
+    next: Addr,
+}
+
+impl CodeSpace {
+    /// A fresh segment starting at `base`.
+    pub fn new(base: Addr) -> Self {
+        Self { base, next: base }
+    }
+
+    /// Allocates `bytes` of code, aligned, returning the start address.
+    pub fn alloc(&mut self, bytes: u32) -> Addr {
+        let addr = align_up(self.next);
+        self.next = addr + u64::from(bytes);
+        addr
+    }
+
+    /// Bytes allocated so far (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.next - self.base
+    }
+}
+
+/// One compiled routine copy in the static code segment.
+#[derive(Debug, Clone, Copy)]
+pub struct Routine {
+    /// Entry address.
+    pub addr: Addr,
+    /// Retired instructions of the routine's work.
+    pub work_instrs: u32,
+    /// Bytes of the routine's work.
+    pub work_bytes: u32,
+    /// Control kind of the routine's (last) VM instruction.
+    pub kind: InstKind,
+    /// Whether the routine may be copied at run time.
+    pub relocatable: bool,
+}
+
+impl Routine {
+    /// Address of the indirect dispatch branch at the routine's end
+    /// (threaded-code layout: work, then the 3-instruction dispatch).
+    pub fn dispatch_branch(&self) -> Addr {
+        self.addr + u64::from(self.work_bytes) + u64::from(DISPATCH_BYTES) - 4
+    }
+
+    /// Fetch length of work plus trailing threaded dispatch.
+    pub fn fetch_len(&self) -> u32 {
+        self.work_bytes + DISPATCH_BYTES
+    }
+}
+
+/// The static interpreter text: every `(unit-op, copy)` routine with its
+/// address, plus the shared switch dispatcher when built for switch mode.
+#[derive(Debug, Clone)]
+pub struct RoutineTable {
+    copies: HashMap<UnitOp, Vec<Routine>>,
+    switch_head: Option<(Addr, Addr)>,
+    static_bytes: u64,
+}
+
+impl RoutineTable {
+    /// Lays out the interpreter text: one base copy of every instruction in
+    /// `spec` and every superinstruction in `table`, plus `extra[uop]`
+    /// replicas of each replicated unit-op. With `switch`, a shared switch
+    /// dispatcher is laid out first.
+    pub fn build(
+        spec: &VmSpec,
+        table: &SuperTable,
+        extra: &HashMap<UnitOp, usize>,
+        switch: bool,
+    ) -> Self {
+        let mut space = CodeSpace::new(STATIC_BASE);
+        let switch_head = switch.then(|| {
+            let addr = space.alloc(SWITCH_DISPATCH_BYTES);
+            // The indirect jump is the dispatcher's last 4 bytes.
+            (addr, addr + u64::from(SWITCH_DISPATCH_BYTES) - 4)
+        });
+
+        let mut copies: HashMap<UnitOp, Vec<Routine>> = HashMap::new();
+        let alloc_one = |space: &mut CodeSpace, native: NativeSpec| Routine {
+            addr: space.alloc(native.work_bytes + DISPATCH_BYTES),
+            work_instrs: native.work_instrs,
+            work_bytes: native.work_bytes,
+            kind: native.kind,
+            relocatable: native.relocatable,
+        };
+
+        // Base copies: all plain instructions, then all superinstructions —
+        // the order the build system would emit them.
+        for (op, def) in spec.iter() {
+            copies.insert(UnitOp::Op(op), vec![alloc_one(&mut space, def.native)]);
+        }
+        for (sid, def) in table.iter() {
+            copies.insert(UnitOp::Super(sid), vec![alloc_one(&mut space, def.native)]);
+        }
+
+        // Replicas, in deterministic unit-op order.
+        let mut extras: Vec<(UnitOp, usize)> = extra.iter().map(|(&u, &n)| (u, n)).collect();
+        extras.sort();
+        for (uop, n) in extras {
+            let native = match uop {
+                UnitOp::Op(op) => spec.native(op),
+                UnitOp::Super(sid) => table.def(sid).native,
+            };
+            for _ in 0..n {
+                let r = alloc_one(&mut space, native);
+                copies.get_mut(&uop).expect("base copy exists").push(r);
+            }
+        }
+
+        Self { copies, switch_head, static_bytes: space.used() }
+    }
+
+    /// The routine for copy `copy` of `uop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit-op or copy index is unknown.
+    pub fn routine(&self, uop: UnitOp, copy: usize) -> Routine {
+        self.copies[&uop][copy]
+    }
+
+    /// Number of copies (base + replicas) of `uop`; zero if unknown.
+    pub fn copies(&self, uop: UnitOp) -> usize {
+        self.copies.get(&uop).map_or(0, Vec::len)
+    }
+
+    /// `(dispatcher_addr, indirect_branch_addr)` of the shared switch head,
+    /// if built for switch dispatch.
+    pub fn switch_head(&self) -> Option<(Addr, Addr)> {
+        self.switch_head
+    }
+
+    /// Total bytes of interpreter text.
+    pub fn static_bytes(&self) -> u64 {
+        self.static_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::NativeSpec;
+    use crate::spec::OpId;
+
+    fn spec() -> (VmSpec, OpId, OpId) {
+        let mut b = VmSpec::builder("t");
+        let a = b.inst("a", NativeSpec::new(2, 6, InstKind::Plain));
+        let c = b.inst("c", NativeSpec::new(4, 20, InstKind::Plain));
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn code_space_aligns() {
+        let mut s = CodeSpace::new(0x1000);
+        let x = s.alloc(5);
+        let y = s.alloc(5);
+        assert_eq!(x, 0x1000);
+        assert_eq!(y, 0x1010);
+        assert_eq!(s.used(), 0x15);
+    }
+
+    #[test]
+    fn base_copies_for_every_op() {
+        let (spec, a, c) = spec();
+        let t = RoutineTable::build(&spec, &SuperTable::empty(), &HashMap::new(), false);
+        assert_eq!(t.copies(UnitOp::Op(a)), 1);
+        assert_eq!(t.copies(UnitOp::Op(c)), 1);
+        assert!(t.switch_head().is_none());
+        let ra = t.routine(UnitOp::Op(a), 0);
+        let rc = t.routine(UnitOp::Op(c), 0);
+        assert_ne!(ra.addr, rc.addr);
+        assert!(ra.addr >= STATIC_BASE);
+        assert!(t.static_bytes() > 0);
+    }
+
+    #[test]
+    fn replicas_get_distinct_addresses() {
+        let (spec, a, _) = spec();
+        let extra = HashMap::from([(UnitOp::Op(a), 3usize)]);
+        let t = RoutineTable::build(&spec, &SuperTable::empty(), &extra, false);
+        assert_eq!(t.copies(UnitOp::Op(a)), 4);
+        let addrs: Vec<Addr> = (0..4).map(|i| t.routine(UnitOp::Op(a), i).addr).collect();
+        let mut dedup = addrs.clone();
+        dedup.dedup();
+        assert_eq!(addrs, dedup);
+        // All copies share the same shape.
+        for i in 0..4 {
+            assert_eq!(t.routine(UnitOp::Op(a), i).work_bytes, 6);
+        }
+    }
+
+    #[test]
+    fn super_routines_are_laid_out() {
+        let (spec, a, c) = spec();
+        let mut table = SuperTable::empty();
+        let sid = table.insert(&spec, vec![a, c], 1);
+        let t = RoutineTable::build(&spec, &table, &HashMap::new(), false);
+        assert_eq!(t.copies(UnitOp::Super(sid)), 1);
+        let r = t.routine(UnitOp::Super(sid), 0);
+        assert_eq!(r.work_instrs, table.def(sid).native.work_instrs);
+    }
+
+    #[test]
+    fn switch_head_precedes_cases() {
+        let (spec, a, _) = spec();
+        let t = RoutineTable::build(&spec, &SuperTable::empty(), &HashMap::new(), true);
+        let (head, branch) = t.switch_head().expect("switch head");
+        assert_eq!(head, STATIC_BASE);
+        assert!(branch > head);
+        assert!(t.routine(UnitOp::Op(a), 0).addr > head);
+    }
+
+    #[test]
+    fn dispatch_branch_is_inside_routine_tail() {
+        let (spec, a, _) = spec();
+        let t = RoutineTable::build(&spec, &SuperTable::empty(), &HashMap::new(), false);
+        let r = t.routine(UnitOp::Op(a), 0);
+        assert!(r.dispatch_branch() >= r.addr + u64::from(r.work_bytes));
+        assert!(r.dispatch_branch() < r.addr + u64::from(r.fetch_len()));
+    }
+}

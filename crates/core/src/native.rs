@@ -1,0 +1,212 @@
+//! The native-code model: what a compiled VM instruction routine looks like.
+//!
+//! Rust cannot copy its own machine code the way the paper's GNU-C
+//! interpreters do, so we model each VM instruction's compiled routine as a
+//! [`NativeSpec`]: a body of *work* (retired instructions and code bytes)
+//! followed by a dispatch sequence. The dispatch constants below follow
+//! Figure 2 of the paper (the three-instruction Alpha/x86 threaded dispatch)
+//! and §2.1's description of switch dispatch.
+
+/// Control-flow classification of a VM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Straight-line instruction: always falls through to the next one.
+    Plain,
+    /// Conditional VM branch: falls through or jumps to its static target.
+    CondBranch,
+    /// Unconditional VM jump to a static target; never falls through.
+    Jump,
+    /// VM call: jumps to a function entry; the matching return resumes at
+    /// the following instruction.
+    Call,
+    /// VM return: jumps to the instruction after the dynamically matching
+    /// call. Its dispatch is inherently polymorphic.
+    Return,
+    /// A quickable instruction (paper §5.4): the first execution resolves
+    /// and rewrites itself into one of its quick variants.
+    Quickable,
+}
+
+impl InstKind {
+    /// Whether this instruction can fall through to its successor.
+    pub fn falls_through(self) -> bool {
+        !matches!(self, InstKind::Jump | InstKind::Return)
+    }
+
+    /// Whether this instruction can transfer control away from the
+    /// fall-through path.
+    pub fn is_control(self) -> bool {
+        !matches!(self, InstKind::Plain | InstKind::Quickable)
+    }
+}
+
+/// The compiled shape of one VM instruction routine.
+///
+/// `work_instrs`/`work_bytes` cover only the instruction's real work; every
+/// dispatch technique appends its own dispatch code, accounted separately
+/// with the constants in this module.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_core::{NativeSpec, InstKind};
+///
+/// // A simple ALU VM instruction: 3 native instructions, 9 bytes, and the
+/// // compiler emitted position-independent code for it.
+/// let add = NativeSpec::new(3, 9, InstKind::Plain);
+/// assert!(add.relocatable);
+/// let call_helper = NativeSpec::new(40, 120, InstKind::Plain).non_relocatable();
+/// assert!(!call_helper.relocatable);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NativeSpec {
+    /// Retired native instructions for the instruction's work, excluding
+    /// dispatch.
+    pub work_instrs: u32,
+    /// Bytes of native code for the work, excluding dispatch.
+    pub work_bytes: u32,
+    /// Whether the routine can be copied to a new address (paper §5.2: no
+    /// PC-relative references out, no absolute references in).
+    pub relocatable: bool,
+    /// Control-flow classification.
+    pub kind: InstKind,
+}
+
+impl NativeSpec {
+    /// Creates a relocatable spec.
+    pub fn new(work_instrs: u32, work_bytes: u32, kind: InstKind) -> Self {
+        Self { work_instrs, work_bytes, relocatable: true, kind }
+    }
+
+    /// Marks the routine non-relocatable (e.g. it contains a PC-relative
+    /// call into the runtime).
+    #[must_use]
+    pub fn non_relocatable(mut self) -> Self {
+        self.relocatable = false;
+        self
+    }
+}
+
+/// Retired instructions of a full threaded-code dispatch: load the next
+/// threaded-code cell, increment the VM instruction pointer, jump indirect
+/// (paper Figure 2).
+pub const DISPATCH_INSTRS: u32 = 3;
+/// Bytes of the threaded-code dispatch sequence.
+pub const DISPATCH_BYTES: u32 = 12;
+
+/// The instruction-pointer increment kept inside dynamic superinstructions
+/// (paper §5.2/§6.1: the increments are *not* eliminated).
+pub const IP_INC_INSTRS: u32 = 1;
+/// Bytes of the kept increment.
+pub const IP_INC_BYTES: u32 = 4;
+
+/// Retired instructions of the shared switch dispatch: fetch opcode,
+/// increment, bounds check, table lookup, indirect jump — plus compiler
+/// glue. The paper (§2.1) observes switch dispatch executes noticeably more
+/// instructions than threaded dispatch.
+pub const SWITCH_DISPATCH_INSTRS: u32 = 9;
+/// Bytes of the shared switch dispatch code.
+pub const SWITCH_DISPATCH_BYTES: u32 = 36;
+/// Each `case` ends with an unconditional branch back to the switch head.
+pub const SWITCH_BREAK_INSTRS: u32 = 1;
+/// Bytes of the `break` jump.
+pub const SWITCH_BREAK_BYTES: u32 = 4;
+
+/// Instructions saved per component boundary when the compiler optimizes
+/// *across* the components of a static superinstruction (keeping stack items
+/// in registers, combining stack-pointer updates; paper §5.3).
+pub const STATIC_SUPER_SAVINGS_INSTRS: u32 = 1;
+/// Bytes saved per component boundary in a static superinstruction.
+pub const STATIC_SUPER_SAVINGS_BYTES: u32 = 3;
+
+/// Bytes of one direct `call` in a subroutine-threaded call table (x86
+/// `call rel32`; Berndl et al., paper §8).
+pub const CALL_SITE_BYTES: u32 = 5;
+/// Instructions a subroutine-threaded instruction adds over the routine's
+/// work: the direct call plus the (return-stack-predicted) return.
+pub const CALL_THREAD_INSTRS: u32 = 2;
+
+/// Alignment of routine start addresses in the simulated code space.
+pub const CODE_ALIGN: u64 = 16;
+
+/// Combines component specs into a static superinstruction spec
+/// (compiler-optimized concatenation).
+///
+/// # Panics
+///
+/// Panics if `components` is empty.
+pub fn static_super_spec(components: &[NativeSpec]) -> NativeSpec {
+    assert!(!components.is_empty(), "superinstruction needs at least one component");
+    let n = components.len() as u32;
+    let sum_instrs: u32 = components.iter().map(|c| c.work_instrs).sum();
+    let sum_bytes: u32 = components.iter().map(|c| c.work_bytes).sum();
+    let kind = components.last().expect("non-empty").kind;
+    NativeSpec {
+        work_instrs: sum_instrs.saturating_sub(STATIC_SUPER_SAVINGS_INSTRS * (n - 1)).max(n),
+        work_bytes: sum_bytes.saturating_sub(STATIC_SUPER_SAVINGS_BYTES * (n - 1)).max(4 * n),
+        relocatable: components.iter().all(|c| c.relocatable),
+        kind,
+    }
+}
+
+/// Rounds `addr` up to the next [`CODE_ALIGN`] boundary.
+pub fn align_up(addr: u64) -> u64 {
+    (addr + CODE_ALIGN - 1) & !(CODE_ALIGN - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(InstKind::Plain.falls_through());
+        assert!(InstKind::CondBranch.falls_through());
+        assert!(InstKind::Call.falls_through());
+        assert!(!InstKind::Jump.falls_through());
+        assert!(!InstKind::Return.falls_through());
+        assert!(!InstKind::Plain.is_control());
+        assert!(!InstKind::Quickable.is_control());
+        assert!(InstKind::Call.is_control());
+    }
+
+    #[test]
+    fn super_spec_saves_per_boundary() {
+        let a = NativeSpec::new(5, 15, InstKind::Plain);
+        let b = NativeSpec::new(4, 12, InstKind::Plain);
+        let s = static_super_spec(&[a, b]);
+        assert_eq!(s.work_instrs, 9 - STATIC_SUPER_SAVINGS_INSTRS);
+        assert_eq!(s.work_bytes, 27 - STATIC_SUPER_SAVINGS_BYTES);
+        assert!(s.relocatable);
+        assert_eq!(s.kind, InstKind::Plain);
+    }
+
+    #[test]
+    fn super_spec_clamps_to_minimum() {
+        let tiny = NativeSpec::new(1, 3, InstKind::Plain);
+        let s = static_super_spec(&[tiny; 4]);
+        assert_eq!(s.work_instrs, 4);
+        assert_eq!(s.work_bytes, 16);
+    }
+
+    #[test]
+    fn super_spec_inherits_non_relocatability() {
+        let a = NativeSpec::new(5, 15, InstKind::Plain);
+        let b = NativeSpec::new(4, 12, InstKind::Plain).non_relocatable();
+        assert!(!static_super_spec(&[a, b]).relocatable);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0), 0);
+        assert_eq!(align_up(1), 16);
+        assert_eq!(align_up(16), 16);
+        assert_eq!(align_up(17), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_super_rejected() {
+        let _ = static_super_spec(&[]);
+    }
+}

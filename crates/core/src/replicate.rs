@@ -1,0 +1,193 @@
+//! Static replica allocation and selection.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::OpId;
+use crate::superinst::SuperId;
+use crate::technique::ReplicaSelection;
+
+/// What a replicated routine implements: a plain VM instruction or a static
+/// superinstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitOp {
+    /// A single VM instruction.
+    Op(OpId),
+    /// A static superinstruction.
+    Super(SuperId),
+}
+
+/// Distributes `budget` extra copies over unit-ops proportionally to their
+/// profile counts (largest-remainder method). Unit-ops with zero count get
+/// no replicas; the base copy always exists regardless.
+///
+/// The paper replicates "the most frequently executed VM instructions and
+/// sequences from a training run" (§7.1) — proportional allocation is the
+/// natural reading and matches its round-robin usage pattern.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_core::{allocate_replicas, UnitOp};
+/// use std::collections::HashMap;
+///
+/// let counts = HashMap::from([(UnitOp::Op(0), 900u64), (UnitOp::Op(1), 100)]);
+/// let alloc = allocate_replicas(10, &counts);
+/// assert_eq!(alloc[&UnitOp::Op(0)], 9);
+/// assert_eq!(alloc[&UnitOp::Op(1)], 1);
+/// ```
+pub fn allocate_replicas(
+    budget: usize,
+    counts: &HashMap<UnitOp, u64>,
+) -> HashMap<UnitOp, usize> {
+    let total: u64 = counts.values().sum();
+    if budget == 0 || total == 0 {
+        return HashMap::new();
+    }
+    // Deterministic order for reproducible largest-remainder rounding.
+    let mut entries: Vec<(UnitOp, u64)> = counts
+        .iter()
+        .filter(|(_, &c)| c > 0)
+        .map(|(&u, &c)| (u, c))
+        .collect();
+    entries.sort();
+
+    let mut alloc: Vec<(UnitOp, usize, f64)> = entries
+        .iter()
+        .map(|&(u, c)| {
+            let exact = budget as f64 * c as f64 / total as f64;
+            (u, exact as usize, exact - exact.trunc())
+        })
+        .collect();
+    let assigned: usize = alloc.iter().map(|(_, n, _)| n).sum();
+    let mut leftover = budget - assigned;
+
+    // Hand remaining copies to the largest fractional parts.
+    let mut by_frac: Vec<usize> = (0..alloc.len()).collect();
+    by_frac.sort_by(|&i, &j| {
+        alloc[j].2.partial_cmp(&alloc[i].2).expect("finite").then(alloc[i].0.cmp(&alloc[j].0))
+    });
+    'outer: loop {
+        for &i in &by_frac {
+            if leftover == 0 {
+                break 'outer;
+            }
+            alloc[i].1 += 1;
+            leftover -= 1;
+        }
+    }
+
+    alloc.into_iter().filter(|(_, n, _)| *n > 0).map(|(u, n, _)| (u, n)).collect()
+}
+
+/// Chooses which replica each emitted occurrence of a unit-op uses.
+///
+/// Round-robin cycles per unit-op (the paper's winner, §5.1); random picks
+/// uniformly with a seeded PRNG.
+#[derive(Debug)]
+pub struct ReplicaPicker {
+    selection: ReplicaSelection,
+    counters: HashMap<UnitOp, usize>,
+    rng: StdRng,
+}
+
+impl ReplicaPicker {
+    /// Creates a picker for the given policy.
+    pub fn new(selection: ReplicaSelection) -> Self {
+        let seed = match selection {
+            ReplicaSelection::Random { seed } => seed,
+            ReplicaSelection::RoundRobin => 0,
+        };
+        Self { selection, counters: HashMap::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Picks a copy index in `0..copies` for the next occurrence of `uop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is zero.
+    pub fn pick(&mut self, uop: UnitOp, copies: usize) -> usize {
+        assert!(copies > 0, "a unit-op always has at least its base copy");
+        if copies == 1 {
+            return 0;
+        }
+        match self.selection {
+            ReplicaSelection::RoundRobin => {
+                let counter = self.counters.entry(uop).or_insert(0);
+                let pick = *counter % copies;
+                *counter += 1;
+                pick
+            }
+            ReplicaSelection::Random { .. } => self.rng.gen_range(0..copies),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_proportional_and_exact() {
+        let counts = HashMap::from([
+            (UnitOp::Op(0), 500u64),
+            (UnitOp::Op(1), 300),
+            (UnitOp::Op(2), 200),
+        ]);
+        let alloc = allocate_replicas(100, &counts);
+        assert_eq!(alloc[&UnitOp::Op(0)], 50);
+        assert_eq!(alloc[&UnitOp::Op(1)], 30);
+        assert_eq!(alloc[&UnitOp::Op(2)], 20);
+        assert_eq!(alloc.values().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn largest_remainder_spends_entire_budget() {
+        let counts =
+            HashMap::from([(UnitOp::Op(0), 1u64), (UnitOp::Op(1), 1), (UnitOp::Op(2), 1)]);
+        let alloc = allocate_replicas(10, &counts);
+        assert_eq!(alloc.values().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn zero_budget_or_counts_allocates_nothing() {
+        let counts = HashMap::from([(UnitOp::Op(0), 5u64)]);
+        assert!(allocate_replicas(0, &counts).is_empty());
+        assert!(allocate_replicas(10, &HashMap::new()).is_empty());
+    }
+
+    #[test]
+    fn supers_participate() {
+        let counts = HashMap::from([(UnitOp::Op(0), 100u64), (UnitOp::Super(3), 100)]);
+        let alloc = allocate_replicas(4, &counts);
+        assert_eq!(alloc[&UnitOp::Super(3)], 2);
+    }
+
+    #[test]
+    fn round_robin_cycles_per_unit_op() {
+        let mut p = ReplicaPicker::new(ReplicaSelection::RoundRobin);
+        let picks: Vec<usize> = (0..6).map(|_| p.pick(UnitOp::Op(0), 3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // Independent counter for a different unit-op.
+        assert_eq!(p.pick(UnitOp::Op(1), 3), 0);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let mut a = ReplicaPicker::new(ReplicaSelection::Random { seed: 42 });
+        let mut b = ReplicaPicker::new(ReplicaSelection::Random { seed: 42 });
+        for _ in 0..50 {
+            let (x, y) = (a.pick(UnitOp::Op(0), 4), b.pick(UnitOp::Op(0), 4));
+            assert_eq!(x, y);
+            assert!(x < 4);
+        }
+    }
+
+    #[test]
+    fn single_copy_short_circuits() {
+        let mut p = ReplicaPicker::new(ReplicaSelection::Random { seed: 1 });
+        assert_eq!(p.pick(UnitOp::Op(9), 1), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The per-instance code view produced by translation.
+
+use ivm_bpred::Addr;
+
+/// An indirect dispatch executed when control leaves a VM instruction
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPoint {
+    /// Address of the indirect branch instruction (the BTB key).
+    pub branch: Addr,
+    /// Native instructions retired by the dispatch sequence.
+    pub instrs: u32,
+    /// Extra code fetched by the dispatch (`(addr, len)`; zero-length when
+    /// the dispatch bytes are already part of the slot's fetch region).
+    pub fetch: (Addr, u32),
+}
+
+/// An indirect dispatch executed *on entry* to a slot — the
+/// dispatch-to-original stub used for non-relocatable and not-yet-quickened
+/// instructions in dynamic code (paper §5.2/§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreDispatch {
+    /// Address of the stub's indirect branch.
+    pub branch: Addr,
+    /// Where the stub always jumps (the original routine).
+    pub target: Addr,
+    /// Instructions retired by the stub.
+    pub instrs: u32,
+    /// The stub's fetch region.
+    pub fetch: (Addr, u32),
+}
+
+/// Alternative (non-replicated) code used when a side entry lands in the
+/// middle of a cross-basic-block static superinstruction ("w/static super
+/// across", paper Figure 6): execution uses the shared base routines until
+/// the superinstruction ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AltCode {
+    /// Entry address of the shared base routine.
+    pub entry: Addr,
+    /// Work instructions of the base routine.
+    pub work_instrs: u32,
+    /// Fetch region of the base routine.
+    pub fetch: (Addr, u32),
+    /// The base routine's dispatch (always present — shared code dispatches
+    /// after every instruction).
+    pub fall: DispatchPoint,
+    /// Last instance index of the enclosing superinstruction; past it,
+    /// execution rejoins the replicated code.
+    pub until: u32,
+}
+
+/// Everything the dispatch engine needs to know about one VM instruction
+/// instance under a given translation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotCode {
+    /// Address a dispatch targeting this instance jumps to.
+    pub entry: Addr,
+    /// Native instructions retired when this instance executes (work plus
+    /// any kept instruction-pointer increment).
+    pub work_instrs: u32,
+    /// Code fetched when this instance executes: `(addr, len)`.
+    pub fetch: (Addr, u32),
+    /// A second fetch region for layouts where an instance executes code
+    /// from two places (e.g. subroutine threading: the call site and the
+    /// called routine). Zero-length when unused.
+    pub extra_fetch: (Addr, u32),
+    /// Entry-side dispatch stub, if any.
+    pub pre: Option<PreDispatch>,
+    /// Dispatch executed when falling through to the next instance; `None`
+    /// when the fall-through is merged into the same code region.
+    pub fall: Option<DispatchPoint>,
+    /// Dispatch executed on a taken control transfer (branch/jump/call/
+    /// return); `None` for instructions that never transfer.
+    pub taken: Option<DispatchPoint>,
+    /// Side-entry fallback code (cross-block static superinstructions).
+    pub alt: Option<AltCode>,
+}
+
+impl SlotCode {
+    /// A placeholder slot used for mid-superinstruction instances: no code
+    /// of its own, merged fall-through.
+    pub fn merged(entry: Addr) -> Self {
+        Self {
+            entry,
+            work_instrs: 0,
+            fetch: (entry, 0),
+            extra_fetch: (entry, 0),
+            pre: None,
+            fall: None,
+            taken: None,
+            alt: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_slot_is_inert() {
+        let s = SlotCode::merged(0x123);
+        assert_eq!(s.entry, 0x123);
+        assert_eq!(s.work_instrs, 0);
+        assert_eq!(s.fetch.1, 0);
+        assert!(s.fall.is_none() && s.taken.is_none() && s.pre.is_none() && s.alt.is_none());
+    }
+}

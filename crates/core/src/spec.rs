@@ -1,0 +1,223 @@
+//! VM instruction-set descriptions.
+
+use crate::native::{InstKind, NativeSpec};
+
+/// Identifier of a VM instruction within a [`VmSpec`].
+pub type OpId = u16;
+
+/// One VM instruction definition: a name plus its compiled shape.
+#[derive(Debug, Clone)]
+pub struct InstDef {
+    /// Mnemonic, e.g. `"iadd"`.
+    pub name: String,
+    /// Compiled-routine model.
+    pub native: NativeSpec,
+    /// For [`InstKind::Quickable`] instructions: the quick variants the
+    /// instruction may rewrite itself into (paper §5.4).
+    pub quick_variants: Vec<OpId>,
+}
+
+/// A complete VM instruction set.
+///
+/// Build one with [`VmSpec::builder`]; the Forth and Java crates each define
+/// theirs this way.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_core::{VmSpec, NativeSpec, InstKind};
+///
+/// let mut b = VmSpec::builder("demo");
+/// let add = b.inst("add", NativeSpec::new(3, 9, InstKind::Plain));
+/// let halt = b.inst("halt", NativeSpec::new(1, 3, InstKind::Return));
+/// let spec = b.build();
+/// assert_eq!(spec.name(add), "add");
+/// assert_ne!(add, halt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmSpec {
+    vm_name: String,
+    defs: Vec<InstDef>,
+}
+
+impl VmSpec {
+    /// Starts building an instruction set for the VM called `vm_name`.
+    pub fn builder(vm_name: impl Into<String>) -> VmSpecBuilder {
+        VmSpecBuilder { vm_name: vm_name.into(), defs: Vec::new() }
+    }
+
+    /// The VM's name (e.g. `"forth"`).
+    pub fn vm_name(&self) -> &str {
+        &self.vm_name
+    }
+
+    /// Number of instructions defined.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether no instructions are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn def(&self, op: OpId) -> &InstDef {
+        &self.defs[op as usize]
+    }
+
+    /// The mnemonic of `op`.
+    pub fn name(&self, op: OpId) -> &str {
+        &self.def(op).name
+    }
+
+    /// The compiled shape of `op`.
+    pub fn native(&self, op: OpId) -> NativeSpec {
+        self.def(op).native
+    }
+
+    /// Iterates over `(op, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &InstDef)> {
+        self.defs.iter().enumerate().map(|(i, d)| (i as OpId, d))
+    }
+
+    /// Looks an instruction up by name (linear scan; for tests and tools).
+    pub fn find(&self, name: &str) -> Option<OpId> {
+        self.defs.iter().position(|d| d.name == name).map(|i| i as OpId)
+    }
+
+    /// The largest `work_bytes` among `op`'s quick variants (used to size
+    /// the patch gap in dynamic code; paper §5.4). Zero if not quickable.
+    pub fn max_quick_bytes(&self, op: OpId) -> u32 {
+        self.def(op)
+            .quick_variants
+            .iter()
+            .map(|&q| self.native(q).work_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Incremental builder for [`VmSpec`].
+#[derive(Debug)]
+pub struct VmSpecBuilder {
+    vm_name: String,
+    defs: Vec<InstDef>,
+}
+
+impl VmSpecBuilder {
+    /// Defines a non-quickable instruction, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `OpId::MAX` instructions are defined or the spec
+    /// is marked quickable (use [`VmSpecBuilder::quickable`]).
+    pub fn inst(&mut self, name: impl Into<String>, native: NativeSpec) -> OpId {
+        assert!(
+            native.kind != InstKind::Quickable,
+            "use `quickable` to define quickable instructions"
+        );
+        self.push(InstDef { name: name.into(), native, quick_variants: Vec::new() })
+    }
+
+    /// Defines a quickable instruction with the given quick variants
+    /// (already defined via [`VmSpecBuilder::inst`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quick_variants` is empty or contains an undefined id.
+    pub fn quickable(
+        &mut self,
+        name: impl Into<String>,
+        native: NativeSpec,
+        quick_variants: Vec<OpId>,
+    ) -> OpId {
+        assert!(!quick_variants.is_empty(), "quickable instruction needs variants");
+        for &q in &quick_variants {
+            assert!(
+                (q as usize) < self.defs.len(),
+                "quick variant {q} must be defined before the quickable instruction"
+            );
+        }
+        let native = NativeSpec { kind: InstKind::Quickable, ..native };
+        self.push(InstDef { name: name.into(), native, quick_variants })
+    }
+
+    fn push(&mut self, def: InstDef) -> OpId {
+        assert!(self.defs.len() < usize::from(OpId::MAX), "instruction set too large");
+        let id = self.defs.len() as OpId;
+        self.defs.push(def);
+        id
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn build(self) -> VmSpec {
+        assert!(!self.defs.is_empty(), "instruction set must not be empty");
+        VmSpec { vm_name: self.vm_name, defs: self.defs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> (VmSpec, OpId, OpId, OpId) {
+        let mut b = VmSpec::builder("demo");
+        let add = b.inst("add", NativeSpec::new(3, 9, InstKind::Plain));
+        let gf_quick = b.inst("getfield_q", NativeSpec::new(6, 20, InstKind::Plain));
+        let gf = b.quickable(
+            "getfield",
+            NativeSpec::new(60, 200, InstKind::Plain).non_relocatable(),
+            vec![gf_quick],
+        );
+        (b.build(), add, gf_quick, gf)
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let (spec, add, _, gf) = demo();
+        assert_eq!(spec.find("add"), Some(add));
+        assert_eq!(spec.find("getfield"), Some(gf));
+        assert_eq!(spec.find("nope"), None);
+        assert_eq!(spec.len(), 3);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.vm_name(), "demo");
+    }
+
+    #[test]
+    fn quickable_gets_kind_and_gap() {
+        let (spec, add, gf_quick, gf) = demo();
+        assert_eq!(spec.native(gf).kind, InstKind::Quickable);
+        assert_eq!(spec.max_quick_bytes(gf), spec.native(gf_quick).work_bytes);
+        assert_eq!(spec.max_quick_bytes(add), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be defined before")]
+    fn quick_variant_must_exist() {
+        let mut b = VmSpec::builder("bad");
+        b.quickable("getfield", NativeSpec::new(1, 4, InstKind::Plain), vec![99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs variants")]
+    fn quickable_without_variants_rejected() {
+        let mut b = VmSpec::builder("bad");
+        b.quickable("getfield", NativeSpec::new(1, 4, InstKind::Plain), vec![]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let (spec, ..) = demo();
+        assert_eq!(spec.iter().count(), 3);
+        assert_eq!(spec.iter().next().map(|(_, d)| d.name.as_str()), Some("add"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution traces: record an interpreter run once, replay it against any
+//! number of translations.
+//!
+//! Parameter sweeps (Figures 14–16, BTB grids) measure the *same* execution
+//! under many layouts; re-interpreting the program for each configuration
+//! repeats the semantic work. An [`ExecutionTrace`] captures the
+//! control-transfer and quickening stream of one run and replays it into
+//! any [`VmEvents`] sink — the replay is exact because translation never
+//! changes control flow (the invariant the property tests enforce).
+
+use crate::events::VmEvents;
+use crate::spec::OpId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Begin { entry: u32 },
+    Transfer { from: u32, to: u32, taken: bool },
+    Quicken { instance: u32, quick_op: OpId },
+}
+
+/// A recorded control-flow stream of one interpreter run.
+///
+/// # Examples
+///
+/// Record a run through a [`crate::ProfileCollector`]-style sink and replay
+/// it into a measurement:
+///
+/// ```
+/// use ivm_core::{ExecutionTrace, NullEvents, VmEvents};
+///
+/// let mut trace = ExecutionTrace::new();
+/// trace.begin(0);
+/// trace.transfer(0, 1, false);
+/// trace.transfer(1, 0, true);
+///
+/// let mut sink = NullEvents;
+/// trace.replay(&mut sink);
+/// assert_eq!(trace.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    events: Vec<Event>,
+}
+
+impl ExecutionTrace {
+    /// An empty trace; feed it as the [`VmEvents`] sink of a run to fill it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded control transfers (excluding begins/quickenings).
+    pub fn transfers(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Transfer { .. }))
+            .count()
+    }
+
+    /// Replays the recorded stream into `sink` in order.
+    pub fn replay(&self, sink: &mut dyn VmEvents) {
+        for &e in &self.events {
+            match e {
+                Event::Begin { entry } => sink.begin(entry as usize),
+                Event::Transfer { from, to, taken } => {
+                    sink.transfer(from as usize, to as usize, taken)
+                }
+                Event::Quicken { instance, quick_op } => {
+                    sink.quicken(instance as usize, quick_op)
+                }
+            }
+        }
+    }
+}
+
+impl VmEvents for ExecutionTrace {
+    fn begin(&mut self, entry: usize) {
+        self.events.push(Event::Begin { entry: entry as u32 });
+    }
+
+    fn transfer(&mut self, from: usize, to: usize, taken: bool) {
+        self.events.push(Event::Transfer { from: from as u32, to: to as u32, taken });
+    }
+
+    fn quicken(&mut self, instance: usize, quick_op: OpId) {
+        self.events.push(Event::Quicken { instance: instance as u32, quick_op });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Tee;
+
+    #[derive(Default)]
+    struct Log(Vec<String>);
+
+    impl VmEvents for Log {
+        fn begin(&mut self, entry: usize) {
+            self.0.push(format!("b{entry}"));
+        }
+        fn transfer(&mut self, from: usize, to: usize, taken: bool) {
+            self.0.push(format!("t{from}-{to}-{}", u8::from(taken)));
+        }
+        fn quicken(&mut self, instance: usize, quick_op: OpId) {
+            self.0.push(format!("q{instance}-{quick_op}"));
+        }
+    }
+
+    #[test]
+    fn replay_preserves_order_and_content() {
+        let mut trace = ExecutionTrace::new();
+        trace.begin(3);
+        trace.transfer(3, 4, false);
+        trace.quicken(4, 9);
+        trace.transfer(4, 0, true);
+
+        let mut log = Log::default();
+        trace.replay(&mut log);
+        assert_eq!(log.0, vec!["b3", "t3-4-0", "q4-9", "t4-0-1"]);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.transfers(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn trace_can_be_recorded_through_a_tee() {
+        // Record and profile simultaneously, as a harness would.
+        let mut trace = ExecutionTrace::new();
+        let mut log = Log::default();
+        {
+            let mut tee = Tee { a: &mut trace, b: &mut log };
+            tee.begin(0);
+            tee.transfer(0, 1, false);
+        }
+        assert_eq!(trace.len(), 2);
+        assert_eq!(log.0.len(), 2);
+    }
+
+    #[test]
+    fn replaying_twice_is_idempotent() {
+        let mut trace = ExecutionTrace::new();
+        trace.begin(0);
+        trace.transfer(0, 1, false);
+        let mut a = Log::default();
+        let mut b = Log::default();
+        trace.replay(&mut a);
+        trace.replay(&mut b);
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,100 @@
+\ bench-gc -- garbage collector benchmark analog.
+\ The original bench-gc exercises a conservative garbage collector written
+\ in Forth. This analog implements a mark-and-sweep collector over a heap
+\ of binary nodes: build random trees from a root set, drop roots, collect,
+\ and repeat. The hot code is pointer chasing (mark) and linear sweeping.
+
+variable seed
+: rnd seed @ 1103515245 * 12345 + $7fffffff and dup seed ! ;
+
+\ heap of nodes: [ mark, left, right ] per node, 0 = null pointer
+512 constant nodes
+create heap 512 3 * cells allot
+variable freelist
+8 constant nroots
+create roots 8 cells allot
+
+: node-addr ( n -- a ) 3 * heap + ;
+: mark@ ( n -- m ) node-addr @ ;
+: mark! ( m n -- ) node-addr ! ;
+: left@ ( n -- l ) node-addr 1 + @ ;
+: left! ( l n -- ) node-addr 1 + ! ;
+: right@ ( n -- r ) node-addr 2 + @ ;
+: right! ( r n -- ) node-addr 2 + ! ;
+
+\ free list threaded through the left field; node ids start at 1 so that
+\ 0 can be the null pointer.
+: init-heap
+  0 freelist !
+  nodes 1 do
+    freelist @ i left!
+    0 i right!
+    0 i mark!
+    i freelist !
+  loop ;
+
+variable live
+: alloc ( -- n | 0 )
+  freelist @ dup 0= if exit then
+  dup left@ freelist !
+  0 over left!
+  0 over right!
+  0 over mark!
+  1 live +! ;
+
+\ build a random tree of the given depth, returning its root (0 if oom)
+: build ( depth -- n )
+  dup 0 <= if drop 0 exit then
+  alloc dup 0= if nip exit then  ( depth n )
+  over 1- recurse over left!
+  over 1- recurse over right!
+  nip ;
+
+: mark ( n -- )
+  dup 0= if drop exit then
+  dup mark@ if drop exit then
+  1 over mark!
+  dup left@ recurse
+  right@ recurse ;
+
+: sweep ( -- swept )
+  0
+  nodes 1 do
+    i mark@ 0= if
+      \ node unreachable: only recycle nodes not already on the free list;
+      \ track that with right field = -1 when free
+      i right@ -1 <> if
+        freelist @ i left!
+        -1 i right!
+        i freelist !
+        1+
+        -1 live +!
+      then
+    else
+      0 i mark!
+    then
+  loop ;
+
+variable checksum
+: collect ( -- )
+  nroots 0 do roots i + @ mark loop
+  sweep checksum @ + 65535 and checksum ! ;
+
+: mutate ( -- )
+  \ overwrite a random root with a fresh tree
+  rnd nroots mod
+  rnd 4 mod 2 + build
+  swap roots + ! ;
+
+: main
+  99 seed !
+  0 live !
+  0 checksum !
+  init-heap
+  \ mark free nodes as free for the sweep bookkeeping
+  nodes 1 do -1 i right! loop
+  nroots 0 do 0 roots i + ! loop
+  120 0 do
+    mutate mutate collect
+  loop
+  checksum @ . live @ . cr ;

@@ -1,0 +1,70 @@
+\ brainless -- chess engine analog.
+\ Brainless is a chess program whose time goes to alpha-beta search over a
+\ positional evaluation. This analog runs alpha-beta with move ordering
+\ over a synthetic game: a board of 32 squares whose evaluation is a scan
+\ with piece-square weights, and whose "moves" perturb three squares.
+
+variable seed
+: rnd seed @ 1103515245 * 12345 + $7fffffff and dup seed ! ;
+
+32 constant sqs
+create board 32 cells allot
+create pst   32 cells allot    \ piece-square table
+
+: init-tables
+  sqs 0 do
+    rnd 11 mod 5 - pst i + !
+    rnd 7 mod 3 - board i + !
+  loop ;
+
+\ evaluation: material + piece-square bonuses, like a real leaf eval
+: evaluate ( -- score )
+  0
+  sqs 0 do
+    board i + @ dup
+    pst i + @ *
+    swap 3 * +
+    +
+  loop ;
+
+\ make/unmake: a pseudo-move perturbs three squares derived from the move
+\ number; unmake restores them exactly
+: sq-of ( mv k -- idx ) 7 * + 31 and ;
+: make ( mv -- )
+  dup 0 sq-of  1 swap board + +!
+  dup 1 sq-of -1 swap board + +!
+      2 sq-of  2 swap board + +! ;
+: unmake ( mv -- )
+  dup 0 sq-of -1 swap board + +!
+  dup 1 sq-of  1 swap board + +!
+      2 sq-of -2 swap board + +! ;
+
+variable nodes
+\ fixed-width negamax, 4 moves per node, full make/unmake discipline
+: ab ( depth -- score )
+  1 nodes +!
+  dup 0= if drop evaluate exit then
+  -100000                          ( depth best )
+  4 0 do
+    over 5 * i 3 * + 37 mod 31 and ( depth best mv )
+    dup make >r
+    over 1- recurse negate max     ( depth best' )
+    r> unmake
+  loop
+  nip ;
+
+variable checksum
+: search ( -- )
+  4 ab
+  checksum @ + 65535 and checksum ! ;
+
+: main
+  31337 seed !
+  0 checksum !
+  0 nodes !
+  init-tables
+  12 0 do
+    search
+    rnd 31 and 1 swap board + +!   \ drift the position between searches
+  loop
+  checksum @ . nodes @ . cr ;

@@ -1,0 +1,88 @@
+\ brew -- evolutionary programming analog.
+\ Brew evolves programs; its hot loops are fitness evaluation, tournament
+\ selection and mutation over a population. This analog evolves 64-bit
+\ genomes toward a target bit pattern with exactly those loops. It is the
+\ largest Forth benchmark here, mirroring brew's role in the paper.
+
+variable seed
+: rnd seed @ 1103515245 * 12345 + $7fffffff and dup seed ! ;
+
+64 constant popsize
+create pop    64 cells allot
+create newpop 64 cells allot
+create fit    64 cells allot
+variable target
+
+\ popcount of xor distance = fitness (lower is better)
+: bits ( n -- count )
+  0 swap
+  16 0 do
+    dup 3 and
+    dup 0 = if drop 0 else
+    dup 1 = if drop 1 else
+    dup 2 = if drop 1 else
+    drop 2
+    then then then
+    swap 2 rshift
+    swap rot + swap
+  loop
+  drop ;
+
+: fitness ( genome -- f ) target @ xor bits ;
+
+: eval-pop
+  popsize 0 do
+    pop i + @ fitness fit i + !
+  loop ;
+
+\ tournament of 3: returns index of the fittest of three random picks
+: pick3 ( -- idx )
+  rnd popsize mod
+  rnd popsize mod
+  rnd popsize mod              ( a b c )
+  >r                            ( a b ) ( r: c )
+  2dup fit + @ swap fit + @ swap > if swap then drop  ( best-of-ab )
+  r>                            ( ab c )
+  2dup fit + @ swap fit + @ swap > if swap then drop ;
+
+: mutate ( g -- g' )
+  rnd 31 and 1 swap lshift xor
+  rnd 7 mod 0= if rnd 31 and 1 swap lshift xor then ;
+
+: crossover ( a b -- child )
+  rnd                           ( a b mask )
+  dup >r and swap r> invert and or ;
+
+: breed ( -- child )
+  pick3 pop + @
+  pick3 pop + @
+  crossover
+  mutate ;
+
+: step
+  popsize 0 do
+    breed newpop i + !
+  loop
+  popsize 0 do
+    newpop i + @ pop i + !
+  loop
+  eval-pop ;
+
+: best ( -- f )
+  1000
+  popsize 0 do
+    fit i + @ min
+  loop ;
+
+variable checksum
+: main
+  2024 seed !
+  0 checksum !
+  $5a5a5a5a target !
+  popsize 0 do rnd pop i + ! loop
+  eval-pop
+  60 0 do
+    step
+    best checksum @ + 1023 and checksum !
+  loop
+  checksum @ . best . cr ;

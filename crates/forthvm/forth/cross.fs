@@ -1,0 +1,92 @@
+\ cross -- Forth cross-compiler analog.
+\ The original cross benchmark compiles a Forth system for another target.
+\ This analog performs the core compiler loop: tokenize a source buffer of
+\ (randomly generated) arithmetic statements, compile each statement into a
+\ threaded-code array (RPN), and then run the generated code.
+
+variable seed
+: rnd seed @ 1103515245 * 12345 + $7fffffff and dup seed ! ;
+
+\ "source" tokens: 0 end, 1 literal, 2 add, 3 mul, 4 dup, 5 swap, 6 drop
+512 constant srclen
+create src 512 cells allot
+create srcval 512 cells allot
+
+: gen-src
+  srclen 1 - 0 do
+    rnd 10 mod
+    dup 4 < if
+      drop 1 src i + !  rnd 199 mod srcval i + !
+    else
+      dup 6 < if drop 2 src i + !
+      else dup 8 < if drop 3 src i + !
+      else dup 9 < if drop 4 src i + !
+      else drop 6 src i + !
+      then then then
+      0 srcval i + !
+    then
+  loop
+  0 src srclen 1 - + ! ;
+
+\ compiled code: pairs [ op , operand ]
+1024 constant codecap
+create code 1024 2 * cells allot
+variable codelen
+: emit-code ( op val -- )
+  codelen @ codecap < if
+    code codelen @ 2 * + tuck 1 + ! !
+    1 codelen +!
+  else 2drop then ;
+
+\ compile: fold consecutive literals (constant folding, like a real
+\ compiler front end), emit everything else unchanged
+variable pendlit
+variable havelit
+: flush-lit havelit @ if 1 pendlit @ emit-code 0 havelit ! then ;
+: compile-tok ( i -- )
+  dup src + @ swap srcval + @   ( op val )
+  over 1 = if
+    nip havelit @ if pendlit @ + 16383 and then pendlit ! 1 havelit !
+  else
+    swap flush-lit 0 emit-code drop
+  then ;
+
+: compile-src
+  0 codelen !  0 havelit !
+  0
+  begin dup src + @ 0 <> while
+    dup compile-tok
+    1+
+  repeat
+  drop flush-lit ;
+
+\ the back end "target machine": execute the generated code
+variable tstk0
+variable tstk1
+variable tacc
+: run-code ( -- sum )
+  0 tacc !  1 tstk0 !  1 tstk1 !
+  codelen @ 0 do
+    code i 2 * + dup @ swap 1 + @   ( op val )
+    over 1 = if nip tstk1 @ tstk0 ! tstk0 @ drop dup tstk1 ! tacc +! else
+    over 2 = if 2drop tstk0 @ tstk1 @ + 16383 and tstk1 ! else
+    over 3 = if 2drop tstk0 @ tstk1 @ * 16383 and tstk1 ! else
+    over 4 = if 2drop tstk1 @ tstk0 ! else
+    over 5 = if 2drop tstk0 @ tstk1 @ tstk0 ! tstk1 ! else
+    2drop tstk1 @ tstk0 @ tstk1 ! drop
+    then then then then then
+  loop
+  tacc @ tstk1 @ + ;
+
+variable checksum
+: main
+  4242 seed !
+  0 checksum !
+  30 0 do
+    gen-src
+    compile-src
+    6 0 do
+      run-code checksum @ + 65535 and checksum !
+    loop
+  loop
+  checksum @ . cr ;

@@ -1,0 +1,62 @@
+\ gray -- parser generator analog.
+\ The original gray benchmark runs a parser generator; the dominant work is
+\ recursive-descent parsing over token streams with many short words and
+\ calls. This analog generates random arithmetic token streams and parses
+\ and evaluates them many times with an expr/term/factor descent parser.
+
+variable seed
+: rnd seed @ 1103515245 * 12345 + $7fffffff and dup seed ! ;
+
+\ token kinds: 1 number, 2 plus, 3 star, 0 end
+1024 constant maxtok
+create tkind 1024 cells allot
+create tval  1024 cells allot
+variable ntok
+variable pos
+
+: tok! ( kind val -- )
+  ntok @ maxtok < if
+    tval ntok @ + !
+    tkind ntok @ + !
+    1 ntok +!
+  else
+    2drop
+  then ;
+
+: gen-number 1 rnd 97 mod tok! ;
+: gen-op rnd 2 mod 0= if 2 else 3 then 0 tok! ;
+
+\ number (op number)* stream of the given length
+: gen-stream ( nops -- )
+  0 ntok !
+  gen-number
+  0 do gen-op gen-number loop
+  0 0 tok! ;
+
+: kind@ ( -- k ) tkind pos @ + @ ;
+: val@  ( -- v ) tval pos @ + @ ;
+: advance 1 pos +! ;
+
+: factor ( -- v ) val@ advance ;
+: term ( -- v )
+  factor
+  begin kind@ 3 = while
+    advance factor * 16383 and
+  repeat ;
+: expr ( -- v )
+  term
+  begin kind@ 2 = while
+    advance term + 16383 and
+  repeat ;
+
+variable checksum
+: parse-once 0 pos ! expr checksum @ + 65535 and checksum ! ;
+
+: main
+  12345 seed !
+  0 checksum !
+  50 0 do
+    rnd 40 mod 3 + gen-stream
+    50 0 do parse-once loop
+  loop
+  checksum @ . cr ;

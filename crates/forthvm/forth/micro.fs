@@ -1,0 +1,89 @@
+\ micro -- the classic small benchmarks of the PLDI'03 version's
+\ simulator study (Ertl & Gregg also used sieve/bubble/matrix/fib).
+\ All four in one program; each prints a checksum.
+
+4096 constant flags-size
+create flags 4096 cells allot
+
+: sieve ( -- count )
+  flags-size 0 do 1 flags i + ! loop
+  0
+  flags-size 0 do
+    flags i + @ if
+      i 2* 3 +                    ( count prime )
+      dup i + begin dup flags-size < while
+        0 flags 2 pick + !
+        over +
+      repeat
+      2drop
+      1+
+    then
+  loop ;
+
+128 constant asize
+create arr 128 cells allot
+
+: fill-array
+  asize 0 do
+    i 7919 * 104729 mod arr i + !
+  loop ;
+
+: bubble ( -- passes )
+  fill-array
+  0
+  begin
+    0                              ( passes swapped )
+    asize 1 - 0 do
+      arr i + @ arr i + 1 + @ > if
+        arr i + @ arr i + 1 + @    ( .. a b )
+        arr i + ! arr i + 1 + !    \ note: stores swapped values
+        drop 1                     \ mark swapped (replace old flag)
+      then
+    loop
+    swap 1+ swap
+    0=
+  until ;
+
+16 constant msize
+create ma 256 cells allot
+create mb 256 cells allot
+create mc 256 cells allot
+
+: fill-matrices
+  256 0 do
+    i 13 * 251 mod ma i + !
+    i 17 * 241 mod mb i + !
+    0 mc i + !
+  loop ;
+
+\ Triple-nested matrix multiply: J reaches only one loop out, so the row
+\ index is kept in a variable.
+variable row
+: matmul ( -- checksum )
+  fill-matrices
+  msize 0 do
+    i row !
+    msize 0 do
+      0                            ( acc ; col = i of this loop )
+      msize 0 do
+        row @ 16 * i + ma + @
+        i 16 * j + mb + @
+        * +
+      loop
+      16383 and
+      row @ 16 * i + mc + !
+    loop
+  loop
+  0
+  256 0 do mc i + @ + 16383 and loop ;
+
+: fib ( n -- f )
+  dup 2 < if exit then
+  dup 1- recurse swap 2 - recurse + ;
+
+: main
+  sieve .
+  bubble .
+  matmul .
+  17 fib .
+  cr ;

@@ -1,0 +1,39 @@
+\ tscp -- chess benchmark analog.
+\ Tom Kerrigan's Simple Chess Program spends its time in minimax search and
+\ move generation. This analog plays "triple nim": a row of counters from
+\ which a move takes 1..3; the engine searches the full game tree with
+\ negamax plus a small positional evaluation, over a series of openings.
+
+variable nodes
+
+\ evaluation: a little arithmetic on the pile size so that the eval code
+\ resembles a board scan loop
+: eval ( pile -- score )
+  dup 0 swap 0 do
+    i 3 and 2 - +
+  loop
+  swap 7 mod - ;
+
+\ negamax over pile size; returns best score for the side to move
+: negamax ( pile -- score )
+  1 nodes +!
+  dup 0= if drop -100 exit then       \ no move: loss
+  dup 4 < if eval 100 + exit then      \ can take all: win (eval breaks ties)
+  -1000 swap                           ( best pile )
+  4 1 do
+    dup i - recurse negate             ( best pile score )
+    rot max swap                       ( best' pile )
+  loop
+  drop ;
+
+variable checksum
+: search-opening ( pile -- )
+  negamax checksum @ + 255 and checksum ! ;
+
+: main
+  0 nodes !
+  0 checksum !
+  16 5 do
+    i search-opening
+  loop
+  checksum @ . nodes @ . cr ;

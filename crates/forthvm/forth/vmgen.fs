@@ -1,0 +1,64 @@
+\ vmgen -- interpreter generator analog.
+\ The original benchmark runs vmgen, which spends its time scanning
+\ instruction descriptions and emitting tables. This analog does the
+\ table-driven core of that job: it "generates" an instruction table from
+\ packed descriptors and then interprets a bytecode program against the
+\ generated table — an interpreter interpreting an interpreter.
+
+variable seed
+: rnd seed @ 1103515245 * 12345 + $7fffffff and dup seed ! ;
+
+\ generated table: for each of 16 mini-ops, an argument count and a kind
+16 constant nops
+create opkind 16 cells allot
+create oparg  16 cells allot
+
+: gen-table
+  nops 0 do
+    rnd 5 mod opkind i + !
+    rnd 2 mod 1 + oparg i + !
+  loop ;
+
+\ a bytecode program over the generated table
+256 constant proglen
+create prog 256 cells allot
+: gen-prog
+  proglen 0 do
+    rnd nops mod prog i + !
+  loop ;
+
+\ the mini-interpreter: a stack machine with 5 behaviours
+variable acc
+variable mp
+: mini-push  ( v -- ) acc @ + acc ! ;
+: mini-step ( pc -- pc' )
+  dup prog + @                 ( pc op )
+  dup opkind + @               ( pc op kind )
+  dup 0 = if drop dup prog + @ 1 + mini-push else
+  dup 1 = if drop acc @ 2* 16383 and acc ! else
+  dup 2 = if drop acc @ 3 + acc ! else
+  dup 3 = if drop acc @ 2/ acc ! else
+    drop acc @ 1 xor acc !
+  then then then then
+  oparg + @ +                  ( pc' = pc + argbytes )
+  1 + ;
+
+variable checksum
+: interp ( -- )
+  0
+  begin dup proglen < while
+    mini-step
+  repeat
+  drop
+  acc @ checksum @ + 65535 and checksum ! ;
+
+: main
+  777 seed !
+  0 checksum !
+  20 0 do
+    gen-table
+    gen-prog
+    0 acc !
+    25 0 do interp loop
+  loop
+  checksum @ . cr ;

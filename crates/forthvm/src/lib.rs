@@ -1,0 +1,45 @@
+//! A Forth virtual machine in the mold of Gforth, built for interpreter
+//! dispatch experiments.
+//!
+//! The crate provides:
+//!
+//! * the Forth instruction set with a native-code model ([`ops`]),
+//! * a compiler from a mini-Forth dialect to VM code ([`compile`]),
+//! * the interpreter itself ([`run`]), which reports every dispatch to an
+//!   [`ivm_core::VmEvents`] sink,
+//! * the seven-benchmark suite of the paper's Table VI ([`programs`]),
+//! * and a measurement harness ([`measure`], [`profile`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ivm_cache::CpuSpec;
+//! use ivm_core::Technique;
+//!
+//! let image = ivm_forth::compile(": main 100 0 do i + loop . ;");
+//! // `0 do` with nothing on the stack would underflow — push a start value:
+//! let image = ivm_forth::compile(": main 0 100 0 do i + loop . ;").unwrap();
+//! let prof = ivm_forth::profile(&image)?;
+//! let (plain, out) = ivm_forth::measure(
+//!     &image, Technique::Threaded, &CpuSpec::celeron800(), Some(&prof))?;
+//! assert_eq!(out.text, "4950 ");
+//! let (repl, _) = ivm_forth::measure(
+//!     &image, Technique::DynamicRepl, &CpuSpec::celeron800(), Some(&prof))?;
+//! // Replication never executes more dispatches than plain threading.
+//! assert!(repl.counters.dispatches <= plain.counters.dispatches);
+//! # Ok::<(), ivm_forth::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiler;
+mod inst;
+mod measure;
+pub mod programs;
+mod vm;
+
+pub use compiler::{compile, disassemble, CompileError, Image};
+pub use inst::{ops, spec_without_tos_caching, ForthOps};
+pub use measure::{measure, measure_trace, measure_with, profile, record, DEFAULT_FUEL};
+pub use vm::{run, Output, VmError};

@@ -1,0 +1,167 @@
+//! Convenience harness: profile, translate and measure a Forth program on
+//! a simulated machine.
+
+use ivm_cache::CpuSpec;
+use ivm_core::{
+    translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult,
+    Runner, SuperSelection, Technique,
+};
+
+use crate::compiler::Image;
+use crate::inst::ops;
+use crate::vm::{run, Output, VmError};
+
+/// Default fuel for benchmark runs (VM instructions).
+pub const DEFAULT_FUEL: u64 = 100_000_000;
+
+/// Collects a training profile by running `image` once.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the training run.
+pub fn profile(image: &Image) -> Result<Profile, VmError> {
+    let mut collector = ProfileCollector::new(&image.program);
+    run(image, &mut collector, DEFAULT_FUEL)?;
+    Ok(collector.into_profile())
+}
+
+/// Runs `image` under `technique` on `cpu`, returning the run result and
+/// the program output.
+///
+/// `training` supplies the profile for static techniques (pass the profile
+/// of a *different* program to reproduce the paper's cross-training setup,
+/// or this image's own profile for self-training).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure(
+    image: &Image,
+    technique: Technique,
+    cpu: &CpuSpec,
+    training: Option<&Profile>,
+) -> Result<(RunResult, Output), VmError> {
+    measure_with(image, technique, Engine::for_cpu(cpu), training)
+}
+
+/// Like [`measure`], but with a caller-supplied [`Engine`] — for
+/// experiments that vary the predictor or fetch path independently of the
+/// CPU presets (e.g. BTB size sweeps, two-level predictors).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_with(
+    image: &Image,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+) -> Result<(RunResult, Output), VmError> {
+    let o = ops();
+    let translation = translate(
+        &o.spec,
+        &image.program,
+        technique,
+        training,
+        SuperSelection::gforth(),
+    );
+    let runner = Runner::new(engine);
+    let mut measurement = Measurement::new(translation, runner);
+    let output = run(image, &mut measurement, DEFAULT_FUEL)?;
+    Ok((measurement.finish(), output))
+}
+
+/// Records one run of `image` as an [`ExecutionTrace`] (plus its output),
+/// for replaying against many translations with [`measure_trace`] — much
+/// faster than re-interpreting in parameter sweeps.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the recording run.
+pub fn record(image: &Image) -> Result<(ExecutionTrace, Output), VmError> {
+    let mut trace = ExecutionTrace::new();
+    let output = run(image, &mut trace, DEFAULT_FUEL)?;
+    Ok((trace, output))
+}
+
+/// Replays a recorded trace of `image` under `technique` on `cpu`.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_trace(
+    image: &Image,
+    trace: &ExecutionTrace,
+    technique: Technique,
+    cpu: &CpuSpec,
+    training: Option<&Profile>,
+) -> RunResult {
+    let o = ops();
+    let translation = translate(
+        &o.spec,
+        &image.program,
+        technique,
+        training,
+        SuperSelection::gforth(),
+    );
+    let mut measurement = Measurement::new(translation, Runner::new(Engine::for_cpu(cpu)));
+    trace.replay(&mut measurement);
+    measurement.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+
+    #[test]
+    fn measure_produces_counters_and_output() {
+        let image = compile(": main 10 0 do i . loop ;").unwrap();
+        let prof = profile(&image).unwrap();
+        let (result, output) =
+            measure(&image, Technique::Threaded, &CpuSpec::celeron800(), Some(&prof)).unwrap();
+        assert_eq!(output.text, "0 1 2 3 4 5 6 7 8 9 ");
+        assert!(result.counters.instructions > 0);
+        assert!(result.counters.dispatches as usize >= output.steps as usize - 1);
+    }
+
+    #[test]
+    fn trace_replay_matches_direct_measurement() {
+        let image = compile(": main 0 30 0 do i + loop . ;").unwrap();
+        let prof = profile(&image).unwrap();
+        let (trace, out) = record(&image).unwrap();
+        assert_eq!(out.text, "435 ");
+        let cpu = CpuSpec::celeron800();
+        for tech in [Technique::Threaded, Technique::DynamicRepl, Technique::AcrossBb] {
+            let (direct, _) = measure(&image, tech, &cpu, Some(&prof)).unwrap();
+            let replayed = measure_trace(&image, &trace, tech, &cpu, Some(&prof));
+            assert_eq!(direct.counters, replayed.counters, "{tech}");
+            assert_eq!(direct.cycles, replayed.cycles, "{tech}");
+        }
+    }
+
+    #[test]
+    fn outputs_identical_across_techniques() {
+        let image = compile(
+            ": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 12 fib . ;",
+        )
+        .unwrap();
+        let prof = profile(&image).unwrap();
+        let mut texts = Vec::new();
+        for tech in Technique::gforth_suite() {
+            let (_, out) = measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
+                .unwrap_or_else(|e| panic!("{tech}: {e}"));
+            texts.push(out.text);
+        }
+        assert!(texts.windows(2).all(|w| w[0] == w[1]), "semantics must not depend on layout");
+        assert_eq!(texts[0], "144 ");
+    }
+}

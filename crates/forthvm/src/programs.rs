@@ -1,0 +1,144 @@
+//! The Forth benchmark suite (Table VI analogs).
+//!
+//! Each program is a workload analog of the corresponding Gforth benchmark
+//! from the paper, rebuilt in the mini-Forth dialect: the computational
+//! character (call-heavy short words, pointer chasing, search recursion,
+//! table interpretation) matches the original's role in the suite. See each
+//! `.fs` source under `crates/forthvm/forth/` for details.
+
+use crate::compiler::{compile, Image};
+
+/// One benchmark program: name, source, and the role it reproduces.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Paper benchmark name (Table VI).
+    pub name: &'static str,
+    /// Mini-Forth source text.
+    pub source: &'static str,
+    /// What the original program was.
+    pub description: &'static str,
+}
+
+impl Benchmark {
+    /// Compiles the benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to compile — that is a bug in
+    /// this crate, not in user input.
+    pub fn image(&self) -> Image {
+        compile(self.source)
+            .unwrap_or_else(|e| panic!("bundled benchmark {} must compile: {e}", self.name))
+    }
+}
+
+/// gray: parser generator (recursive-descent parsing).
+pub const GRAY: Benchmark = Benchmark {
+    name: "gray",
+    source: include_str!("../forth/gray.fs"),
+    description: "parser generator analog: recursive-descent parsing of random token streams",
+};
+
+/// bench-gc: garbage collector (mark-and-sweep pointer chasing).
+pub const BENCH_GC: Benchmark = Benchmark {
+    name: "bench-gc",
+    source: include_str!("../forth/bench-gc.fs"),
+    description: "mark-and-sweep collector over a heap of binary nodes",
+};
+
+/// tscp: chess (game-tree search).
+pub const TSCP: Benchmark = Benchmark {
+    name: "tscp",
+    source: include_str!("../forth/tscp.fs"),
+    description: "negamax game-tree search with leaf evaluation",
+};
+
+/// vmgen: interpreter generator (table generation + interpretation).
+pub const VMGEN: Benchmark = Benchmark {
+    name: "vmgen",
+    source: include_str!("../forth/vmgen.fs"),
+    description: "generates instruction tables and interprets bytecode against them",
+};
+
+/// cross: Forth cross-compiler (tokenize, compile, run generated code).
+pub const CROSS: Benchmark = Benchmark {
+    name: "cross",
+    source: include_str!("../forth/cross.fs"),
+    description: "compiler loop: tokenize, constant-fold, emit and execute threaded code",
+};
+
+/// brainless: chess (search + heavy positional evaluation).
+pub const BRAINLESS: Benchmark = Benchmark {
+    name: "brainless",
+    source: include_str!("../forth/brainless.fs"),
+    description: "negamax with make/unmake moves and a board-scan evaluation",
+};
+
+/// brew: evolutionary programming (fitness, selection, mutation).
+pub const BREW: Benchmark = Benchmark {
+    name: "brew",
+    source: include_str!("../forth/brew.fs"),
+    description: "evolves genomes: fitness scans, tournaments, crossover and mutation",
+};
+
+/// micro: the classic sieve/bubble/matrix/fib quartet used by the PLDI'03
+/// version's simulator study. Not part of the Table VI suite; kept as a
+/// compact secondary workload.
+pub const MICRO: Benchmark = Benchmark {
+    name: "micro",
+    source: include_str!("../forth/micro.fs"),
+    description: "sieve of Eratosthenes, bubble sort, 16x16 matrix multiply, recursive fib",
+};
+
+/// The full suite in the paper's Table VI order.
+pub const SUITE: [Benchmark; 7] = [GRAY, BENCH_GC, TSCP, VMGEN, CROSS, BRAINLESS, BREW];
+
+/// Looks a benchmark up by paper name (including the secondary `micro`).
+pub fn find(name: &str) -> Option<Benchmark> {
+    SUITE.into_iter().chain([MICRO]).find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn all_benchmarks_compile() {
+        for b in SUITE {
+            let image = b.image();
+            assert!(image.program.len() > 50, "{} should be a real program", b.name);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_and_print() {
+        for b in SUITE {
+            let image = b.image();
+            let out = run(&image, &mut NullEvents, 50_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            assert!(!out.text.is_empty(), "{} should print a checksum", b.name);
+            assert!(out.stack.is_empty(), "{} should leave a clean stack", b.name);
+            assert!(out.steps > 10_000, "{} should do real work ({} steps)", b.name, out.steps);
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert_eq!(find("tscp").map(|b| b.name), Some("tscp"));
+        assert_eq!(find("micro").map(|b| b.name), Some("micro"));
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn micro_quartet_runs() {
+        let image = MICRO.image();
+        let out = run(&image, &mut NullEvents, 50_000_000).expect("micro runs");
+        // sieve count, bubble passes, matmul checksum, fib(17).
+        let fields: Vec<&str> = out.text.split_whitespace().collect();
+        assert_eq!(fields.len(), 4, "{:?}", out.text);
+        assert_eq!(fields[3], "1597", "fib(17)");
+        assert!(out.stack.is_empty());
+    }
+}

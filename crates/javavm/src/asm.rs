@@ -1,0 +1,840 @@
+//! A bytecode assembler for the mini-JVM: classes, methods, labels.
+//!
+//! Benchmarks are written directly against this assembler — the moral
+//! equivalent of authoring class files. `link` produces a [`JavaImage`]
+//! whose boot code invokes `Main.main` and halts.
+
+use std::collections::HashMap;
+
+use ivm_core::{OpId, ProgramCode};
+
+use crate::inst::{ops, JavaOps};
+
+/// Index into [`JavaImage::classes`].
+pub type ClassId = u16;
+/// Index into [`JavaImage::methods`].
+pub type MethodId = u16;
+
+/// A loaded class: name, superclass and instance field names (appended
+/// after the superclass's fields in object layout).
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Single-inheritance parent.
+    pub super_class: Option<ClassId>,
+    /// Field names declared by this class (not including inherited ones).
+    pub fields: Vec<String>,
+}
+
+/// A method: owning class, arity, locals and entry instance.
+#[derive(Debug, Clone)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Owning class.
+    pub class: ClassId,
+    /// Declared arguments (for virtual methods, *excluding* `this`).
+    pub nargs: usize,
+    /// Total local slots (arguments first, then scratch locals).
+    pub nlocals: usize,
+    /// Entry instance index in the program.
+    pub entry: u32,
+    /// Whether the method is static.
+    pub is_static: bool,
+}
+
+/// An exception handler range: instances `from..to` are protected; a throw
+/// inside them transfers to `handler`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandlerRange {
+    /// First protected instance.
+    pub from: u32,
+    /// One past the last protected instance.
+    pub to: u32,
+    /// Handler entry instance (receives the exception ref on the stack).
+    pub handler: u32,
+}
+
+/// A resolved `tableswitch` jump table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchTable {
+    /// Targets for selector values `0..targets.len()`.
+    pub targets: Vec<u32>,
+    /// Target for out-of-range selectors.
+    pub default: u32,
+}
+
+/// A linked mini-JVM program.
+#[derive(Debug, Clone)]
+pub struct JavaImage {
+    /// Instruction stream and control structure.
+    pub program: ProgramCode,
+    /// Per-instance operand (constant, local index, name id...).
+    pub operands: Vec<i64>,
+    /// Class table.
+    pub classes: Vec<ClassDef>,
+    /// Method table.
+    pub methods: Vec<MethodDef>,
+    /// Interned symbolic names (fields, virtual methods): id → name.
+    pub names: Vec<String>,
+    /// Number of static variable slots.
+    pub n_statics: usize,
+    /// Exception handler table (innermost-last, searched back to front).
+    pub handlers: Vec<HandlerRange>,
+    /// `tableswitch` jump tables, indexed by instruction operand.
+    pub switch_tables: Vec<SwitchTable>,
+    /// Entry instance (boot code).
+    pub entry: usize,
+}
+
+impl JavaImage {
+    /// Finds a method by `"Class.name"`.
+    pub fn find_method(&self, qualified: &str) -> Option<MethodId> {
+        let (cls, name) = qualified.split_once('.')?;
+        let class = self.classes.iter().position(|c| c.name == cls)? as ClassId;
+        self.methods
+            .iter()
+            .position(|m| m.class == class && m.name == name)
+            .map(|i| i as MethodId)
+    }
+
+    /// Resolves a virtual method by receiver class and name id, walking the
+    /// superclass chain.
+    pub fn resolve_virtual(&self, class: ClassId, name_id: usize) -> Option<MethodId> {
+        let name = &self.names[name_id];
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(i) = self
+                .methods
+                .iter()
+                .position(|m| m.class == c && !m.is_static && &m.name == name)
+            {
+                return Some(i as MethodId);
+            }
+            cur = self.classes[c as usize].super_class;
+        }
+        None
+    }
+
+    /// Resolves a field name id to its offset in instances of `class`.
+    pub fn resolve_field(&self, class: ClassId, name_id: usize) -> Option<usize> {
+        let layout = self.field_layout(class);
+        let name = &self.names[name_id];
+        layout.iter().position(|f| f == name)
+    }
+
+    /// Full field layout of `class` (inherited fields first).
+    pub fn field_layout(&self, class: ClassId) -> Vec<String> {
+        let c = &self.classes[class as usize];
+        let mut layout = match c.super_class {
+            Some(s) => self.field_layout(s),
+            None => Vec::new(),
+        };
+        layout.extend(c.fields.iter().cloned());
+        layout
+    }
+
+    /// Number of fields in instances of `class`.
+    pub fn instance_size(&self, class: ClassId) -> usize {
+        self.field_layout(class).len()
+    }
+}
+
+/// The assembler.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_java::Asm;
+///
+/// let mut a = Asm::new();
+/// a.class("Main", None, &[]);
+/// a.begin_static("Main", "main", 0, 1);
+/// a.ldc(21);
+/// a.ldc(2);
+/// a.imul();
+/// a.print_int();
+/// a.ret();
+/// a.end_method();
+/// let image = a.link();
+/// assert!(image.find_method("Main.main").is_some());
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    o: &'static JavaOps,
+    program: ivm_core::ProgramBuilder,
+    operands: Vec<i64>,
+    classes: Vec<ClassDef>,
+    methods: Vec<MethodDef>,
+    names: Vec<String>,
+    name_ids: HashMap<String, usize>,
+    statics: HashMap<String, usize>,
+    labels: HashMap<String, u32>,
+    label_fixups: Vec<(u32, String)>,
+    method_fixups: Vec<(u32, String)>,
+    handler_fixups: Vec<(String, String, String)>,
+    switch_fixups: Vec<(Vec<String>, String)>,
+    current: Option<MethodId>,
+    boot_call: u32,
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Asm {
+    /// Creates an empty assembly with boot code reserved.
+    pub fn new() -> Self {
+        let o = ops();
+        let mut program = ProgramCode::builder("java-program");
+        let boot_call = program.push(o.invokestatic, None);
+        program.push(o.halt, None);
+        Self {
+            o,
+            program,
+            operands: vec![0, 0],
+            classes: Vec::new(),
+            methods: Vec::new(),
+            names: Vec::new(),
+            name_ids: HashMap::new(),
+            statics: HashMap::new(),
+            labels: HashMap::new(),
+            label_fixups: Vec::new(),
+            method_fixups: Vec::new(),
+            handler_fixups: Vec::new(),
+            switch_fixups: Vec::new(),
+            current: None,
+            boot_call,
+        }
+    }
+
+    /// Declares a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the superclass is unknown or the name is duplicated.
+    pub fn class(&mut self, name: &str, super_class: Option<&str>, fields: &[&str]) -> ClassId {
+        assert!(
+            self.classes.iter().all(|c| c.name != name),
+            "duplicate class {name}"
+        );
+        let super_class = super_class.map(|s| self.class_id(s));
+        let id = self.classes.len() as ClassId;
+        self.classes.push(ClassDef {
+            name: name.to_owned(),
+            super_class,
+            fields: fields.iter().map(|&f| f.to_owned()).collect(),
+        });
+        id
+    }
+
+    fn class_id(&self, name: &str) -> ClassId {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("unknown class {name}")) as ClassId
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_owned());
+        self.name_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    fn begin(&mut self, class: &str, name: &str, nargs: usize, nlocals: usize, is_static: bool) {
+        assert!(self.current.is_none(), "method {name} opened inside another method");
+        let class = self.class_id(class);
+        let entry = self.program.len() as u32;
+        self.program.mark_entry(entry);
+        let id = self.methods.len() as MethodId;
+        let slots = nargs + usize::from(!is_static);
+        self.methods.push(MethodDef {
+            name: name.to_owned(),
+            class,
+            nargs,
+            nlocals: nlocals.max(slots),
+            entry,
+            is_static,
+        });
+        self.current = Some(id);
+    }
+
+    /// Opens a static method; emit its body, then call [`Asm::end_method`].
+    pub fn begin_static(&mut self, class: &str, name: &str, nargs: usize, nlocals: usize) {
+        self.begin(class, name, nargs, nlocals, true);
+    }
+
+    /// Opens a virtual method (`this` is local 0; `nargs` excludes it).
+    pub fn begin_virtual(&mut self, class: &str, name: &str, nargs: usize, nlocals: usize) {
+        self.begin(class, name, nargs, nlocals, false);
+    }
+
+    /// Closes the current method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no method is open.
+    pub fn end_method(&mut self) {
+        assert!(self.current.take().is_some(), "no open method");
+    }
+
+    fn emit(&mut self, op: OpId, operand: i64) -> u32 {
+        assert!(self.current.is_some(), "instruction outside a method body");
+        let i = self.program.push(op, None);
+        self.operands.push(operand);
+        i
+    }
+
+    fn emit_branch(&mut self, op: OpId, label: &str) {
+        let cur = self.current.expect("in method");
+        let i = self.emit(op, 0);
+        self.label_fixups.push((i, format!("{cur}:{label}")));
+    }
+
+    /// Registers an exception handler: throws between the labels `from`
+    /// (inclusive) and `to` (exclusive) transfer to the label `handler`,
+    /// with the exception reference pushed on the operand stack. All three
+    /// labels are method-local; inner handlers must be registered after
+    /// outer ones.
+    pub fn protect(&mut self, from: &str, to: &str, handler: &str) {
+        let cur = self.current.expect("in method");
+        self.handler_fixups.push((
+            format!("{cur}:{from}"),
+            format!("{cur}:{to}"),
+            format!("{cur}:{handler}"),
+        ));
+    }
+
+    /// Throws the exception object on top of the stack.
+    pub fn athrow(&mut self) {
+        let op = self.o.athrow;
+        self.emit(op, 0);
+    }
+
+    /// Emits a `tableswitch`: pops a selector and jumps to
+    /// `cases[selector]`, or to `default` when out of range. Labels are
+    /// method-local.
+    pub fn tableswitch(&mut self, cases: &[&str], default: &str) {
+        let cur = self.current.expect("in method");
+        let table_id = self.switch_fixups.len() as i64;
+        let op = self.o.tableswitch;
+        self.emit(op, table_id);
+        self.switch_fixups.push((
+            cases.iter().map(|c| format!("{cur}:{c}")).collect(),
+            format!("{cur}:{default}"),
+        ));
+    }
+
+    /// Defines a method-local label at the current position.
+    pub fn label(&mut self, name: &str) {
+        let cur = self.current.expect("in method");
+        let prev = self
+            .labels
+            .insert(format!("{cur}:{name}"), self.program.len() as u32);
+        assert!(prev.is_none(), "duplicate label {name}");
+    }
+
+    /// Links everything into an executable image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved labels or methods, or if `Main.main` is missing.
+    pub fn link(mut self) -> JavaImage {
+        assert!(self.current.is_none(), "unterminated method");
+        for (inst, key) in std::mem::take(&mut self.label_fixups) {
+            let target = *self
+                .labels
+                .get(&key)
+                .unwrap_or_else(|| panic!("undefined label {key}"));
+            self.program.patch_target(inst, target);
+        }
+        let method_fixups = std::mem::take(&mut self.method_fixups);
+        let handlers: Vec<HandlerRange> = std::mem::take(&mut self.handler_fixups)
+            .into_iter()
+            .map(|(from, to, handler)| {
+                let resolve = |key: &str| {
+                    *self
+                        .labels
+                        .get(key)
+                        .unwrap_or_else(|| panic!("undefined handler label {key}"))
+                };
+                let range = HandlerRange {
+                    from: resolve(&from),
+                    to: resolve(&to),
+                    handler: resolve(&handler),
+                };
+                assert!(range.from < range.to, "empty protected range {from}..{to}");
+                self.program.mark_entry(range.handler);
+                range
+            })
+            .collect();
+        let switch_tables: Vec<SwitchTable> = std::mem::take(&mut self.switch_fixups)
+            .into_iter()
+            .map(|(cases, default)| {
+                let mut resolve = |key: &str| {
+                    let t = *self
+                        .labels
+                        .get(key)
+                        .unwrap_or_else(|| panic!("undefined switch label {key}"));
+                    self.program.mark_entry(t);
+                    t
+                };
+                SwitchTable {
+                    targets: cases.iter().map(|c| resolve(c)).collect(),
+                    default: resolve(&default),
+                }
+            })
+            .collect();
+        let mut image = JavaImage {
+            program: ProgramCode::builder("placeholder").into_placeholder(),
+            operands: self.operands,
+            classes: self.classes,
+            methods: self.methods,
+            names: self.names,
+            n_statics: self.statics.len(),
+            handlers,
+            switch_tables,
+            entry: 0,
+        };
+        // Resolve invokestatic targets now that all methods exist.
+        for (inst, qualified) in method_fixups {
+            let (cls, name) = qualified
+                .split_once('.')
+                .unwrap_or_else(|| panic!("bad method reference {qualified}"));
+            let class = image
+                .classes
+                .iter()
+                .position(|c| c.name == cls)
+                .unwrap_or_else(|| panic!("unknown class {cls}")) as ClassId;
+            let m = image
+                .methods
+                .iter()
+                .find(|m| m.class == class && m.name == name && m.is_static)
+                .unwrap_or_else(|| panic!("unknown static method {qualified}"));
+            self.program.patch_target(inst, m.entry);
+        }
+        // Boot: call Main.main.
+        let main = image
+            .methods
+            .iter()
+            .find(|m| {
+                m.is_static
+                    && m.name == "main"
+                    && image.classes[m.class as usize].name == "Main"
+            })
+            .expect("program must define static Main.main");
+        self.program.patch_target(self.boot_call, main.entry);
+        image.program = self.program.finish(&self.o.spec);
+        image
+    }
+}
+
+// A tiny helper so `link` can build the struct before the program is final.
+trait Placeholder {
+    fn into_placeholder(self) -> ProgramCode;
+}
+
+impl Placeholder for ivm_core::ProgramBuilder {
+    fn into_placeholder(mut self) -> ProgramCode {
+        let o = ops();
+        self.push(o.halt, None);
+        self.finish(&o.spec)
+    }
+}
+
+macro_rules! simple_emitters {
+    ($(($fn_name:ident, $field:ident, $doc:literal)),+ $(,)?) => {
+        impl Asm {
+            $(
+                #[doc = $doc]
+                pub fn $fn_name(&mut self) {
+                    let op = self.o.$field;
+                    self.emit(op, 0);
+                }
+            )+
+        }
+    };
+}
+
+simple_emitters![
+    (pop, pop, "Discards the top of stack."),
+    (dup, dup, "Duplicates the top of stack."),
+    (dup_x1, dup_x1, "Duplicates the top under the second item."),
+    (swap, swap, "Swaps the top two items."),
+    (iadd, iadd, "Integer add."),
+    (isub, isub, "Integer subtract."),
+    (imul, imul, "Integer multiply."),
+    (idiv, idiv, "Integer divide."),
+    (irem, irem, "Integer remainder."),
+    (ineg, ineg, "Integer negate."),
+    (ishl, ishl, "Shift left."),
+    (ishr, ishr, "Arithmetic shift right."),
+    (iand, iand, "Bitwise and."),
+    (ior, ior, "Bitwise or."),
+    (ixor, ixor, "Bitwise xor."),
+    (newarray, newarray, "Pops a length, pushes a new int array."),
+    (iaload, iaload, "Pops index and array ref, pushes the element."),
+    (iastore, iastore, "Pops value, index, array ref; stores the element."),
+    (arraylength, arraylength, "Pops an array ref, pushes its length."),
+    (print_int, print_int, "Pops and prints an integer (runtime call)."),
+    (ireturn, ireturn, "Returns the top of stack to the caller."),
+];
+
+macro_rules! branch_emitters {
+    ($(($fn_name:ident, $field:ident, $doc:literal)),+ $(,)?) => {
+        impl Asm {
+            $(
+                #[doc = $doc]
+                pub fn $fn_name(&mut self, label: &str) {
+                    let op = self.o.$field;
+                    self.emit_branch(op, label);
+                }
+            )+
+        }
+    };
+}
+
+branch_emitters![
+    (ifeq, ifeq, "Branches if the popped value is zero."),
+    (ifne, ifne, "Branches if the popped value is non-zero."),
+    (iflt, iflt, "Branches if the popped value is negative."),
+    (ifge, ifge, "Branches if the popped value is non-negative."),
+    (ifgt, ifgt, "Branches if the popped value is positive."),
+    (ifle, ifle, "Branches if the popped value is non-positive."),
+    (if_icmpeq, if_icmpeq, "Branches if the two popped values are equal."),
+    (if_icmpne, if_icmpne, "Branches if the two popped values differ."),
+    (if_icmplt, if_icmplt, "Branches if second-popped < top-popped."),
+    (if_icmpge, if_icmpge, "Branches if second-popped >= top-popped."),
+    (if_icmpgt, if_icmpgt, "Branches if second-popped > top-popped."),
+    (if_icmple, if_icmple, "Branches if second-popped <= top-popped."),
+    (goto, goto_, "Unconditional branch."),
+];
+
+impl Asm {
+    /// Pushes a constant.
+    pub fn ldc(&mut self, v: i64) {
+        let op = self.o.ldc;
+        self.emit(op, v);
+    }
+
+    /// Loads local `idx` (uses the specialized `iload_0..3` forms when
+    /// possible, as javac does).
+    pub fn iload(&mut self, idx: usize) {
+        let op = match idx {
+            0 => self.o.iload_0,
+            1 => self.o.iload_1,
+            2 => self.o.iload_2,
+            3 => self.o.iload_3,
+            _ => self.o.iload,
+        };
+        self.emit(op, idx as i64);
+    }
+
+    /// Stores into local `idx`.
+    pub fn istore(&mut self, idx: usize) {
+        let op = match idx {
+            0 => self.o.istore_0,
+            1 => self.o.istore_1,
+            2 => self.o.istore_2,
+            3 => self.o.istore_3,
+            _ => self.o.istore,
+        };
+        self.emit(op, idx as i64);
+    }
+
+    /// Adds `delta` to local `idx` in place.
+    pub fn iinc(&mut self, idx: usize, delta: i32) {
+        let op = self.o.iinc;
+        self.emit(op, ((idx as i64) << 32) | i64::from(delta as u32));
+    }
+
+    /// Calls a static method `"Class.name"`.
+    pub fn invokestatic(&mut self, qualified: &str) {
+        let op = self.o.invokestatic;
+        let i = self.emit(op, 0);
+        self.method_fixups.push((i, qualified.to_owned()));
+    }
+
+    /// Calls a virtual method by name; the receiver and arguments are on
+    /// the stack (receiver deepest).
+    pub fn invokevirtual(&mut self, name: &str) {
+        let op = self.o.invokevirtual;
+        let id = self.intern(name) as i64;
+        self.emit(op, id);
+    }
+
+    /// Loads an instance field by name.
+    pub fn getfield(&mut self, name: &str) {
+        let op = self.o.getfield;
+        let id = self.intern(name) as i64;
+        self.emit(op, id);
+    }
+
+    /// Stores an instance field by name (value on top, ref below).
+    pub fn putfield(&mut self, name: &str) {
+        let op = self.o.putfield;
+        let id = self.intern(name) as i64;
+        self.emit(op, id);
+    }
+
+    fn static_slot(&mut self, qualified: &str) -> i64 {
+        let next = self.statics.len();
+        *self.statics.entry(qualified.to_owned()).or_insert(next) as i64
+    }
+
+    /// Loads a static variable `"Class.name"`.
+    pub fn getstatic(&mut self, qualified: &str) {
+        let op = self.o.getstatic;
+        let slot = self.static_slot(qualified);
+        self.emit(op, slot);
+    }
+
+    /// Stores a static variable `"Class.name"`.
+    pub fn putstatic(&mut self, qualified: &str) {
+        let op = self.o.putstatic;
+        let slot = self.static_slot(qualified);
+        self.emit(op, slot);
+    }
+
+    /// Allocates an instance of `class`.
+    pub fn new_object(&mut self, class: &str) {
+        let op = self.o.new_;
+        let id = i64::from(self.class_id(class));
+        self.emit(op, id);
+    }
+
+    /// Returns from a `void` method.
+    pub fn ret(&mut self) {
+        let op = self.o.return_;
+        self.emit(op, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial() -> JavaImage {
+        let mut a = Asm::new();
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 0);
+        a.ldc(7);
+        a.print_int();
+        a.ret();
+        a.end_method();
+        a.link()
+    }
+
+    #[test]
+    fn link_produces_boot_and_main() {
+        let image = trivial();
+        assert_eq!(image.entry, 0);
+        let main = image.find_method("Main.main").expect("main exists");
+        assert_eq!(image.program.target(0), Some(image.methods[main as usize].entry as usize));
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let mut a = Asm::new();
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 1);
+        a.ldc(3);
+        a.istore(0);
+        a.label("loop");
+        a.iinc(0, -1);
+        a.iload(0);
+        a.ifgt("loop");
+        a.ret();
+        a.end_method();
+        let image = a.link();
+        // The ifgt targets the iinc.
+        let ifgt_idx = (0..image.program.len())
+            .find(|&i| image.program.op(i) == ops().ifgt)
+            .expect("ifgt present");
+        assert!(image.program.target(ifgt_idx).is_some());
+    }
+
+    #[test]
+    fn field_layout_includes_superclass() {
+        let mut a = Asm::new();
+        a.class("A", None, &["x"]);
+        a.class("B", Some("A"), &["y"]);
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 0);
+        a.ret();
+        a.end_method();
+        let image = a.link();
+        assert_eq!(image.field_layout(1), vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(image.instance_size(1), 2);
+    }
+
+    #[test]
+    fn virtual_resolution_walks_supers() {
+        let mut a = Asm::new();
+        a.class("A", None, &[]);
+        a.class("B", Some("A"), &[]);
+        a.class("Main", None, &[]);
+        a.begin_virtual("A", "f", 0, 1);
+        a.ldc(1);
+        a.ireturn();
+        a.end_method();
+        a.begin_static("Main", "main", 0, 0);
+        a.ret();
+        a.end_method();
+        let mut a2 = a;
+        // Intern the name so resolve_virtual can find it.
+        a2.begin_static("Main", "probe", 0, 0);
+        a2.new_object("B");
+        a2.invokevirtual("f");
+        a2.pop();
+        a2.ret();
+        a2.end_method();
+        let image = a2.link();
+        let name_id = image.names.iter().position(|n| n == "f").expect("interned");
+        let m = image.resolve_virtual(1, name_id).expect("resolves via super");
+        assert_eq!(image.methods[m as usize].name, "f");
+    }
+
+    #[test]
+    #[should_panic(expected = "must define static Main.main")]
+    fn missing_main_panics() {
+        let mut a = Asm::new();
+        a.class("Main", None, &[]);
+        a.link();
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Asm::new();
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 0);
+        a.goto("nowhere");
+        a.ret();
+        a.end_method();
+        a.link();
+    }
+
+    #[test]
+    fn statics_get_distinct_slots() {
+        let mut a = Asm::new();
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 0);
+        a.ldc(1);
+        a.putstatic("Main.x");
+        a.ldc(2);
+        a.putstatic("Main.y");
+        a.getstatic("Main.x");
+        a.pop();
+        a.ret();
+        a.end_method();
+        let image = a.link();
+        assert_eq!(image.n_statics, 2);
+    }
+}
+
+/// Disassembles a linked [`JavaImage`] to a readable listing: method
+/// headers, one line per instance with mnemonic and resolved operand
+/// (constant, local, name, class or branch target), and handler ranges.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_java::Asm;
+///
+/// let mut a = Asm::new();
+/// a.class("Main", None, &[]);
+/// a.begin_static("Main", "main", 0, 0);
+/// a.ldc(7);
+/// a.print_int();
+/// a.ret();
+/// a.end_method();
+/// let listing = ivm_java::disassemble(&a.link());
+/// assert!(listing.contains("Main.main"));
+/// assert!(listing.contains("ldc 7"));
+/// ```
+pub fn disassemble(image: &JavaImage) -> String {
+    use std::fmt::Write as _;
+    let o = ops();
+    let mut out = String::new();
+    for i in 0..image.program.len() {
+        if let Some(m) = image.methods.iter().find(|m| m.entry as usize == i) {
+            let class = &image.classes[m.class as usize].name;
+            let _ = writeln!(
+                out,
+                "{}{}.{} (args {}, locals {}):",
+                if m.is_static { "static " } else { "" },
+                class,
+                m.name,
+                m.nargs,
+                m.nlocals
+            );
+        }
+        let op = image.program.op(i);
+        let name = o.spec.name(op);
+        let operand = image.operands[i];
+        let _ = write!(out, "{i:5}  {name}");
+        if op == o.ldc || op == o.iload || op == o.istore {
+            let _ = write!(out, " {operand}");
+        } else if op == o.iinc {
+            let _ = write!(out, " {} {}", operand >> 32, operand as u32 as i32);
+        } else if op == o.getfield || op == o.putfield || op == o.invokevirtual {
+            let _ = write!(out, " {}", image.names[operand as usize]);
+        } else if op == o.new_ {
+            let _ = write!(out, " {}", image.classes[operand as usize].name);
+        } else if op == o.getstatic || op == o.putstatic {
+            let _ = write!(out, " slot{operand}");
+        } else if op == o.tableswitch {
+            let t = &image.switch_tables[operand as usize];
+            let _ = write!(out, " {:?} default {}", t.targets, t.default);
+        }
+        if let Some(t) = image.program.target(i) {
+            let _ = write!(out, " -> {t}");
+        }
+        let _ = writeln!(out);
+    }
+    for h in &image.handlers {
+        let _ = writeln!(out, "handler: [{}, {}) -> {}", h.from, h.to, h.handler);
+    }
+    out
+}
+
+#[cfg(test)]
+mod disassemble_tests {
+    use super::*;
+
+    #[test]
+    fn listing_shows_methods_operands_and_handlers() {
+        let mut a = Asm::new();
+        a.class("Exn", None, &[]);
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 2);
+        a.label("try");
+        a.ldc(3);
+        a.istore(1);
+        a.iinc(1, -2);
+        a.new_object("Exn");
+        a.athrow();
+        a.label("end");
+        a.ret();
+        a.label("catch");
+        a.pop();
+        a.ret();
+        a.protect("try", "end", "catch");
+        a.end_method();
+        let image = a.link();
+        let text = disassemble(&image);
+        assert!(text.contains("static Main.main"));
+        assert!(text.contains("ldc 3"));
+        assert!(text.contains("iinc 1 -2"));
+        assert!(text.contains("new Exn"));
+        assert!(text.contains("handler: ["));
+    }
+}

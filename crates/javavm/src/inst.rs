@@ -1,0 +1,321 @@
+//! The mini-JVM instruction set and its native-code model.
+//!
+//! Shapes follow the paper's characterization of its CVM-based interpreter
+//! (§7.2.2): JVM instructions are more complex than Forth's, there is no
+//! top-of-stack register caching, and a handful of instructions (`getfield`,
+//! `putfield`, `invokevirtual`, `new`, statics) are *quickable*: their first
+//! execution resolves symbolic information and rewrites the site into a
+//! quick variant (§5.4). `getfield`/`putfield` have two quick variants of
+//! different code sizes (word and byte accesses), exercising the paper's
+//! variable-length patch gaps.
+
+use std::sync::OnceLock;
+
+use ivm_core::{InstKind, NativeSpec, OpId, VmSpec};
+
+/// Opcode ids of every mini-JVM instruction.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct JavaOps {
+    // Constants and locals.
+    pub ldc: OpId,
+    pub iload: OpId,
+    pub iload_0: OpId,
+    pub iload_1: OpId,
+    pub iload_2: OpId,
+    pub iload_3: OpId,
+    pub istore: OpId,
+    pub istore_0: OpId,
+    pub istore_1: OpId,
+    pub istore_2: OpId,
+    pub istore_3: OpId,
+    pub iinc: OpId,
+    // Operand stack.
+    pub pop: OpId,
+    pub dup: OpId,
+    pub dup_x1: OpId,
+    pub swap: OpId,
+    // Arithmetic.
+    pub iadd: OpId,
+    pub isub: OpId,
+    pub imul: OpId,
+    pub idiv: OpId,
+    pub irem: OpId,
+    pub ineg: OpId,
+    pub ishl: OpId,
+    pub ishr: OpId,
+    pub iand: OpId,
+    pub ior: OpId,
+    pub ixor: OpId,
+    // Branches.
+    pub ifeq: OpId,
+    pub ifne: OpId,
+    pub iflt: OpId,
+    pub ifge: OpId,
+    pub ifgt: OpId,
+    pub ifle: OpId,
+    pub if_icmpeq: OpId,
+    pub if_icmpne: OpId,
+    pub if_icmplt: OpId,
+    pub if_icmpge: OpId,
+    pub if_icmpgt: OpId,
+    pub if_icmple: OpId,
+    pub goto_: OpId,
+    // Calls and returns.
+    pub invokestatic: OpId,
+    pub ireturn: OpId,
+    pub return_: OpId,
+    pub halt: OpId,
+    // Arrays.
+    pub newarray: OpId,
+    pub iaload: OpId,
+    pub iastore: OpId,
+    pub arraylength: OpId,
+    // Runtime services.
+    pub print_int: OpId,
+    /// Throws the exception object on top of the stack (paper §5.3: made
+    /// relocatable by replacing the relative branch to the throw helper
+    /// with an indirect branch).
+    pub athrow: OpId,
+    /// Multi-way branch through a jump table — the bytecode that motivates
+    /// Kaeli & Emma's case block table (paper §8). Its dispatch branch is
+    /// inherently polymorphic, like a VM return.
+    pub tableswitch: OpId,
+    // Quick variants (defined before their quickable originals).
+    pub getfield_quick_w: OpId,
+    pub getfield_quick_b: OpId,
+    pub putfield_quick_w: OpId,
+    pub putfield_quick_b: OpId,
+    pub getstatic_quick: OpId,
+    pub putstatic_quick: OpId,
+    pub invokevirtual_quick: OpId,
+    pub new_quick: OpId,
+    // Quickable originals.
+    pub getfield: OpId,
+    pub putfield: OpId,
+    pub getstatic: OpId,
+    pub putstatic: OpId,
+    pub invokevirtual: OpId,
+    pub new_: OpId,
+    /// The instruction-set description shared with `ivm-core`.
+    pub spec: VmSpec,
+}
+
+fn build() -> JavaOps {
+    let mut b = VmSpec::builder("java");
+    // No TOS register caching (paper §7.2.2), so even simple instructions
+    // touch memory: slightly heavier than the Forth equivalents.
+    let ldc = b.inst("ldc", NativeSpec::new(6, 18, InstKind::Plain));
+    let iload = b.inst("iload", NativeSpec::new(7, 20, InstKind::Plain));
+    let iload_0 = b.inst("iload_0", NativeSpec::new(6, 16, InstKind::Plain));
+    let iload_1 = b.inst("iload_1", NativeSpec::new(6, 16, InstKind::Plain));
+    let iload_2 = b.inst("iload_2", NativeSpec::new(6, 16, InstKind::Plain));
+    let iload_3 = b.inst("iload_3", NativeSpec::new(6, 16, InstKind::Plain));
+    let istore = b.inst("istore", NativeSpec::new(7, 20, InstKind::Plain));
+    let istore_0 = b.inst("istore_0", NativeSpec::new(6, 16, InstKind::Plain));
+    let istore_1 = b.inst("istore_1", NativeSpec::new(6, 16, InstKind::Plain));
+    let istore_2 = b.inst("istore_2", NativeSpec::new(6, 16, InstKind::Plain));
+    let istore_3 = b.inst("istore_3", NativeSpec::new(6, 16, InstKind::Plain));
+    let iinc = b.inst("iinc", NativeSpec::new(8, 24, InstKind::Plain));
+    let pop = b.inst("pop", NativeSpec::new(3, 8, InstKind::Plain));
+    let dup = b.inst("dup", NativeSpec::new(5, 14, InstKind::Plain));
+    let dup_x1 = b.inst("dup_x1", NativeSpec::new(8, 22, InstKind::Plain));
+    let swap = b.inst("swap", NativeSpec::new(7, 18, InstKind::Plain));
+    let iadd = b.inst("iadd", NativeSpec::new(6, 16, InstKind::Plain));
+    let isub = b.inst("isub", NativeSpec::new(6, 16, InstKind::Plain));
+    let imul = b.inst("imul", NativeSpec::new(7, 18, InstKind::Plain));
+    let idiv = b.inst("idiv", NativeSpec::new(14, 30, InstKind::Plain));
+    let irem = b.inst("irem", NativeSpec::new(14, 30, InstKind::Plain));
+    let ineg = b.inst("ineg", NativeSpec::new(5, 12, InstKind::Plain));
+    let ishl = b.inst("ishl", NativeSpec::new(7, 16, InstKind::Plain));
+    let ishr = b.inst("ishr", NativeSpec::new(7, 16, InstKind::Plain));
+    let iand = b.inst("iand", NativeSpec::new(6, 16, InstKind::Plain));
+    let ior = b.inst("ior", NativeSpec::new(6, 16, InstKind::Plain));
+    let ixor = b.inst("ixor", NativeSpec::new(6, 16, InstKind::Plain));
+    let ifeq = b.inst("ifeq", NativeSpec::new(8, 24, InstKind::CondBranch));
+    let ifne = b.inst("ifne", NativeSpec::new(8, 24, InstKind::CondBranch));
+    let iflt = b.inst("iflt", NativeSpec::new(8, 24, InstKind::CondBranch));
+    let ifge = b.inst("ifge", NativeSpec::new(8, 24, InstKind::CondBranch));
+    let ifgt = b.inst("ifgt", NativeSpec::new(8, 24, InstKind::CondBranch));
+    let ifle = b.inst("ifle", NativeSpec::new(8, 24, InstKind::CondBranch));
+    let if_icmpeq = b.inst("if_icmpeq", NativeSpec::new(9, 26, InstKind::CondBranch));
+    let if_icmpne = b.inst("if_icmpne", NativeSpec::new(9, 26, InstKind::CondBranch));
+    let if_icmplt = b.inst("if_icmplt", NativeSpec::new(9, 26, InstKind::CondBranch));
+    let if_icmpge = b.inst("if_icmpge", NativeSpec::new(9, 26, InstKind::CondBranch));
+    let if_icmpgt = b.inst("if_icmpgt", NativeSpec::new(9, 26, InstKind::CondBranch));
+    let if_icmple = b.inst("if_icmple", NativeSpec::new(9, 26, InstKind::CondBranch));
+    let goto_ = b.inst("goto", NativeSpec::new(4, 12, InstKind::Jump));
+    let invokestatic = b.inst("invokestatic", NativeSpec::new(34, 70, InstKind::Call));
+    let ireturn = b.inst("ireturn", NativeSpec::new(22, 48, InstKind::Return));
+    let return_ = b.inst("return", NativeSpec::new(20, 44, InstKind::Return));
+    let halt = b.inst("(halt)", NativeSpec::new(1, 4, InstKind::Return));
+    // Array allocation calls the runtime through a function pointer, which
+    // keeps it relocatable (paper §5.3); the work includes amortized GC.
+    let newarray = b.inst("newarray", NativeSpec::new(180, 160, InstKind::Plain));
+    let iaload = b.inst("iaload", NativeSpec::new(11, 28, InstKind::Plain));
+    let iastore = b.inst("iastore", NativeSpec::new(12, 30, InstKind::Plain));
+    let arraylength = b.inst("arraylength", NativeSpec::new(7, 16, InstKind::Plain));
+    let print_int = b.inst(
+        "print_int",
+        NativeSpec::new(260, 220, InstKind::Plain).non_relocatable(),
+    );
+    // athrow's unwinding work runs in the runtime; the routine itself is
+    // kept relocatable via an indirect branch to the throw code (§5.3).
+    let athrow = b.inst("athrow", NativeSpec::new(90, 120, InstKind::Return));
+    // tableswitch: bounds check + table load + indirect jump; the targets
+    // are dynamic per execution, so it is modeled like a return (no static
+    // target, never falls through).
+    let tableswitch = b.inst("tableswitch", NativeSpec::new(9, 26, InstKind::Return));
+    // Quick variants first (so the quickable originals can reference them).
+    let getfield_quick_w = b.inst("getfield_quick_w", NativeSpec::new(10, 26, InstKind::Plain));
+    let getfield_quick_b = b.inst("getfield_quick_b", NativeSpec::new(12, 32, InstKind::Plain));
+    let putfield_quick_w = b.inst("putfield_quick_w", NativeSpec::new(11, 28, InstKind::Plain));
+    let putfield_quick_b = b.inst("putfield_quick_b", NativeSpec::new(13, 34, InstKind::Plain));
+    let getstatic_quick = b.inst("getstatic_quick", NativeSpec::new(8, 20, InstKind::Plain));
+    let putstatic_quick = b.inst("putstatic_quick", NativeSpec::new(9, 22, InstKind::Plain));
+    let invokevirtual_quick =
+        b.inst("invokevirtual_quick", NativeSpec::new(48, 90, InstKind::Call));
+    let new_quick = b.inst("new_quick", NativeSpec::new(220, 180, InstKind::Plain));
+    // Quickable originals: heavy resolution work, executed once per site,
+    // never copied (treated as non-relocatable, paper §5.4).
+    let q = |i, by| NativeSpec::new(i, by, InstKind::Plain).non_relocatable();
+    let getfield = b.quickable("getfield", q(200, 300), vec![getfield_quick_w, getfield_quick_b]);
+    let putfield = b.quickable("putfield", q(200, 300), vec![putfield_quick_w, putfield_quick_b]);
+    let getstatic = b.quickable("getstatic", q(150, 240), vec![getstatic_quick]);
+    let putstatic = b.quickable("putstatic", q(150, 240), vec![putstatic_quick]);
+    let invokevirtual = b.quickable("invokevirtual", q(260, 380), vec![invokevirtual_quick]);
+    let new_ = b.quickable("new", q(300, 420), vec![new_quick]);
+
+    JavaOps {
+        ldc,
+        iload,
+        iload_0,
+        iload_1,
+        iload_2,
+        iload_3,
+        istore,
+        istore_0,
+        istore_1,
+        istore_2,
+        istore_3,
+        iinc,
+        pop,
+        dup,
+        dup_x1,
+        swap,
+        iadd,
+        isub,
+        imul,
+        idiv,
+        irem,
+        ineg,
+        ishl,
+        ishr,
+        iand,
+        ior,
+        ixor,
+        ifeq,
+        ifne,
+        iflt,
+        ifge,
+        ifgt,
+        ifle,
+        if_icmpeq,
+        if_icmpne,
+        if_icmplt,
+        if_icmpge,
+        if_icmpgt,
+        if_icmple,
+        goto_,
+        invokestatic,
+        ireturn,
+        return_,
+        halt,
+        newarray,
+        iaload,
+        iastore,
+        arraylength,
+        print_int,
+        athrow,
+        tableswitch,
+        getfield_quick_w,
+        getfield_quick_b,
+        putfield_quick_w,
+        putfield_quick_b,
+        getstatic_quick,
+        putstatic_quick,
+        invokevirtual_quick,
+        new_quick,
+        getfield,
+        putfield,
+        getstatic,
+        putstatic,
+        invokevirtual,
+        new_,
+        spec: b.build(),
+    }
+}
+
+/// The process-wide mini-JVM instruction set.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_java::ops;
+///
+/// let o = ops();
+/// assert_eq!(o.spec.name(o.iadd), "iadd");
+/// assert_eq!(o.spec.def(o.getfield).quick_variants.len(), 2);
+/// ```
+pub fn ops() -> &'static JavaOps {
+    static OPS: OnceLock<JavaOps> = OnceLock::new();
+    OPS.get_or_init(build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_shape() {
+        let o = ops();
+        assert!(o.spec.len() > 60);
+        assert_eq!(o.spec.vm_name(), "java");
+    }
+
+    #[test]
+    fn quickables_declare_variants() {
+        let o = ops();
+        assert_eq!(o.spec.native(o.getfield).kind, InstKind::Quickable);
+        assert_eq!(
+            o.spec.def(o.getfield).quick_variants,
+            vec![o.getfield_quick_w, o.getfield_quick_b]
+        );
+        assert_eq!(o.spec.def(o.new_).quick_variants, vec![o.new_quick]);
+        // Gap sizing uses the largest variant (the byte form).
+        assert_eq!(
+            o.spec.max_quick_bytes(o.getfield),
+            o.spec.native(o.getfield_quick_b).work_bytes
+        );
+    }
+
+    #[test]
+    fn virtual_calls_are_calls() {
+        let o = ops();
+        assert_eq!(o.spec.native(o.invokevirtual_quick).kind, InstKind::Call);
+        assert_eq!(o.spec.native(o.invokestatic).kind, InstKind::Call);
+        assert_eq!(o.spec.native(o.ireturn).kind, InstKind::Return);
+    }
+
+    #[test]
+    fn jvm_ops_are_heavier_than_forth() {
+        // Paper §7.2.2: the JVM's dispatch-to-work ratio is much lower.
+        let j = ops();
+        let f = ivm_forth_like_add();
+        assert!(j.spec.native(j.iadd).work_instrs >= f);
+    }
+
+    fn ivm_forth_like_add() -> u32 {
+        2 // Forth `+` with TOS caching is ~2 instructions
+    }
+}

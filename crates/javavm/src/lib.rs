@@ -1,0 +1,58 @@
+//! A mini Java virtual machine in the mold of the paper's CVM-based
+//! interpreter, built for interpreter dispatch experiments.
+//!
+//! The crate provides:
+//!
+//! * the mini-JVM instruction set with quickable instructions ([`ops`]),
+//! * a bytecode assembler with classes, virtual methods, fields, arrays and
+//!   statics ([`Asm`]),
+//! * the interpreter itself ([`run`]), which performs run-time quickening
+//!   (paper §5.4) and reports everything to an [`ivm_core::VmEvents`] sink,
+//! * the SPECjvm98-analog benchmark suite ([`programs`]),
+//! * and a measurement harness ([`measure`], [`profile`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ivm_cache::CpuSpec;
+//! use ivm_core::Technique;
+//! use ivm_java::Asm;
+//!
+//! let mut a = Asm::new();
+//! a.class("Main", None, &[]);
+//! a.begin_static("Main", "main", 0, 1);
+//! a.ldc(0);
+//! a.istore(0);
+//! a.label("head");
+//! a.iinc(0, 7);
+//! a.iload(0);
+//! a.ldc(700);
+//! a.if_icmplt("head");
+//! a.iload(0);
+//! a.print_int();
+//! a.ret();
+//! a.end_method();
+//! let image = a.link();
+//!
+//! let prof = ivm_java::profile(&image)?;
+//! let cpu = CpuSpec::pentium4_northwood();
+//! let (plain, out) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(&prof))?;
+//! assert_eq!(out.text, "700\n");
+//! let (across, _) = ivm_java::measure(&image, Technique::AcrossBb, &cpu, Some(&prof))?;
+//! assert!(across.cycles < plain.cycles);
+//! # Ok::<(), ivm_java::JavaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod inst;
+mod measure;
+pub mod programs;
+mod vm;
+
+pub use asm::{disassemble, Asm, ClassDef, ClassId, HandlerRange, JavaImage, MethodDef, MethodId, SwitchTable};
+pub use inst::{ops, JavaOps};
+pub use measure::{measure, measure_trace, measure_with, profile, record, DEFAULT_FUEL};
+pub use vm::{run, JavaError, JavaOutput};

@@ -1,0 +1,203 @@
+//! Measurement harness for the mini-JVM, mirroring `ivm_forth`'s.
+
+use ivm_cache::CpuSpec;
+use ivm_core::{
+    translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult,
+    Runner, SuperSelection, Technique,
+};
+
+use crate::asm::JavaImage;
+use crate::inst::ops;
+use crate::vm::{run, JavaError, JavaOutput};
+
+/// Default fuel for benchmark runs (VM instructions).
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Collects a training profile by running `image` once.
+///
+/// The collector tracks quickening, so the profile is expressed in terms of
+/// quick opcodes — what static selection needs (paper §5.4).
+///
+/// # Errors
+///
+/// Propagates any [`JavaError`] from the training run.
+pub fn profile(image: &JavaImage) -> Result<Profile, JavaError> {
+    let mut collector = ProfileCollector::new(&image.program);
+    run(image, &mut collector, DEFAULT_FUEL)?;
+    Ok(collector.into_profile())
+}
+
+/// Runs `image` under `technique` on `cpu`.
+///
+/// JVM superinstruction selection uses the paper's JVM policy (§7.1):
+/// favour statically frequent *short* sequences.
+///
+/// # Errors
+///
+/// Propagates any [`JavaError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure(
+    image: &JavaImage,
+    technique: Technique,
+    cpu: &CpuSpec,
+    training: Option<&Profile>,
+) -> Result<(RunResult, JavaOutput), JavaError> {
+    measure_with(image, technique, Engine::for_cpu(cpu), training)
+}
+
+/// Like [`measure`], but with a caller-supplied [`Engine`] — for
+/// experiments that vary the predictor or fetch path independently of the
+/// CPU presets.
+///
+/// # Errors
+///
+/// Propagates any [`JavaError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_with(
+    image: &JavaImage,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+) -> Result<(RunResult, JavaOutput), JavaError> {
+    let o = ops();
+    let translation =
+        translate(&o.spec, &image.program, technique, training, SuperSelection::jvm());
+    let runner = Runner::new(engine);
+    let mut measurement = Measurement::new(translation, runner);
+    let output = run(image, &mut measurement, DEFAULT_FUEL)?;
+    Ok((measurement.finish(), output))
+}
+
+/// Records one run of `image` as an [`ExecutionTrace`] (plus its output),
+/// for replaying against many translations with [`measure_trace`].
+///
+/// # Errors
+///
+/// Propagates any [`JavaError`] from the recording run.
+pub fn record(image: &JavaImage) -> Result<(ExecutionTrace, JavaOutput), JavaError> {
+    let mut trace = ExecutionTrace::new();
+    let output = run(image, &mut trace, DEFAULT_FUEL)?;
+    Ok((trace, output))
+}
+
+/// Replays a recorded trace of `image` under `technique` on `cpu`.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_trace(
+    image: &JavaImage,
+    trace: &ExecutionTrace,
+    technique: Technique,
+    cpu: &CpuSpec,
+    training: Option<&Profile>,
+) -> RunResult {
+    let o = ops();
+    let translation =
+        translate(&o.spec, &image.program, technique, training, SuperSelection::jvm());
+    let mut measurement = Measurement::new(translation, Runner::new(Engine::for_cpu(cpu)));
+    trace.replay(&mut measurement);
+    measurement.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn fib_image() -> JavaImage {
+        let mut a = Asm::new();
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "fib", 1, 1);
+        a.iload(0);
+        a.ldc(2);
+        a.if_icmpge("rec");
+        a.iload(0);
+        a.ireturn();
+        a.label("rec");
+        a.iload(0);
+        a.ldc(1);
+        a.isub();
+        a.invokestatic("Main.fib");
+        a.iload(0);
+        a.ldc(2);
+        a.isub();
+        a.invokestatic("Main.fib");
+        a.iadd();
+        a.ireturn();
+        a.end_method();
+        a.begin_static("Main", "main", 0, 0);
+        a.ldc(15);
+        a.invokestatic("Main.fib");
+        a.print_int();
+        a.ret();
+        a.end_method();
+        a.link()
+    }
+
+    #[test]
+    fn trace_replay_matches_direct_measurement_with_quickening() {
+        let image = fib_image();
+        let prof = profile(&image).unwrap();
+        let (trace, out) = record(&image).unwrap();
+        assert_eq!(out.text, "610\n");
+        let cpu = CpuSpec::pentium4_northwood();
+        for tech in Technique::jvm_suite() {
+            let (direct, _) = measure(&image, tech, &cpu, Some(&prof)).unwrap();
+            let replayed = measure_trace(&image, &trace, tech, &cpu, Some(&prof));
+            assert_eq!(direct.counters, replayed.counters, "{tech}");
+        }
+    }
+
+    #[test]
+    fn outputs_identical_across_jvm_suite() {
+        let image = fib_image();
+        let prof = profile(&image).unwrap();
+        let mut texts = Vec::new();
+        for tech in Technique::jvm_suite() {
+            let (_, out) = measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
+                .unwrap_or_else(|e| panic!("{tech}: {e}"));
+            texts.push(out.text);
+        }
+        assert!(texts.iter().all(|t| t == "610\n"), "{texts:?}");
+    }
+
+    #[test]
+    fn quickening_works_under_measurement() {
+        let mut a = Asm::new();
+        a.class("Box", None, &["v"]);
+        a.class("Main", None, &[]);
+        a.begin_static("Main", "main", 0, 2);
+        a.new_object("Box");
+        a.istore(0);
+        a.ldc(0);
+        a.istore(1);
+        a.label("head");
+        a.iload(0);
+        a.ldc(1);
+        a.putfield("v");
+        a.iload(0);
+        a.getfield("v");
+        a.pop();
+        a.iinc(1, 1);
+        a.iload(1);
+        a.ldc(50);
+        a.if_icmplt("head");
+        a.ret();
+        a.end_method();
+        let image = a.link();
+        let prof = profile(&image).unwrap();
+        for tech in Technique::jvm_suite() {
+            let (r, out) = measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
+                .unwrap_or_else(|e| panic!("{tech}: {e}"));
+            assert_eq!(out.quickenings, 3, "{tech}");
+            assert!(r.counters.instructions > 0);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! `_201_compress` analog: LZW compression over a synthetic buffer.
+//!
+//! The hot loop hashes `(prefix, symbol)` pairs into an open-addressing
+//! dictionary — long basic blocks of array and arithmetic bytecode, very
+//! little object work, matching the original's profile.
+
+use crate::asm::{Asm, JavaImage};
+
+const INPUT_LEN: i64 = 6_000;
+const HASH_SIZE: i64 = 4096;
+
+/// Builds the benchmark image.
+pub fn build() -> JavaImage {
+    let mut a = Asm::new();
+    a.class("Main", None, &[]);
+
+    // static int seed; static int next() { ... LCG ... }
+    a.begin_static("Main", "next", 0, 1);
+    a.getstatic("Main.seed");
+    a.ldc(1103515245);
+    a.imul();
+    a.ldc(12345);
+    a.iadd();
+    a.ldc(0x7fffffff);
+    a.iand();
+    a.dup();
+    a.putstatic("Main.seed");
+    a.ireturn();
+    a.end_method();
+
+    // static int[] gen(int n): input buffer of 6-bit symbols with runs
+    // (runs make LZW actually find matches).
+    a.begin_static("Main", "gen", 1, 5);
+    // locals: 0 n, 1 buf, 2 i, 3 sym, 4 runlen
+    a.iload(0);
+    a.newarray();
+    a.istore(1);
+    a.ldc(0);
+    a.istore(2);
+    a.label("outer");
+    a.iload(2);
+    a.iload(0);
+    a.if_icmpge("done");
+    a.invokestatic("Main.next");
+    a.ldc(64);
+    a.irem();
+    a.istore(3);
+    a.invokestatic("Main.next");
+    a.ldc(6);
+    a.irem();
+    a.ldc(1);
+    a.iadd();
+    a.istore(4);
+    a.label("run");
+    a.iload(2);
+    a.iload(0);
+    a.if_icmpge("done");
+    a.iload(4);
+    a.ifle("outer");
+    a.iload(1);
+    a.iload(2);
+    a.iload(3);
+    a.iastore();
+    a.iinc(2, 1);
+    a.iinc(4, -1);
+    a.goto("run");
+    a.label("done");
+    a.iload(1);
+    a.ireturn();
+    a.end_method();
+
+    // static int compress(int[] input): returns packed (checksum<<8)^codes
+    a.begin_static("Main", "compress", 1, 12);
+    // locals: 0 input, 1 hkey, 2 hval, 3 ncodes, 4 outcount, 5 checksum,
+    //         6 prefix, 7 i, 8 ch, 9 key, 10 h, 11 n
+    a.ldc(HASH_SIZE);
+    a.newarray();
+    a.istore(1);
+    a.ldc(HASH_SIZE);
+    a.newarray();
+    a.istore(2);
+    a.ldc(64);
+    a.istore(3);
+    a.ldc(0);
+    a.istore(4);
+    a.ldc(0);
+    a.istore(5);
+    a.iload(0);
+    a.arraylength();
+    a.istore(11);
+    a.iload(0);
+    a.ldc(0);
+    a.iaload();
+    a.istore(6);
+    a.ldc(1);
+    a.istore(7);
+
+    a.label("loop");
+    a.iload(7);
+    a.iload(11);
+    a.if_icmpge("flush");
+    // ch = input[i]
+    a.iload(0);
+    a.iload(7);
+    a.iaload();
+    a.istore(8);
+    // key = prefix*64 + ch + 1
+    a.iload(6);
+    a.ldc(64);
+    a.imul();
+    a.iload(8);
+    a.iadd();
+    a.ldc(1);
+    a.iadd();
+    a.istore(9);
+    // h = (key * 31) & (HASH_SIZE-1)
+    a.iload(9);
+    a.ldc(31);
+    a.imul();
+    a.ldc(HASH_SIZE - 1);
+    a.iand();
+    a.istore(10);
+    // probe
+    a.label("probe");
+    a.iload(1);
+    a.iload(10);
+    a.iaload();
+    a.ifeq("miss"); // empty slot
+    a.iload(1);
+    a.iload(10);
+    a.iaload();
+    a.iload(9);
+    a.if_icmpeq("hit");
+    a.iload(10);
+    a.ldc(1);
+    a.iadd();
+    a.ldc(HASH_SIZE - 1);
+    a.iand();
+    a.istore(10);
+    a.goto("probe");
+
+    a.label("hit");
+    // prefix = hval[h]
+    a.iload(2);
+    a.iload(10);
+    a.iaload();
+    a.istore(6);
+    a.goto("next");
+
+    a.label("miss");
+    // emit prefix
+    a.iload(5);
+    a.iload(6);
+    a.iadd();
+    a.ldc(0xffff);
+    a.iand();
+    a.istore(5);
+    a.iinc(4, 1);
+    // insert if room
+    a.iload(3);
+    a.ldc(HASH_SIZE);
+    a.if_icmpge("noinsert");
+    a.iload(1);
+    a.iload(10);
+    a.iload(9);
+    a.iastore();
+    a.iload(2);
+    a.iload(10);
+    a.iload(3);
+    a.iastore();
+    a.iinc(3, 1);
+    a.label("noinsert");
+    a.iload(8);
+    a.istore(6);
+
+    a.label("next");
+    a.iinc(7, 1);
+    a.goto("loop");
+
+    a.label("flush");
+    a.iload(5);
+    a.iload(6);
+    a.iadd();
+    a.ldc(0xffff);
+    a.iand();
+    a.ldc(8);
+    a.ishl();
+    a.iload(4);
+    a.ixor();
+    a.ireturn();
+    a.end_method();
+
+    // main: generate, compress twice (the original compresses files
+    // repeatedly), print.
+    a.begin_static("Main", "main", 0, 2);
+    a.ldc(20_000_601);
+    a.putstatic("Main.seed");
+    a.ldc(INPUT_LEN);
+    a.invokestatic("Main.gen");
+    a.istore(0);
+    a.ldc(0);
+    a.istore(1);
+    a.iload(0);
+    a.invokestatic("Main.compress");
+    a.iload(1);
+    a.iadd();
+    a.istore(1);
+    a.iload(0);
+    a.invokestatic("Main.compress");
+    a.ldc(3);
+    a.imul();
+    a.iload(1);
+    a.iadd();
+    a.istore(1);
+    a.iload(1);
+    a.print_int();
+    a.ret();
+    a.end_method();
+
+    a.link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn deterministic_output() {
+        let a = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        let b = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        assert_eq!(a.text, b.text);
+        assert!(a.steps > 100_000, "compress should be array-loop heavy: {}", a.steps);
+    }
+}

@@ -1,0 +1,249 @@
+//! `_209_db` analog: an in-memory database of record objects.
+//!
+//! Inserts records, shell-sorts them through a virtual comparator, and runs
+//! probe queries — `getfield`/`invokevirtual` pressure, the object-heavy
+//! end of the suite.
+
+use crate::asm::{Asm, JavaImage};
+
+const RECORDS: i64 = 160;
+const QUERIES: i64 = 400;
+
+/// Builds the benchmark image.
+pub fn build() -> JavaImage {
+    let mut a = Asm::new();
+    a.class("Record", None, &["id", "payment", "extra"]);
+    a.class("Main", None, &[]);
+
+    a.begin_static("Main", "next", 0, 1);
+    a.getstatic("Main.seed");
+    a.ldc(1103515245);
+    a.imul();
+    a.ldc(12345);
+    a.iadd();
+    a.ldc(0x7fffffff);
+    a.iand();
+    a.dup();
+    a.putstatic("Main.seed");
+    a.ireturn();
+    a.end_method();
+
+    // Record.compareTo(other): this.payment - other.payment
+    a.begin_virtual("Record", "compareTo", 1, 2);
+    a.iload(0);
+    a.getfield("payment");
+    a.iload(1);
+    a.getfield("payment");
+    a.isub();
+    a.ireturn();
+    a.end_method();
+
+    // Record.key(): id
+    a.begin_virtual("Record", "key", 0, 1);
+    a.iload(0);
+    a.getfield("id");
+    a.ireturn();
+    a.end_method();
+
+    // static int[] build(int n): array of record refs
+    a.begin_static("Main", "build", 1, 4);
+    // locals: 0 n, 1 arr, 2 i, 3 rec
+    a.iload(0);
+    a.newarray();
+    a.istore(1);
+    a.ldc(0);
+    a.istore(2);
+    a.label("fill");
+    a.iload(2);
+    a.iload(0);
+    a.if_icmpge("filled");
+    a.new_object("Record");
+    a.istore(3);
+    a.iload(3);
+    a.iload(2);
+    a.putfield("id");
+    a.iload(3);
+    a.invokestatic("Main.next");
+    a.ldc(10_000);
+    a.irem();
+    a.putfield("payment");
+    a.iload(3);
+    a.invokestatic("Main.next");
+    a.ldc(97);
+    a.irem();
+    a.putfield("extra");
+    a.iload(1);
+    a.iload(2);
+    a.iload(3);
+    a.iastore();
+    a.iinc(2, 1);
+    a.goto("fill");
+    a.label("filled");
+    a.iload(1);
+    a.ireturn();
+    a.end_method();
+
+    // static void sort(int[] arr): shell sort by compareTo
+    a.begin_static("Main", "sort", 1, 6);
+    // locals: 0 arr, 1 gap, 2 i, 3 j, 4 tmp, 5 n
+    a.iload(0);
+    a.arraylength();
+    a.istore(5);
+    a.iload(5);
+    a.ldc(2);
+    a.idiv();
+    a.istore(1);
+    a.label("gaploop");
+    a.iload(1);
+    a.ifle("sorted");
+    a.iload(1);
+    a.istore(2);
+    a.label("iloop");
+    a.iload(2);
+    a.iload(5);
+    a.if_icmpge("nextgap");
+    a.iload(0);
+    a.iload(2);
+    a.iaload();
+    a.istore(4); // tmp = arr[i]
+    a.iload(2);
+    a.istore(3); // j = i
+    a.label("jloop");
+    a.iload(3);
+    a.iload(1);
+    a.if_icmplt("insert");
+    // while j >= gap && arr[j-gap].compareTo(tmp) > 0
+    a.iload(0);
+    a.iload(3);
+    a.iload(1);
+    a.isub();
+    a.iaload();
+    a.iload(4);
+    a.invokevirtual("compareTo");
+    a.ifle("insert");
+    // arr[j] = arr[j-gap]
+    a.iload(0);
+    a.iload(3);
+    a.iload(0);
+    a.iload(3);
+    a.iload(1);
+    a.isub();
+    a.iaload();
+    a.iastore();
+    a.iload(3);
+    a.iload(1);
+    a.isub();
+    a.istore(3);
+    a.goto("jloop");
+    a.label("insert");
+    a.iload(0);
+    a.iload(3);
+    a.iload(4);
+    a.iastore();
+    a.iinc(2, 1);
+    a.goto("iloop");
+    a.label("nextgap");
+    a.iload(1);
+    a.ldc(2);
+    a.idiv();
+    a.istore(1);
+    a.goto("gaploop");
+    a.label("sorted");
+    a.ret();
+    a.end_method();
+
+    // static int probe(int[] arr, int q): linear scan summing matching
+    // extras (the original db does repeated scans too).
+    a.begin_static("Main", "probe", 2, 5);
+    // locals: 0 arr, 1 q, 2 i, 3 sum, 4 n
+    a.ldc(0);
+    a.istore(3);
+    a.ldc(0);
+    a.istore(2);
+    a.iload(0);
+    a.arraylength();
+    a.istore(4);
+    a.label("scan");
+    a.iload(2);
+    a.iload(4);
+    a.if_icmpge("done");
+    a.iload(0);
+    a.iload(2);
+    a.iaload();
+    a.getfield("extra");
+    a.iload(1);
+    a.if_icmpne("skip");
+    a.iload(0);
+    a.iload(2);
+    a.iaload();
+    a.invokevirtual("key");
+    a.iload(3);
+    a.iadd();
+    a.ldc(0xffff);
+    a.iand();
+    a.istore(3);
+    a.label("skip");
+    a.iinc(2, 1);
+    a.goto("scan");
+    a.label("done");
+    a.iload(3);
+    a.ireturn();
+    a.end_method();
+
+    // main
+    a.begin_static("Main", "main", 0, 4);
+    // locals: 0 arr, 1 checksum, 2 q, 3 first
+    a.ldc(77_001);
+    a.putstatic("Main.seed");
+    a.ldc(RECORDS);
+    a.invokestatic("Main.build");
+    a.istore(0);
+    a.iload(0);
+    a.invokestatic("Main.sort");
+    a.ldc(0);
+    a.istore(1);
+    a.ldc(0);
+    a.istore(2);
+    a.label("qloop");
+    a.iload(2);
+    a.ldc(QUERIES);
+    a.if_icmpge("report");
+    a.iload(0);
+    a.iload(2);
+    a.ldc(97);
+    a.irem();
+    a.invokestatic("Main.probe");
+    a.iload(1);
+    a.ixor();
+    a.istore(1);
+    a.iinc(2, 1);
+    a.goto("qloop");
+    a.label("report");
+    // checksum + payment of the first (smallest) record
+    a.iload(0);
+    a.ldc(0);
+    a.iaload();
+    a.getfield("payment");
+    a.iload(1);
+    a.iadd();
+    a.print_int();
+    a.ret();
+    a.end_method();
+
+    a.link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn sorts_and_probes() {
+        let out = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        assert!(!out.text.is_empty());
+        assert!(out.allocations > 100, "allocates record objects");
+        assert!(out.quickenings >= 8, "field and virtual sites quicken");
+    }
+}

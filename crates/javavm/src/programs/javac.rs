@@ -1,0 +1,301 @@
+//! `_213_javac` analog: the compiler loop.
+//!
+//! Tokenizes synthetic sources, runs a shunting-yard precedence parser into
+//! RPN, constant-folds the result, and evaluates it to verify — compiler
+//! front-end control flow with moderate block lengths.
+
+use crate::asm::{Asm, JavaImage};
+
+const SRC_LEN: i64 = 256;
+const COMPILATIONS: i64 = 60;
+
+/// Token encoding: 0 end, 1 literal (value in val[]), 2 `+`, 3 `*`, 4 `-`.
+/// Builds the benchmark image.
+pub fn build() -> JavaImage {
+    let mut a = Asm::new();
+    a.class("Main", None, &[]);
+
+    a.begin_static("Main", "next", 0, 1);
+    a.getstatic("Main.seed");
+    a.ldc(1103515245);
+    a.imul();
+    a.ldc(12345);
+    a.iadd();
+    a.ldc(0x7fffffff);
+    a.iand();
+    a.dup();
+    a.putstatic("Main.seed");
+    a.ireturn();
+    a.end_method();
+
+    // static void gen(int[] kind, int[] val): literal (op literal)* end
+    a.begin_static("Main", "gen", 2, 4);
+    // locals: 0 kind, 1 val, 2 i, 3 n
+    a.iload(0);
+    a.arraylength();
+    a.ldc(2);
+    a.isub();
+    a.istore(3);
+    // kind[0] = literal
+    a.iload(0);
+    a.ldc(0);
+    a.ldc(1);
+    a.iastore();
+    a.iload(1);
+    a.ldc(0);
+    a.invokestatic("Main.next");
+    a.ldc(100);
+    a.irem();
+    a.iastore();
+    a.ldc(1);
+    a.istore(2);
+    a.label("more");
+    a.iload(2);
+    a.iload(3);
+    a.if_icmpge("fin");
+    // operator
+    a.iload(0);
+    a.iload(2);
+    a.invokestatic("Main.next");
+    a.ldc(3);
+    a.irem();
+    a.ldc(2);
+    a.iadd();
+    a.iastore();
+    a.iload(1);
+    a.iload(2);
+    a.ldc(0);
+    a.iastore();
+    a.iinc(2, 1);
+    // literal
+    a.iload(0);
+    a.iload(2);
+    a.ldc(1);
+    a.iastore();
+    a.iload(1);
+    a.iload(2);
+    a.invokestatic("Main.next");
+    a.ldc(100);
+    a.irem();
+    a.iastore();
+    a.iinc(2, 1);
+    a.goto("more");
+    a.label("fin");
+    a.iload(0);
+    a.iload(2);
+    a.ldc(0);
+    a.iastore();
+    a.ret();
+    a.end_method();
+
+    // static int prec(int op): * binds tighter than + and -
+    a.begin_static("Main", "prec", 1, 1);
+    a.iload(0);
+    a.ldc(3);
+    a.if_icmpeq("tight");
+    a.ldc(1);
+    a.ireturn();
+    a.label("tight");
+    a.ldc(2);
+    a.ireturn();
+    a.end_method();
+
+    // static int apply(int op, int x, int y)
+    a.begin_static("Main", "apply", 3, 3);
+    a.iload(0);
+    a.ldc(2);
+    a.if_icmpne("notadd");
+    a.iload(1);
+    a.iload(2);
+    a.iadd();
+    a.ldc(0x3fff);
+    a.iand();
+    a.ireturn();
+    a.label("notadd");
+    a.iload(0);
+    a.ldc(3);
+    a.if_icmpne("notmul");
+    a.iload(1);
+    a.iload(2);
+    a.imul();
+    a.ldc(0x3fff);
+    a.iand();
+    a.ireturn();
+    a.label("notmul");
+    a.iload(1);
+    a.iload(2);
+    a.isub();
+    a.ldc(0x3fff);
+    a.iand();
+    a.ireturn();
+    a.end_method();
+
+    // static int compile(int[] kind, int[] val):
+    // shunting-yard with value eager evaluation (constant folding): since
+    // every operand is a literal, folding reduces the whole program — the
+    // parser keeps a value stack and an operator stack.
+    a.begin_static("Main", "compile", 2, 10);
+    // locals: 0 kind, 1 val, 2 i, 3 vals(arr), 4 ops(arr), 5 vsp, 6 osp,
+    //         7 tok, 8 x, 9 y
+    a.ldc(64);
+    a.newarray();
+    a.istore(3);
+    a.ldc(64);
+    a.newarray();
+    a.istore(4);
+    a.ldc(0);
+    a.istore(5);
+    a.ldc(0);
+    a.istore(6);
+    a.ldc(0);
+    a.istore(2);
+    a.label("scan");
+    a.iload(0);
+    a.iload(2);
+    a.iaload();
+    a.istore(7);
+    a.iload(7);
+    a.ifeq("drain");
+    a.iload(7);
+    a.ldc(1);
+    a.if_icmpne("operator");
+    // literal: push value
+    a.iload(3);
+    a.iload(5);
+    a.iload(1);
+    a.iload(2);
+    a.iaload();
+    a.iastore();
+    a.iinc(5, 1);
+    a.goto("advance");
+    a.label("operator");
+    // while osp>0 && prec(top) >= prec(tok): reduce
+    a.label("reduce");
+    a.iload(6);
+    a.ifle("push");
+    a.iload(4);
+    a.iload(6);
+    a.ldc(1);
+    a.isub();
+    a.iaload();
+    a.invokestatic("Main.prec");
+    a.iload(7);
+    a.invokestatic("Main.prec");
+    a.if_icmplt("push");
+    // y = vals[--vsp]; x = vals[--vsp]
+    a.iinc(5, -1);
+    a.iload(3);
+    a.iload(5);
+    a.iaload();
+    a.istore(9);
+    a.iinc(5, -1);
+    a.iload(3);
+    a.iload(5);
+    a.iaload();
+    a.istore(8);
+    // vals[vsp++] = apply(ops[--osp], x, y)
+    a.iinc(6, -1);
+    a.iload(3);
+    a.iload(5);
+    a.iload(4);
+    a.iload(6);
+    a.iaload();
+    a.iload(8);
+    a.iload(9);
+    a.invokestatic("Main.apply");
+    a.iastore();
+    a.iinc(5, 1);
+    a.goto("reduce");
+    a.label("push");
+    a.iload(4);
+    a.iload(6);
+    a.iload(7);
+    a.iastore();
+    a.iinc(6, 1);
+    a.label("advance");
+    a.iinc(2, 1);
+    a.goto("scan");
+    a.label("drain");
+    a.iload(6);
+    a.ifle("answer");
+    a.iinc(5, -1);
+    a.iload(3);
+    a.iload(5);
+    a.iaload();
+    a.istore(9);
+    a.iinc(5, -1);
+    a.iload(3);
+    a.iload(5);
+    a.iaload();
+    a.istore(8);
+    a.iinc(6, -1);
+    a.iload(3);
+    a.iload(5);
+    a.iload(4);
+    a.iload(6);
+    a.iaload();
+    a.iload(8);
+    a.iload(9);
+    a.invokestatic("Main.apply");
+    a.iastore();
+    a.iinc(5, 1);
+    a.goto("drain");
+    a.label("answer");
+    a.iload(3);
+    a.ldc(0);
+    a.iaload();
+    a.ireturn();
+    a.end_method();
+
+    // main
+    a.begin_static("Main", "main", 0, 4);
+    // locals: 0 kind, 1 val, 2 c, 3 checksum
+    a.ldc(213_001);
+    a.putstatic("Main.seed");
+    a.ldc(SRC_LEN);
+    a.newarray();
+    a.istore(0);
+    a.ldc(SRC_LEN);
+    a.newarray();
+    a.istore(1);
+    a.ldc(0);
+    a.istore(3);
+    a.ldc(0);
+    a.istore(2);
+    a.label("cloop");
+    a.iload(2);
+    a.ldc(COMPILATIONS);
+    a.if_icmpge("report");
+    a.iload(0);
+    a.iload(1);
+    a.invokestatic("Main.gen");
+    a.iload(0);
+    a.iload(1);
+    a.invokestatic("Main.compile");
+    a.iload(3);
+    a.ixor();
+    a.istore(3);
+    a.iinc(2, 1);
+    a.goto("cloop");
+    a.label("report");
+    a.iload(3);
+    a.print_int();
+    a.ret();
+    a.end_method();
+
+    a.link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn compiles_sources() {
+        let out = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        assert!(!out.text.is_empty());
+        assert!(out.steps > 100_000);
+    }
+}

@@ -1,0 +1,235 @@
+//! `_202_jess` analog: forward-chaining rule matching.
+//!
+//! A fact base of objects is repeatedly matched against join-style rules
+//! (`f1.typ == A && f2.typ == B && f1.attr == f2.attr`), firing derived
+//! facts until a budget is reached — the Rete-network flavour of Jess with
+//! heavy `getfield` traffic and data-dependent branches.
+
+use crate::asm::{Asm, JavaImage};
+
+const INITIAL_FACTS: i64 = 60;
+const MAX_FACTS: i64 = 400;
+const ROUNDS: i64 = 6;
+
+/// Builds the benchmark image.
+pub fn build() -> JavaImage {
+    let mut a = Asm::new();
+    a.class("Fact", None, &["typ", "attr", "value"]);
+    a.class("Main", None, &[]);
+
+    a.begin_static("Main", "next", 0, 1);
+    a.getstatic("Main.seed");
+    a.ldc(1103515245);
+    a.imul();
+    a.ldc(12345);
+    a.iadd();
+    a.ldc(0x7fffffff);
+    a.iand();
+    a.dup();
+    a.putstatic("Main.seed");
+    a.ireturn();
+    a.end_method();
+
+    // static int assert_(int[] facts, int n, int typ, int attr, int value)
+    // returns new n (drops the fact when the base is full).
+    a.begin_static("Main", "assert_", 5, 7);
+    // locals: 0 facts, 1 n, 2 typ, 3 attr, 4 value, 5 f
+    a.iload(1);
+    a.iload(0);
+    a.arraylength();
+    a.if_icmpge("full");
+    a.new_object("Fact");
+    a.istore(5);
+    a.iload(5);
+    a.iload(2);
+    a.putfield("typ");
+    a.iload(5);
+    a.iload(3);
+    a.putfield("attr");
+    a.iload(5);
+    a.iload(4);
+    a.putfield("value");
+    a.iload(0);
+    a.iload(1);
+    a.iload(5);
+    a.iastore();
+    a.iinc(1, 1);
+    a.label("full");
+    a.iload(1);
+    a.ireturn();
+    a.end_method();
+
+    // static int round(int[] facts, int n): one match pass; fires rule
+    //   typ1 ∧ typ2 ∧ attr-join → assert typ3 fact
+    // and returns the new fact count.
+    a.begin_static("Main", "round", 2, 8);
+    // locals: 0 facts, 1 n, 2 i, 3 j, 4 f1, 5 f2, 6 limit, 7 fired
+    a.iload(1);
+    a.istore(6); // join only over the facts present at round start
+    a.ldc(0);
+    a.istore(7);
+    a.ldc(0);
+    a.istore(2);
+    a.label("iloop");
+    a.iload(2);
+    a.iload(6);
+    a.if_icmpge("done");
+    a.iload(0);
+    a.iload(2);
+    a.iaload();
+    a.istore(4);
+    a.iload(4);
+    a.getfield("typ");
+    a.ldc(1);
+    a.if_icmpne("inext");
+    a.ldc(0);
+    a.istore(3);
+    a.label("jloop");
+    a.iload(3);
+    a.iload(6);
+    a.if_icmpge("inext");
+    a.iload(0);
+    a.iload(3);
+    a.iaload();
+    a.istore(5);
+    a.iload(5);
+    a.getfield("typ");
+    a.ldc(2);
+    a.if_icmpne("jnext");
+    a.iload(4);
+    a.getfield("attr");
+    a.iload(5);
+    a.getfield("attr");
+    a.if_icmpne("jnext");
+    // fire: assert (3, (a1+1)%23, v1+v2)
+    a.iload(0);
+    a.iload(1);
+    a.ldc(3);
+    a.iload(4);
+    a.getfield("attr");
+    a.ldc(1);
+    a.iadd();
+    a.ldc(23);
+    a.irem();
+    a.iload(4);
+    a.getfield("value");
+    a.iload(5);
+    a.getfield("value");
+    a.iadd();
+    a.ldc(0xffff);
+    a.iand();
+    a.invokestatic("Main.assert_");
+    a.istore(1);
+    a.iinc(7, 1);
+    a.label("jnext");
+    a.iinc(3, 1);
+    a.goto("jloop");
+    a.label("inext");
+    a.iinc(2, 1);
+    a.goto("iloop");
+    a.label("done");
+    a.iload(1);
+    a.ireturn();
+    a.end_method();
+
+    // static int checksum(int[] facts, int n)
+    a.begin_static("Main", "checksum", 2, 4);
+    a.ldc(0);
+    a.istore(3);
+    a.ldc(0);
+    a.istore(2);
+    a.label("sum");
+    a.iload(2);
+    a.iload(1);
+    a.if_icmpge("out");
+    a.iload(3);
+    a.iload(0);
+    a.iload(2);
+    a.iaload();
+    a.getfield("value");
+    a.iadd();
+    a.ldc(0xffff);
+    a.iand();
+    a.istore(3);
+    a.iinc(2, 1);
+    a.goto("sum");
+    a.label("out");
+    a.iload(3);
+    a.ireturn();
+    a.end_method();
+
+    // main
+    a.begin_static("Main", "main", 0, 4);
+    // locals: 0 facts, 1 n, 2 round, 3 scratch
+    a.ldc(5_150);
+    a.putstatic("Main.seed");
+    a.ldc(MAX_FACTS);
+    a.newarray();
+    a.istore(0);
+    a.ldc(0);
+    a.istore(1);
+    // seed the fact base with random type-1 and type-2 facts
+    a.ldc(0);
+    a.istore(2);
+    a.label("seedloop");
+    a.iload(2);
+    a.ldc(INITIAL_FACTS);
+    a.if_icmpge("run");
+    a.iload(0);
+    a.iload(1);
+    a.invokestatic("Main.next");
+    a.ldc(2);
+    a.irem();
+    a.ldc(1);
+    a.iadd();
+    a.invokestatic("Main.next");
+    a.ldc(23);
+    a.irem();
+    a.invokestatic("Main.next");
+    a.ldc(1000);
+    a.irem();
+    a.invokestatic("Main.assert_");
+    a.istore(1);
+    a.iinc(2, 1);
+    a.goto("seedloop");
+    a.label("run");
+    a.ldc(0);
+    a.istore(2);
+    a.label("rounds");
+    a.iload(2);
+    a.ldc(ROUNDS);
+    a.if_icmpge("report");
+    a.iload(0);
+    a.iload(1);
+    a.invokestatic("Main.round");
+    a.istore(1);
+    a.iinc(2, 1);
+    a.goto("rounds");
+    a.label("report");
+    a.iload(0);
+    a.iload(1);
+    a.invokestatic("Main.checksum");
+    a.iload(1);
+    a.ldc(16);
+    a.ishl();
+    a.ixor();
+    a.print_int();
+    a.ret();
+    a.end_method();
+
+    a.link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn fires_rules_and_terminates() {
+        let out = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        assert!(!out.text.is_empty());
+        assert!(out.allocations > i64::from(INITIAL_FACTS as i32) as u64);
+    }
+}

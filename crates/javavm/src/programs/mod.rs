@@ -1,0 +1,121 @@
+//! The SPECjvm98-analog benchmark suite (paper Table VII).
+//!
+//! Each program is a workload analog of the corresponding SPECjvm98
+//! benchmark, written against the [`crate::Asm`] bytecode assembler: the
+//! computational character (long array loops for compress/mpeg, object and
+//! virtual-call pressure for db/mtrt, rule matching for jess, parsing for
+//! javac/jack) matches the original's role in the suite.
+
+mod compress;
+mod db;
+mod jack;
+mod javac;
+mod jess;
+mod mpeg;
+mod mtrt;
+
+use crate::asm::JavaImage;
+
+/// One benchmark: name, builder, and the original it stands in for.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Paper benchmark name (Table VII, short form).
+    pub name: &'static str,
+    /// Builds the linked image.
+    pub build: fn() -> JavaImage,
+    /// What the original SPECjvm98 program was.
+    pub description: &'static str,
+}
+
+/// `_228_jack`: parser generator (lexing state machine).
+pub const JACK: Benchmark = Benchmark {
+    name: "jack",
+    build: jack::build,
+    description: "lexer state machine over synthetic text, parsed repeatedly",
+};
+
+/// `_222_mpegaudio`: MPEG Layer-3 decoder (fixed-point DSP).
+pub const MPEG: Benchmark = Benchmark {
+    name: "mpeg",
+    build: mpeg::build,
+    description: "fixed-point filterbank: unrolled multiply-accumulate blocks",
+};
+
+/// `_201_compress`: modified Lempel-Ziv compression.
+pub const COMPRESS: Benchmark = Benchmark {
+    name: "compress",
+    build: compress::build,
+    description: "LZW compression with an open-addressing dictionary",
+};
+
+/// `_213_javac`: the JDK 1.0.2 Java compiler.
+pub const JAVAC: Benchmark = Benchmark {
+    name: "javac",
+    build: javac::build,
+    description: "tokenizer + precedence parser + constant folder over synthetic sources",
+};
+
+/// `_202_jess`: the Java Expert Shell System.
+pub const JESS: Benchmark = Benchmark {
+    name: "jess",
+    build: jess::build,
+    description: "forward-chaining rule matcher over a fact base of objects",
+};
+
+/// `_209_db`: an in-memory database.
+pub const DB: Benchmark = Benchmark {
+    name: "db",
+    build: db::build,
+    description: "record objects: insert, shell sort via comparators, probe",
+};
+
+/// `_227_mtrt`: a (multithreaded) ray tracer — single-threaded analog.
+pub const MTRT: Benchmark = Benchmark {
+    name: "mtrt",
+    build: mtrt::build,
+    description: "fixed-point sphere ray tracer with a large polymorphic scene code footprint",
+};
+
+/// The full suite in the paper's Figure 9 order.
+pub const SUITE: [Benchmark; 7] = [JACK, MPEG, COMPRESS, JAVAC, JESS, DB, MTRT];
+
+/// Looks a benchmark up by paper name.
+pub fn find(name: &str) -> Option<Benchmark> {
+    SUITE.into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn all_benchmarks_build_and_run() {
+        for b in SUITE {
+            let image = (b.build)();
+            assert!(image.program.len() > 80, "{} should be a real program", b.name);
+            let out = run(&image, &mut NullEvents, 100_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            assert!(!out.text.is_empty(), "{} should print a checksum", b.name);
+            assert!(out.steps > 10_000, "{} should do real work ({} steps)", b.name, out.steps);
+        }
+    }
+
+    #[test]
+    fn quickable_sites_quicken() {
+        // Object-heavy benchmarks must exercise the quickening machinery.
+        for b in [DB, MTRT, JESS] {
+            let image = (b.build)();
+            let out = run(&image, &mut NullEvents, 100_000_000).expect("runs");
+            assert!(out.quickenings > 5, "{}: {}", b.name, out.quickenings);
+            assert!(out.allocations > 10, "{}: {}", b.name, out.allocations);
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert_eq!(find("db").map(|b| b.name), Some("db"));
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! `_222_mpegaudio` analog: fixed-point subband synthesis.
+//!
+//! The decoder's time goes to windowed multiply-accumulate loops. This
+//! analog runs an unrolled 8×8 fixed-point transform over a sample buffer —
+//! very long basic blocks of `iaload`/`imul`/`ishr`/`iadd`, which is why
+//! mpeg is the static-superinstruction showcase in the paper (Figure 15).
+
+use crate::asm::{Asm, JavaImage};
+
+const WINDOW: usize = 8;
+const BUF_LEN: i64 = 1024;
+const PASSES: i64 = 4;
+
+/// Fixed-point cosine-ish coefficient table (scaled by 256), generated the
+/// same way a codec would bake its tables.
+fn coeff(k: usize, j: usize) -> i64 {
+    // A deterministic integer pattern standing in for cos((2j+1)kπ/16)·256.
+    let x = (2 * j + 1) * (k + 1);
+    let folded = (x * 37) % 511;
+    i64::from(i32::from(folded as i16) - 255)
+}
+
+/// Builds the benchmark image.
+pub fn build() -> JavaImage {
+    let mut a = Asm::new();
+    a.class("Main", None, &[]);
+
+    a.begin_static("Main", "next", 0, 1);
+    a.getstatic("Main.seed");
+    a.ldc(1103515245);
+    a.imul();
+    a.ldc(12345);
+    a.iadd();
+    a.ldc(0x7fffffff);
+    a.iand();
+    a.dup();
+    a.putstatic("Main.seed");
+    a.ireturn();
+    a.end_method();
+
+    // static int transform(int[] s, int base): one fully unrolled 8x8
+    // fixed-point transform; returns the sum of the 8 outputs.
+    a.begin_static("Main", "transform", 2, 4);
+    // locals: 0 s, 1 base, 2 acc_total, 3 acc_k
+    a.ldc(0);
+    a.istore(2);
+    for k in 0..WINDOW {
+        a.ldc(0);
+        a.istore(3);
+        for j in 0..WINDOW {
+            // acc_k += (s[base+j] * C[k][j]) >> 8
+            a.iload(3);
+            a.iload(0);
+            a.iload(1);
+            if j > 0 {
+                a.ldc(j as i64);
+                a.iadd();
+            }
+            a.iaload();
+            a.ldc(coeff(k, j));
+            a.imul();
+            a.ldc(8);
+            a.ishr();
+            a.iadd();
+            a.istore(3);
+        }
+        // acc_total = (acc_total + acc_k) & 0xffffff
+        a.iload(2);
+        a.iload(3);
+        a.iadd();
+        a.ldc(0xff_ffff);
+        a.iand();
+        a.istore(2);
+    }
+    a.iload(2);
+    a.ireturn();
+    a.end_method();
+
+    // static int[] samples(int n)
+    a.begin_static("Main", "samples", 1, 3);
+    a.iload(0);
+    a.newarray();
+    a.istore(1);
+    a.ldc(0);
+    a.istore(2);
+    a.label("fill");
+    a.iload(2);
+    a.iload(0);
+    a.if_icmpge("filled");
+    a.iload(1);
+    a.iload(2);
+    a.invokestatic("Main.next");
+    a.ldc(512);
+    a.irem();
+    a.ldc(256);
+    a.isub();
+    a.iastore();
+    a.iinc(2, 1);
+    a.goto("fill");
+    a.label("filled");
+    a.iload(1);
+    a.ireturn();
+    a.end_method();
+
+    // main: PASSES sweeps of the transform over the buffer.
+    a.begin_static("Main", "main", 0, 4);
+    // locals: 0 buf, 1 checksum, 2 pass, 3 base
+    a.ldc(480_001);
+    a.putstatic("Main.seed");
+    a.ldc(BUF_LEN);
+    a.invokestatic("Main.samples");
+    a.istore(0);
+    a.ldc(0);
+    a.istore(1);
+    a.ldc(0);
+    a.istore(2);
+    a.label("pass");
+    a.iload(2);
+    a.ldc(PASSES);
+    a.if_icmpge("done");
+    a.ldc(0);
+    a.istore(3);
+    a.label("window");
+    a.iload(3);
+    a.ldc(BUF_LEN - WINDOW as i64);
+    a.if_icmpge("nextpass");
+    a.iload(0);
+    a.iload(3);
+    a.invokestatic("Main.transform");
+    a.iload(1);
+    a.iadd();
+    a.ldc(0xff_ffff);
+    a.iand();
+    a.istore(1);
+    a.iinc(3, WINDOW as i32);
+    a.goto("window");
+    a.label("nextpass");
+    a.iinc(2, 1);
+    a.goto("pass");
+    a.label("done");
+    a.iload(1);
+    a.print_int();
+    a.ret();
+    a.end_method();
+
+    a.link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn long_basic_blocks() {
+        // The unrolled transform should make mpeg's average block length
+        // far larger than a call-heavy program's.
+        let image = build();
+        let blocks: Vec<usize> = image.program.blocks().map(|b| b.len()).collect();
+        let max = blocks.iter().copied().max().unwrap_or(0);
+        assert!(max > 50, "expected an unrolled block, longest is {max}");
+    }
+
+    #[test]
+    fn runs_deterministically() {
+        let a = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        let b = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        assert_eq!(a.text, b.text);
+    }
+}

@@ -1,0 +1,327 @@
+//! `_227_mtrt` analog: a fixed-point sphere ray tracer.
+//!
+//! The distinguishing feature reproduced here is the *large polymorphic
+//! code footprint*: the scene contains 32 sphere variants, each with its
+//! own `intersect` and `shade` method bodies (as a templated C++-style
+//! scene graph would). Dynamic replication must copy all of it, which is
+//! why mtrt is the benchmark where the paper's dynamic techniques drown in
+//! I-cache misses and static superinstructions win (§7.2.2).
+
+use crate::asm::{Asm, JavaImage};
+
+/// Number of sphere subclasses (each with its own method bodies).
+const VARIANTS: usize = 32;
+/// Spheres in the scene.
+const SPHERES: i64 = 48;
+/// Image is SIZE×SIZE rays.
+const SIZE: i64 = 16;
+
+fn emit_intersect(a: &mut Asm, class: &str, salt: i64) {
+    // int intersect(ox, oy, oz, dx, dy, dz) -> t (or -1)
+    a.begin_virtual(class, "intersect", 6, 10);
+    // locals: 0 this, 1..6 ray, 7 lx/tca, 8 ly/l2, 9 lz
+    // lx = cx - ox, ...
+    a.iload(0);
+    a.getfield("cx");
+    a.iload(1);
+    a.isub();
+    a.istore(7);
+    a.iload(0);
+    a.getfield("cy");
+    a.iload(2);
+    a.isub();
+    a.istore(8);
+    a.iload(0);
+    a.getfield("cz");
+    a.iload(3);
+    a.isub();
+    a.istore(9);
+    // l2 = lx*lx + ly*ly + lz*lz  (kept in a fresh local)
+    a.iload(7);
+    a.iload(7);
+    a.imul();
+    a.iload(8);
+    a.iload(8);
+    a.imul();
+    a.iadd();
+    a.iload(9);
+    a.iload(9);
+    a.imul();
+    a.iadd();
+    // tca = (lx*dx + ly*dy + lz*dz) >> 8   (leave l2 on the stack)
+    a.iload(7);
+    a.iload(4);
+    a.imul();
+    a.iload(8);
+    a.iload(5);
+    a.imul();
+    a.iadd();
+    a.iload(9);
+    a.iload(6);
+    a.imul();
+    a.iadd();
+    a.ldc(8);
+    a.ishr();
+    a.istore(7); // tca
+    a.istore(8); // l2
+    a.iload(7);
+    a.ifgt("ahead");
+    a.ldc(-1);
+    a.ireturn();
+    a.label("ahead");
+    // d2 = l2 - ((tca*tca) >> 4); miss if d2 > r2
+    a.iload(8);
+    a.iload(7);
+    a.iload(7);
+    a.imul();
+    a.ldc(4);
+    a.ishr();
+    a.isub();
+    a.iload(0);
+    a.getfield("r2");
+    a.if_icmple("hit");
+    a.ldc(-1);
+    a.ireturn();
+    a.label("hit");
+    // a per-variant constant folds into the returned distance
+    a.iload(7);
+    a.ldc(salt & 0xff);
+    a.iadd();
+    a.ldc(0x3fff);
+    a.iand();
+    a.ireturn();
+    a.end_method();
+}
+
+fn emit_shade(a: &mut Asm, class: &str, salt: i64) {
+    // int shade(t): a distinct unrolled lighting polynomial per variant.
+    a.begin_virtual(class, "shade", 1, 3);
+    a.iload(1);
+    a.istore(2);
+    for step in 0..6i64 {
+        // s = ((s * c) + d) >> 3 & 0xffff
+        a.iload(2);
+        a.ldc((salt * 7 + step * 13) % 127 + 3);
+        a.imul();
+        a.ldc((salt * 11 + step * 5) % 255);
+        a.iadd();
+        a.ldc(3);
+        a.ishr();
+        a.ldc(0xffff);
+        a.iand();
+        a.istore(2);
+    }
+    a.iload(2);
+    a.ireturn();
+    a.end_method();
+}
+
+/// Builds the benchmark image.
+pub fn build() -> JavaImage {
+    let mut a = Asm::new();
+    a.class("Sphere", None, &["cx", "cy", "cz", "r2"]);
+    for k in 0..VARIANTS {
+        let name = format!("Sphere{k}");
+        a.class(&name, Some("Sphere"), &[]);
+    }
+    a.class("Main", None, &[]);
+
+    for k in 0..VARIANTS {
+        let name = format!("Sphere{k}");
+        emit_intersect(&mut a, &name, k as i64);
+        emit_shade(&mut a, &name, k as i64);
+    }
+
+    a.begin_static("Main", "next", 0, 1);
+    a.getstatic("Main.seed");
+    a.ldc(1103515245);
+    a.imul();
+    a.ldc(12345);
+    a.iadd();
+    a.ldc(0x7fffffff);
+    a.iand();
+    a.dup();
+    a.putstatic("Main.seed");
+    a.ireturn();
+    a.end_method();
+
+    // static void init(int[] scene): allocate spheres round-robin over the
+    // variants with random centers. The per-variant allocation sites also
+    // give the program many distinct quickable `new`/`putfield` sites.
+    a.begin_static("Main", "init", 1, 4);
+    // locals: 0 scene, 1 i, 2 ref, 3 slot
+    a.ldc(0);
+    a.istore(3);
+    for k in 0..VARIANTS {
+        let reps = (SPHERES as usize).div_ceil(VARIANTS);
+        for _ in 0..reps {
+            let name = format!("Sphere{k}");
+            a.new_object(&name);
+            a.istore(2);
+            a.iload(2);
+            a.invokestatic("Main.next");
+            a.ldc(200);
+            a.irem();
+            a.putfield("cx");
+            a.iload(2);
+            a.invokestatic("Main.next");
+            a.ldc(200);
+            a.irem();
+            a.putfield("cy");
+            a.iload(2);
+            a.invokestatic("Main.next");
+            a.ldc(150);
+            a.irem();
+            a.ldc(60);
+            a.iadd();
+            a.putfield("cz");
+            a.iload(2);
+            a.invokestatic("Main.next");
+            a.ldc(40_000);
+            a.irem();
+            a.putfield("r2");
+            a.iload(0);
+            a.iload(3);
+            a.iload(2);
+            a.iastore();
+            a.iinc(3, 1);
+        }
+    }
+    a.ret();
+    a.end_method();
+
+    // static int trace(int[] scene, int px, int py): nearest hit shaded.
+    a.begin_static("Main", "trace", 3, 10);
+    // locals: 0 scene, 1 px, 2 py, 3 i, 4 best_t, 5 best_i, 6 t, 7 n
+    a.ldc(0x3fff);
+    a.istore(4);
+    a.ldc(-1);
+    a.istore(5);
+    a.iload(0);
+    a.arraylength();
+    a.istore(7);
+    a.ldc(0);
+    a.istore(3);
+    a.label("objloop");
+    a.iload(3);
+    a.iload(7);
+    a.if_icmpge("shade");
+    a.iload(0);
+    a.iload(3);
+    a.iaload();
+    // ray origin (0,0,0), direction derived from pixel
+    a.ldc(0);
+    a.ldc(0);
+    a.ldc(0);
+    a.iload(1);
+    a.ldc(16);
+    a.imul();
+    a.ldc(128);
+    a.isub();
+    a.iload(2);
+    a.ldc(16);
+    a.imul();
+    a.ldc(128);
+    a.isub();
+    a.ldc(256);
+    a.invokevirtual("intersect");
+    a.istore(6);
+    a.iload(6);
+    a.iflt("nexto");
+    a.iload(6);
+    a.iload(4);
+    a.if_icmpge("nexto");
+    a.iload(6);
+    a.istore(4);
+    a.iload(3);
+    a.istore(5);
+    a.label("nexto");
+    a.iinc(3, 1);
+    a.goto("objloop");
+    a.label("shade");
+    a.iload(5);
+    a.iflt("sky");
+    a.iload(0);
+    a.iload(5);
+    a.iaload();
+    a.iload(4);
+    a.invokevirtual("shade");
+    a.ireturn();
+    a.label("sky");
+    a.iload(1);
+    a.iload(2);
+    a.ixor();
+    a.ldc(0xff);
+    a.iand();
+    a.ireturn();
+    a.end_method();
+
+    // main: render SIZE×SIZE rays.
+    a.begin_static("Main", "main", 0, 4);
+    // locals: 0 scene, 1 px, 2 py, 3 checksum
+    a.ldc(227_001);
+    a.putstatic("Main.seed");
+    // Exactly what `init` fills: round-robin over the variants.
+    a.ldc((VARIANTS * (SPHERES as usize).div_ceil(VARIANTS)) as i64);
+    a.newarray();
+    a.istore(0);
+    a.iload(0);
+    a.invokestatic("Main.init");
+    a.ldc(0);
+    a.istore(3);
+    a.ldc(0);
+    a.istore(2);
+    a.label("rows");
+    a.iload(2);
+    a.ldc(SIZE);
+    a.if_icmpge("report");
+    a.ldc(0);
+    a.istore(1);
+    a.label("cols");
+    a.iload(1);
+    a.ldc(SIZE);
+    a.if_icmpge("nextrow");
+    a.iload(0);
+    a.iload(1);
+    a.iload(2);
+    a.invokestatic("Main.trace");
+    a.iload(3);
+    a.iadd();
+    a.ldc(0xff_ffff);
+    a.iand();
+    a.istore(3);
+    a.iinc(1, 1);
+    a.goto("cols");
+    a.label("nextrow");
+    a.iinc(2, 1);
+    a.goto("rows");
+    a.label("report");
+    a.iload(3);
+    a.print_int();
+    a.ret();
+    a.end_method();
+
+    a.link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::run;
+    use ivm_core::NullEvents;
+
+    #[test]
+    fn big_code_footprint() {
+        let image = build();
+        // 32 variants x (intersect + shade) should dominate the instance
+        // count — the mtrt signature.
+        assert!(image.program.len() > 2500, "len = {}", image.program.len());
+    }
+
+    #[test]
+    fn renders() {
+        let out = run(&build(), &mut NullEvents, 100_000_000).expect("runs");
+        assert!(!out.text.is_empty());
+        assert!(out.allocations >= SPHERES as u64);
+    }
+}

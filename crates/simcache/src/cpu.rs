@@ -1,0 +1,145 @@
+//! Named machine configurations.
+
+use ivm_bpred::{Btb, BtbConfig, IndirectPredictor, TwoLevelConfig, TwoLevelPredictor};
+
+use crate::cost::CycleCosts;
+use crate::icache::{FetchCache, Icache, IcacheConfig};
+use crate::trace_cache::TraceCache;
+
+/// Which indirect predictor family a [`CpuSpec`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// A finite BTB with the given geometry.
+    Btb(BtbConfig),
+    /// A two-level history predictor (Pentium M class).
+    TwoLevel(TwoLevelConfig),
+}
+
+/// A complete machine model: predictor, fetch path and cycle costs.
+///
+/// These mirror the experimental machines of paper §6.2.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_cache::CpuSpec;
+///
+/// let cpu = CpuSpec::celeron800();
+/// assert_eq!(cpu.name, "celeron-800");
+/// let predictor = cpu.predictor();
+/// let icache = cpu.fetch_cache();
+/// assert!(predictor.describe().starts_with("btb"));
+/// assert!(icache.describe().starts_with("icache"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuSpec {
+    /// Short identifier, e.g. `"celeron-800"`.
+    pub name: &'static str,
+    /// Indirect branch predictor family and geometry.
+    pub predictor: PredictorKind,
+    /// L1 instruction fetch structure. `None` means the P4-style trace
+    /// cache; `Some` is a conventional I-cache.
+    pub icache: Option<IcacheConfig>,
+    /// Cycle cost constants.
+    pub costs: CycleCosts,
+}
+
+impl CpuSpec {
+    /// The 800 MHz Celeron (Coppermine-128): 512-entry BTB, 16 KB I-cache,
+    /// ~10-cycle misprediction penalty. Small caches make code-growth
+    /// effects visible (paper §6.2).
+    pub fn celeron800() -> Self {
+        Self {
+            name: "celeron-800",
+            predictor: PredictorKind::Btb(BtbConfig::celeron()),
+            icache: Some(IcacheConfig::celeron_l1i()),
+            costs: CycleCosts::celeron(),
+        }
+    }
+
+    /// Northwood Pentium 4: 4096-entry BTB, 12K-µop trace cache, ~20-cycle
+    /// misprediction penalty.
+    pub fn pentium4_northwood() -> Self {
+        Self {
+            name: "pentium4-northwood",
+            predictor: PredictorKind::Btb(BtbConfig::pentium4()),
+            icache: None,
+            costs: CycleCosts::pentium4_northwood(),
+        }
+    }
+
+    /// Athlon-1200, used for the native-compiler comparison (paper §7.6):
+    /// BTB predictor, conventional 64 KB I-cache.
+    pub fn athlon1200() -> Self {
+        Self {
+            name: "athlon-1200",
+            predictor: PredictorKind::Btb(BtbConfig::new(2048, 4)),
+            icache: Some(IcacheConfig { capacity: 64 * 1024, line_size: 64, assoc: 2 }),
+            costs: CycleCosts::athlon(),
+        }
+    }
+
+    /// Pentium M: the first widely available two-level indirect predictor
+    /// (paper §8) — included to show the software techniques matter less
+    /// there.
+    pub fn pentium_m() -> Self {
+        Self {
+            name: "pentium-m",
+            predictor: PredictorKind::TwoLevel(TwoLevelConfig::pentium_m()),
+            icache: Some(IcacheConfig { capacity: 32 * 1024, line_size: 64, assoc: 8 }),
+            costs: CycleCosts::celeron(),
+        }
+    }
+
+    /// Instantiates a fresh predictor of this machine's kind.
+    pub fn predictor(&self) -> Box<dyn IndirectPredictor> {
+        match self.predictor {
+            PredictorKind::Btb(cfg) => Box::new(Btb::new(cfg)),
+            PredictorKind::TwoLevel(cfg) => Box::new(TwoLevelPredictor::new(cfg)),
+        }
+    }
+
+    /// Instantiates a fresh fetch cache of this machine's kind.
+    pub fn fetch_cache(&self) -> Box<dyn FetchCache> {
+        match self.icache {
+            Some(cfg) => Box::new(Icache::new(cfg)),
+            None => Box::new(TraceCache::pentium4()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_instantiate() {
+        for cpu in [
+            CpuSpec::celeron800(),
+            CpuSpec::pentium4_northwood(),
+            CpuSpec::athlon1200(),
+            CpuSpec::pentium_m(),
+        ] {
+            let mut p = cpu.predictor();
+            assert!(!p.predict_and_update(1, 2));
+            assert!(p.predict_and_update(1, 2) || matches!(cpu.predictor, PredictorKind::TwoLevel(_)));
+            let mut ic = cpu.fetch_cache();
+            ic.fetch(0, 64);
+            assert!(ic.accesses() > 0);
+        }
+    }
+
+    #[test]
+    fn p4_uses_trace_cache() {
+        let cpu = CpuSpec::pentium4_northwood();
+        assert!(cpu.fetch_cache().describe().contains("trace-cache"));
+    }
+
+    #[test]
+    fn celeron_btb_is_512_entries() {
+        match CpuSpec::celeron800().predictor {
+            PredictorKind::Btb(cfg) => assert_eq!(cfg.entries(), 512),
+            _ => panic!("celeron uses a BTB"),
+        }
+    }
+}

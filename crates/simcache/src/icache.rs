@@ -1,0 +1,299 @@
+//! Set-associative instruction cache simulation.
+
+use crate::Addr;
+
+/// Geometry of an [`Icache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IcacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Cache line size in bytes (power of two).
+    pub line_size: usize,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl IcacheConfig {
+    /// The Celeron-800's L1 I-cache: 16 KB, 32-byte lines, 4-way (paper §6.2).
+    pub fn celeron_l1i() -> Self {
+        Self { capacity: 16 * 1024, line_size: 32, assoc: 4 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`Icache::new`]).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc > 0 && self.capacity > 0, "degenerate cache");
+        let lines = self.capacity / self.line_size;
+        assert!(lines.is_multiple_of(self.assoc), "ways must divide line count");
+        let sets = lines / self.assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Anything that can service instruction fetches and count misses.
+///
+/// Both the conventional [`Icache`] and the Pentium 4 [`crate::TraceCache`]
+/// implement this, so the interpreter engine is generic over fetch-path
+/// style.
+pub trait FetchCache {
+    /// Fetches `len` bytes of instructions starting at `addr`, returning the
+    /// number of misses incurred (one per missing line).
+    fn fetch(&mut self, addr: Addr, len: u32) -> u64;
+
+    /// Total misses since construction or [`FetchCache::reset`].
+    fn misses(&self) -> u64;
+
+    /// Total fetch accesses (line touches).
+    fn accesses(&self) -> u64;
+
+    /// Clears contents and counters.
+    fn reset(&mut self);
+
+    /// Short human-readable description.
+    fn describe(&self) -> String;
+}
+
+/// A set-associative instruction cache with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_cache::{Icache, IcacheConfig, FetchCache};
+///
+/// let mut ic = Icache::new(IcacheConfig::celeron_l1i());
+/// assert_eq!(ic.fetch(0x1000, 64), 2); // two cold lines
+/// assert_eq!(ic.fetch(0x1000, 64), 0); // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Icache {
+    config: IcacheConfig,
+    /// `sets[i]` holds the line tags resident in set `i`.
+    sets: Vec<Vec<(Addr, u64)>>,
+    line_bits: u32,
+    accesses: u64,
+    misses: u64,
+    tick: u64,
+}
+
+impl Icache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two, ways do not divide the
+    /// line count, or the set count is not a power of two.
+    pub fn new(config: IcacheConfig) -> Self {
+        let sets = config.sets();
+        Self {
+            config,
+            sets: vec![Vec::with_capacity(config.assoc); sets],
+            line_bits: config.line_size.trailing_zeros(),
+            accesses: 0,
+            misses: 0,
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> IcacheConfig {
+        self.config
+    }
+
+    fn touch_line(&mut self, line: Addr) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let set_count = self.sets.len();
+        let set = &mut self.sets[(line as usize) & (set_count - 1)];
+        if let Some(entry) = set.iter_mut().find(|(tag, _)| *tag == line) {
+            entry.1 = self.tick;
+            return false;
+        }
+        self.misses += 1;
+        if set.len() == self.config.assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            set.swap_remove(victim);
+        }
+        set.push((line, self.tick));
+        true
+    }
+}
+
+impl FetchCache for Icache {
+    fn fetch(&mut self, addr: Addr, len: u32) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = addr >> self.line_bits;
+        let last = (addr + u64::from(len) - 1) >> self.line_bits;
+        let mut new_misses = 0;
+        for line in first..=last {
+            if self.touch_line(line) {
+                new_misses += 1;
+            }
+        }
+        new_misses
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.accesses = 0;
+        self.misses = 0;
+        self.tick = 0;
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "icache-{}KB-{}B-{}way",
+            self.config.capacity / 1024,
+            self.config.line_size,
+            self.config.assoc
+        )
+    }
+}
+
+/// A no-op fetch path: every fetch hits. Used when an experiment wants to
+/// isolate branch prediction from cache effects (the simulator-only results
+/// of paper §6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectIcache {
+    accesses: u64,
+}
+
+impl FetchCache for PerfectIcache {
+    fn fetch(&mut self, _addr: Addr, _len: u32) -> u64 {
+        self.accesses += 1;
+        0
+    }
+
+    fn misses(&self) -> u64 {
+        0
+    }
+
+    fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn reset(&mut self) {
+        self.accesses = 0;
+    }
+
+    fn describe(&self) -> String {
+        "perfect-icache".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Icache {
+        // 4 lines of 32 bytes, 2-way: 2 sets.
+        Icache::new(IcacheConfig { capacity: 128, line_size: 32, assoc: 2 })
+    }
+
+    #[test]
+    fn cold_fetch_misses_once_per_line() {
+        let mut ic = tiny();
+        assert_eq!(ic.fetch(0, 32), 1);
+        assert_eq!(ic.fetch(32, 32), 1);
+        assert_eq!(ic.fetch(0, 64), 0);
+    }
+
+    #[test]
+    fn fetch_spanning_lines_counts_each() {
+        let mut ic = tiny();
+        // 40 bytes starting at offset 24 touches lines 0 and 1.
+        assert_eq!(ic.fetch(24, 40), 2);
+    }
+
+    #[test]
+    fn zero_length_fetch_is_free() {
+        let mut ic = tiny();
+        assert_eq!(ic.fetch(100, 0), 0);
+        assert_eq!(ic.accesses(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut ic = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        ic.fetch(0, 1); // line 0
+        ic.fetch(64, 1); // line 2
+        ic.fetch(128, 1); // line 4: evicts line 0 (LRU)
+        assert_eq!(ic.fetch(64, 1), 0); // line 2 still resident
+        assert_eq!(ic.fetch(0, 1), 1); // line 0 was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut ic = Icache::new(IcacheConfig::celeron_l1i());
+        let code_size = 64 * 1024u64; // 4x the capacity
+        // Stream through the code twice; second pass should still miss a lot.
+        for _ in 0..2 {
+            for addr in (0..code_size).step_by(32) {
+                ic.fetch(addr, 32);
+            }
+        }
+        let total = ic.accesses();
+        assert_eq!(ic.misses(), total, "pure streaming over 4x capacity never hits");
+    }
+
+    #[test]
+    fn working_set_within_cache_stops_missing() {
+        let mut ic = Icache::new(IcacheConfig::celeron_l1i());
+        for _ in 0..3 {
+            for addr in (0..8 * 1024u64).step_by(32) {
+                ic.fetch(addr, 32);
+            }
+        }
+        let misses_before = ic.misses();
+        for addr in (0..8 * 1024u64).step_by(32) {
+            ic.fetch(addr, 32);
+        }
+        assert_eq!(ic.misses(), misses_before);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut ic = tiny();
+        ic.fetch(0, 32);
+        ic.reset();
+        assert_eq!(ic.misses(), 0);
+        assert_eq!(ic.fetch(0, 32), 1);
+    }
+
+    #[test]
+    fn perfect_icache_never_misses() {
+        let mut p = PerfectIcache::default();
+        assert_eq!(p.fetch(0, 1 << 20), 0);
+        assert_eq!(p.misses(), 0);
+        assert_eq!(p.accesses(), 1);
+    }
+
+    #[test]
+    fn celeron_geometry() {
+        let cfg = IcacheConfig::celeron_l1i();
+        assert_eq!(cfg.sets(), 128);
+        assert_eq!(Icache::new(cfg).describe(), "icache-16KB-32B-4way");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the fetch-cache simulators and cost model.
+
+use proptest::prelude::*;
+
+use ivm_cache::{CycleCosts, FetchCache, Icache, IcacheConfig, PerfCounters, TraceCache};
+
+fn access_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((0u64..1 << 16, 1u32..96), 1..300)
+}
+
+fn caches() -> Vec<Box<dyn FetchCache>> {
+    vec![
+        Box::new(Icache::new(IcacheConfig::celeron_l1i())),
+        Box::new(Icache::new(IcacheConfig { capacity: 1024, line_size: 32, assoc: 2 })),
+        Box::new(TraceCache::pentium4()),
+    ]
+}
+
+proptest! {
+    /// Misses are monotone and bounded by line touches.
+    #[test]
+    fn misses_bounded_by_touches(accesses in access_strategy()) {
+        for mut c in caches() {
+            let mut total_touches = 0u64;
+            for &(addr, len) in &accesses {
+                let misses = c.fetch(addr, len);
+                // A fetch of len bytes touches at most len/line + 1 lines;
+                // use a generous bound independent of geometry.
+                prop_assert!(misses <= u64::from(len) + 1, "{}", c.describe());
+                total_touches += u64::from(len / 8) + 2;
+            }
+            prop_assert!(c.misses() <= total_touches);
+        }
+    }
+
+    /// Repeating the same access immediately always hits.
+    #[test]
+    fn immediate_repeat_hits(addr in 0u64..1 << 20, len in 1u32..64) {
+        for mut c in caches() {
+            c.fetch(addr, len);
+            prop_assert_eq!(c.fetch(addr, len), 0, "{}", c.describe());
+        }
+    }
+
+    /// Reset restores cold-start behaviour exactly.
+    #[test]
+    fn reset_restores_cold_start(accesses in access_strategy()) {
+        for mut c in caches() {
+            let first: Vec<u64> = accesses.iter().map(|&(a, l)| c.fetch(a, l)).collect();
+            c.reset();
+            prop_assert_eq!(c.misses(), 0);
+            let second: Vec<u64> = accesses.iter().map(|&(a, l)| c.fetch(a, l)).collect();
+            prop_assert_eq!(&first, &second, "{}", c.describe());
+        }
+    }
+
+    /// A strictly larger cache of the same shape never misses more on the
+    /// same trace (LRU inclusion-style property for same assoc scaling).
+    #[test]
+    fn bigger_cache_never_worse(accesses in access_strategy()) {
+        let mut small = Icache::new(IcacheConfig { capacity: 2048, line_size: 32, assoc: 64 });
+        let mut big = Icache::new(IcacheConfig { capacity: 4096, line_size: 32, assoc: 128 });
+        for &(a, l) in &accesses {
+            small.fetch(a, l);
+            big.fetch(a, l);
+        }
+        // Fully-associative LRU caches obey inclusion: more capacity can
+        // only help.
+        prop_assert!(big.misses() <= small.misses());
+    }
+
+    /// Cycle model is linear and non-negative.
+    #[test]
+    fn cycles_linear(instr in 0u64..1 << 40, mis in 0u64..1 << 30, miss in 0u64..1 << 20) {
+        let c = PerfCounters {
+            instructions: instr,
+            indirect_mispredicted: mis,
+            icache_misses: miss,
+            ..Default::default()
+        };
+        let costs = CycleCosts::pentium4_northwood();
+        let total = c.cycles(&costs);
+        prop_assert!(total >= 0.0);
+        let parts = instr as f64 * costs.cpi + c.mispredict_cycles(&costs) + c.miss_cycles(&costs);
+        prop_assert!((total - parts).abs() < 1e-6 * total.max(1.0));
+    }
+}

@@ -1,0 +1,77 @@
+//! "Dispatch doctor": find which VM instructions cause the mispredictions.
+//!
+//! Runs a Forth benchmark under plain threaded code with per-branch
+//! statistics, then maps the worst dispatch branches back to VM opcodes via
+//! the translation — the diagnosis that motivates replication in the paper
+//! (a VM instruction occurring several times in the working set thrashes
+//! its BTB entry).
+//!
+//! Run with: `cargo run --release --example dispatch_doctor -- [benchmark] [technique]`
+//! (technique defaults to `plain`; any paper name parses, e.g. "across bb")
+
+use std::collections::HashMap;
+
+use ivm::cache::CpuSpec;
+use ivm::core::{
+    translate, Engine, Measurement, Runner, SuperSelection, Technique,
+};
+use ivm::forth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bench-gc".into());
+    let technique: Technique = std::env::args()
+        .nth(2)
+        .map(|t| t.parse().expect("technique name"))
+        .unwrap_or(Technique::Threaded);
+    let bench = ivm::forth::programs::find(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let image = bench.image();
+    let cpu = CpuSpec::celeron800();
+
+    let training = (technique.needs_profile()).then(|| {
+        forth::profile(&ivm::forth::programs::BRAINLESS.image()).expect("training run")
+    });
+    let o = forth::ops();
+    let translation = translate(
+        &o.spec,
+        &image.program,
+        technique,
+        training.as_ref(),
+        SuperSelection::gforth(),
+    );
+
+    // Map each dispatch branch address to the opcode(s) owning it.
+    let mut owner: HashMap<u64, &str> = HashMap::new();
+    for i in 0..image.program.len() {
+        let slot = translation.slot(i);
+        for dp in [slot.fall, slot.taken].into_iter().flatten() {
+            owner.entry(dp.branch).or_insert_with(|| o.spec.name(image.program.op(i)));
+        }
+    }
+
+    let engine = Engine::for_cpu(&cpu).with_branch_stats();
+    let mut m = Measurement::new(translation, Runner::new(engine));
+    forth::run(&image, &mut m, forth::DEFAULT_FUEL)?;
+
+    println!("Worst dispatch branches for {name} ({technique}, {}):", cpu.name);
+    println!("{:<12} {:<12} {:>12} {:>12} {:>8}", "branch", "VM word", "executed", "mispred", "rate%");
+    for (branch, execs, misses) in m.runner().engine().top_mispredicted(12) {
+        println!(
+            "{branch:#012x} {:<12} {execs:>12} {misses:>12} {:>8.1}",
+            owner.get(&branch).copied().unwrap_or("?"),
+            100.0 * misses as f64 / execs as f64,
+        );
+    }
+    let r = m.finish();
+    println!(
+        "\ntotal: {} indirect branches, {} mispredicted ({:.1}%)",
+        r.counters.indirect_branches,
+        r.counters.indirect_mispredicted,
+        100.0 * r.counters.misprediction_rate(),
+    );
+    println!(
+        "Words whose dispatch thrashes occur at multiple points of the working\n\
+         set — exactly the candidates replication (paper §4.1) splits apart."
+    );
+    Ok(())
+}

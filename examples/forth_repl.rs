@@ -1,0 +1,62 @@
+//! A tiny interactive Forth with per-line dispatch statistics: type a
+//! program fragment, see its output plus how the simulated Celeron would
+//! have predicted it under two interpreter builds.
+//!
+//! Run with: `cargo run --release --example forth_repl`
+//! (pipe input for scripted use: `echo ': main 2 3 + . ;' | cargo run ...`)
+
+use std::io::{self, BufRead, Write};
+
+use ivm::cache::CpuSpec;
+use ivm::core::Technique;
+use ivm::forth;
+
+fn main() -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    let cpu = CpuSpec::celeron800();
+    println!("mini-Forth — enter a program containing `: main ... ;` (blank line to run, Ctrl-D to quit)");
+    let mut buffer = String::new();
+    print!("> ");
+    out.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            buffer.push_str(&line);
+            buffer.push('\n');
+            print!("> ");
+            out.flush()?;
+            continue;
+        }
+        if buffer.trim().is_empty() {
+            print!("> ");
+            out.flush()?;
+            continue;
+        }
+        match forth::compile(&buffer) {
+            Err(e) => println!("{e}"),
+            Ok(image) => match forth::profile(&image) {
+                Err(e) => println!("runtime error: {e}"),
+                Ok(profile) => {
+                    for tech in [Technique::Threaded, Technique::AcrossBb] {
+                        match forth::measure(&image, tech, &cpu, Some(&profile)) {
+                            Err(e) => println!("runtime error: {e}"),
+                            Ok((r, o)) => println!(
+                                "[{:<10}] out: {:<16} dispatches: {:>8} mispred: {:>7} cycles: {:>10.0}",
+                                tech.paper_name(),
+                                o.text.trim(),
+                                r.counters.dispatches,
+                                r.counters.indirect_mispredicted,
+                                r.cycles,
+                            ),
+                        }
+                    }
+                }
+            },
+        }
+        buffer.clear();
+        print!("> ");
+        out.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Runs the full Gforth-analog benchmark suite (paper Table VI) under every
+//! interpreter variant of Figure 7/8 and prints the speedup matrix.
+//!
+//! Run with: `cargo run --release --example forth_suite -- [celeron|p4]`
+
+use ivm::cache::CpuSpec;
+use ivm::core::Technique;
+use ivm::forth::{self, programs};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "p4".into());
+    let cpu = match arg.as_str() {
+        "celeron" => CpuSpec::celeron800(),
+        _ => CpuSpec::pentium4_northwood(),
+    };
+
+    // The paper trains the static techniques on brainless (§7.1).
+    let training = forth::profile(&programs::BRAINLESS.image())?;
+
+    println!("Speedups over plain threaded code on {} (paper Figure 7/8):", cpu.name);
+    print!("{:<22}", "technique");
+    for b in programs::SUITE {
+        print!(" {:>9}", b.name);
+    }
+    println!();
+
+    let suite = Technique::gforth_suite();
+    let mut plain_cycles = Vec::new();
+    for b in programs::SUITE {
+        let image = b.image();
+        let (r, _) = forth::measure(&image, Technique::Threaded, &cpu, Some(&training))?;
+        plain_cycles.push(r.cycles);
+    }
+    for tech in suite {
+        print!("{:<22}", tech.paper_name());
+        for (b, &plain) in programs::SUITE.iter().zip(&plain_cycles) {
+            let image = b.image();
+            let (r, _) = forth::measure(&image, tech, &cpu, Some(&training))?;
+            print!(" {:>9.2}", plain / r.cycles);
+        }
+        println!();
+    }
+    Ok(())
+}

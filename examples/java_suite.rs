@@ -1,0 +1,54 @@
+//! Runs the SPECjvm98-analog suite (paper Table VII) under every JVM
+//! interpreter variant of Figure 9 and prints the speedup matrix.
+//!
+//! Run with: `cargo run --release --example java_suite`
+
+use ivm::cache::CpuSpec;
+use ivm::core::{Profile, Technique};
+use ivm::java::{self, programs};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cpu = CpuSpec::pentium4_northwood();
+
+    println!("Speedups over plain threaded code on {} (paper Figure 9):", cpu.name);
+    print!("{:<22}", "technique");
+    for b in programs::SUITE {
+        print!(" {:>9}", b.name);
+    }
+    println!();
+
+    // Paper §7.1: cross-validated training — each benchmark's static
+    // selection is trained on the profiles of all the *other* benchmarks.
+    let profiles: Vec<Profile> = programs::SUITE
+        .iter()
+        .map(|b| java::profile(&(b.build)()).expect("training run"))
+        .collect();
+    let trainings: Vec<Profile> = (0..programs::SUITE.len())
+        .map(|i| {
+            let mut p = Profile::new();
+            for (j, other) in profiles.iter().enumerate() {
+                if i != j {
+                    p.merge(other);
+                }
+            }
+            p
+        })
+        .collect();
+
+    let mut plain_cycles = Vec::new();
+    for (b, training) in programs::SUITE.iter().zip(&trainings) {
+        let image = (b.build)();
+        let (r, _) = java::measure(&image, Technique::Threaded, &cpu, Some(training))?;
+        plain_cycles.push(r.cycles);
+    }
+    for tech in Technique::jvm_suite() {
+        print!("{:<22}", tech.paper_name());
+        for ((b, training), &plain) in programs::SUITE.iter().zip(&trainings).zip(&plain_cycles) {
+            let image = (b.build)();
+            let (r, _) = java::measure(&image, tech, &cpu, Some(training))?;
+            print!(" {:>9.2}", plain / r.cycles);
+        }
+        println!();
+    }
+    Ok(())
+}

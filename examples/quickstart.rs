@@ -1,0 +1,50 @@
+//! Quickstart: compile a Forth program, then compare interpreter dispatch
+//! techniques on a simulated Celeron-800 and Pentium 4.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ivm::cache::CpuSpec;
+use ivm::core::Technique;
+use ivm::forth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little program with the Table I pathology: VM instructions that
+    // occur several times in the working set with different successors.
+    let image = forth::compile(
+        "
+        : scale ( n -- n' ) dup 2* swap 1+ + 16383 and ;
+        : mix   ( n -- n' ) dup 3 * swap 1- xor 16383 and ;
+        : main
+          1
+          2000 0 do
+            scale mix scale scale mix
+          loop
+          . cr ;
+        ",
+    )?;
+    let profile = forth::profile(&image)?;
+
+    for cpu in [CpuSpec::celeron800(), CpuSpec::pentium4_northwood()] {
+        println!("== {} ==", cpu.name);
+        println!(
+            "{:<22} {:>12} {:>10} {:>10} {:>9} {:>8}",
+            "technique", "cycles", "ind.br.", "mispred", "code(B)", "speedup"
+        );
+        let (plain, out) = forth::measure(&image, Technique::Threaded, &cpu, Some(&profile))?;
+        for tech in Technique::gforth_suite() {
+            let (r, o) = forth::measure(&image, tech, &cpu, Some(&profile))?;
+            assert_eq!(o.text, out.text, "layout must not change semantics");
+            println!(
+                "{:<22} {:>12.0} {:>10} {:>10} {:>9} {:>8.2}",
+                tech.paper_name(),
+                r.cycles,
+                r.counters.indirect_branches,
+                r.counters.indirect_mispredicted,
+                r.counters.code_bytes,
+                r.speedup_over(&plain),
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Facade crate for the interpreter branch-prediction reproduction.
+//!
+//! Re-exports the whole stack:
+//!
+//! * [`bpred`] — BTB and indirect-predictor simulators,
+//! * [`cache`] — I-cache/trace-cache simulators and CPU cost models,
+//! * [`core`] — code layout, dispatch techniques, the measurement engine,
+//! * [`forth`] — the Gforth-analog Forth system and its benchmarks,
+//! * [`java`] — the mini-JVM and its SPECjvm98-analog benchmarks.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for how each
+//! table and figure of the paper maps onto this code.
+//!
+//! # Examples
+//!
+//! Measure plain threaded code against dynamic superinstructions with
+//! replication across basic blocks (the paper's best portable-ish variant):
+//!
+//! ```
+//! use ivm::cache::CpuSpec;
+//! use ivm::core::Technique;
+//! use ivm::forth;
+//!
+//! let image = forth::compile(": main 0 200 0 do i + loop . ;")?;
+//! let profile = forth::profile(&image)?;
+//! let cpu = CpuSpec::pentium4_northwood();
+//! let (plain, _) = forth::measure(&image, Technique::Threaded, &cpu, Some(&profile))?;
+//! let (across, _) = forth::measure(&image, Technique::AcrossBb, &cpu, Some(&profile))?;
+//! assert!(across.speedup_over(&plain) > 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ivm_bpred as bpred;
+pub use ivm_cache as cache;
+pub use ivm_core as core;
+pub use ivm_forth as forth;
+pub use ivm_java as java;

@@ -1,0 +1,63 @@
+//! Front-end robustness: arbitrary token soup must never panic the Forth
+//! compiler or the assembler-facing VMs — either it compiles and runs
+//! within fuel, or it reports a structured error.
+
+use proptest::prelude::*;
+
+use ivm::core::NullEvents;
+use ivm::forth;
+
+fn token_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Words the compiler knows, including structure words.
+        proptest::sample::select(vec![
+            ":", ";", "if", "else", "then", "begin", "until", "while", "repeat", "do", "loop",
+            "+loop", "?leave", "case", "of", "endof", "endcase", "recurse", "exit", "dup",
+            "drop", "swap", "+", "-", "*", "/", "@", "!", ".", "i", "j", "variable",
+            "constant", "create", "allot", "cells", "main", "x",
+        ])
+        .prop_map(str::to_owned),
+        // Numbers.
+        (-1000i64..1000).prop_map(|n| n.to_string()),
+        // Garbage identifiers.
+        "[a-z]{1,6}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiler returns Ok or Err, never panics, on random token soup.
+    #[test]
+    fn compiler_never_panics(tokens in proptest::collection::vec(token_strategy(), 0..60)) {
+        let source = tokens.join(" ");
+        let _ = forth::compile(&source);
+    }
+
+    /// Whatever compiles must run to a clean stop or a structured VM error
+    /// within fuel — never a panic or an infinite loop.
+    #[test]
+    fn compiled_soup_runs_or_errors(tokens in proptest::collection::vec(token_strategy(), 0..60)) {
+        let source = format!(": main {} ;", tokens.iter().filter(|t| {
+            // Keep the body free of definition words so it stays one word.
+            !matches!(t.as_str(), ":" | ";" | "variable" | "constant" | "create" | "main")
+        }).cloned().collect::<Vec<_>>().join(" "));
+        if let Ok(image) = forth::compile(&source) {
+            let _ = forth::run(&image, &mut NullEvents, 200_000);
+        }
+    }
+
+    /// Compiling is deterministic: same source, same image shape.
+    #[test]
+    fn compilation_is_deterministic(tokens in proptest::collection::vec(token_strategy(), 0..40)) {
+        let source = tokens.join(" ");
+        match (forth::compile(&source), forth::compile(&source)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.program.len(), b.program.len());
+                prop_assert_eq!(a.operands, b.operands);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.message, b.message),
+            (a, b) => prop_assert!(false, "nondeterministic outcome: {a:?} vs {b:?}"),
+        }
+    }
+}

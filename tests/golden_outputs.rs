@@ -1,0 +1,53 @@
+//! Golden-output regression tests: every bundled benchmark must keep
+//! producing its recorded checksum and step count. Any semantic change to a
+//! VM, a compiler, or a benchmark program trips these immediately — and
+//! because outputs are technique-independent (verified elsewhere), one
+//! recording covers every dispatch variant.
+
+use ivm::core::NullEvents;
+
+#[test]
+fn forth_suite_golden() {
+    let expected = [
+        ("gray", "47530 \n", 2_982_942u64),
+        ("bench-gc", "4484 76 \n", 2_934_418),
+        ("tscp", "146 7247 \n", 296_491),
+        ("vmgen", "62213 \n", 1_895_101),
+        ("cross", "38662 \n", 4_035_669),
+        ("brainless", "65005 4092 \n", 2_062_379),
+        ("brew", "87 1 \n", 2_231_617),
+    ];
+    for (name, text, steps) in expected {
+        let b = ivm::forth::programs::find(name).expect("bundled benchmark");
+        let image = b.image();
+        let out = ivm::forth::run(&image, &mut NullEvents, 100_000_000)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out.text, text, "{name} output drifted");
+        assert_eq!(out.steps, steps, "{name} step count drifted");
+        assert!(out.stack.is_empty(), "{name} left data on the stack");
+    }
+}
+
+#[test]
+fn java_suite_golden() {
+    // (name, text, steps, allocations, quickenings)
+    let expected = [
+        ("jack", "278365488\n", 490_007u64, 1u64, 3u64),
+        ("mpeg", "16752608\n", 446_783, 1, 3),
+        ("compress", "2246496\n", 634_139, 5, 3),
+        ("javac", "10522\n", 1_110_804, 122, 3),
+        ("jess", "17325658\n", 395_047, 265, 15),
+        ("db", "541\n", 788_228, 161, 14),
+        ("mtrt", "8723838\n", 1_358_131, 65, 453),
+    ];
+    for (name, text, steps, allocations, quickenings) in expected {
+        let b = ivm::java::programs::find(name).expect("bundled benchmark");
+        let image = (b.build)();
+        let out = ivm::java::run(&image, &mut NullEvents, 200_000_000)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out.text, text, "{name} output drifted");
+        assert_eq!(out.steps, steps, "{name} step count drifted");
+        assert_eq!(out.allocations, allocations, "{name} allocation count drifted");
+        assert_eq!(out.quickenings, quickenings, "{name} quickening count drifted");
+    }
+}

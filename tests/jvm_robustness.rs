@@ -1,0 +1,99 @@
+//! Mini-JVM robustness: random straight-line bytecode must run to
+//! completion or produce a structured error — never panic or hang.
+
+use proptest::prelude::*;
+
+use ivm::core::NullEvents;
+use ivm::java::{self, Asm};
+
+#[derive(Debug, Clone, Copy)]
+enum Emit {
+    Ldc(i16),
+    Iload(u8),
+    Istore(u8),
+    Iinc(u8, i8),
+    Pop,
+    Dup,
+    Swap,
+    Iadd,
+    Isub,
+    Imul,
+    Idiv,
+    Newarray,
+    Iaload,
+    Iastore,
+    Arraylength,
+    GetStatic,
+    PutStatic,
+}
+
+fn emit_strategy() -> impl Strategy<Value = Emit> {
+    prop_oneof![
+        any::<i16>().prop_map(Emit::Ldc),
+        (0u8..6).prop_map(Emit::Iload),
+        (0u8..6).prop_map(Emit::Istore),
+        ((0u8..6), any::<i8>()).prop_map(|(i, d)| Emit::Iinc(i, d)),
+        Just(Emit::Pop),
+        Just(Emit::Dup),
+        Just(Emit::Swap),
+        Just(Emit::Iadd),
+        Just(Emit::Isub),
+        Just(Emit::Imul),
+        Just(Emit::Idiv),
+        Just(Emit::Newarray),
+        Just(Emit::Iaload),
+        Just(Emit::Iastore),
+        Just(Emit::Arraylength),
+        Just(Emit::GetStatic),
+        Just(Emit::PutStatic),
+    ]
+}
+
+fn build(emits: &[Emit]) -> java::JavaImage {
+    let mut a = Asm::new();
+    a.class("Main", None, &[]);
+    a.begin_static("Main", "main", 0, 6);
+    for e in emits {
+        match *e {
+            Emit::Ldc(v) => a.ldc(i64::from(v)),
+            Emit::Iload(i) => a.iload(usize::from(i)),
+            Emit::Istore(i) => a.istore(usize::from(i)),
+            Emit::Iinc(i, d) => a.iinc(usize::from(i), i32::from(d)),
+            Emit::Pop => a.pop(),
+            Emit::Dup => a.dup(),
+            Emit::Swap => a.swap(),
+            Emit::Iadd => a.iadd(),
+            Emit::Isub => a.isub(),
+            Emit::Imul => a.imul(),
+            Emit::Idiv => a.idiv(),
+            Emit::Newarray => a.newarray(),
+            Emit::Iaload => a.iaload(),
+            Emit::Iastore => a.iastore(),
+            Emit::Arraylength => a.arraylength(),
+            Emit::GetStatic => a.getstatic("Main.g"),
+            Emit::PutStatic => a.putstatic("Main.g"),
+        }
+    }
+    a.ret();
+    a.end_method();
+    a.link()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random straight-line bytecode never panics the VM.
+    #[test]
+    fn random_bytecode_runs_or_errors(emits in proptest::collection::vec(emit_strategy(), 0..40)) {
+        let image = build(&emits);
+        let _ = java::run(&image, &mut NullEvents, 100_000);
+    }
+
+    /// The disassembler handles anything the assembler produces.
+    #[test]
+    fn disassembler_total(emits in proptest::collection::vec(emit_strategy(), 0..40)) {
+        let image = build(&emits);
+        let listing = java::disassemble(&image);
+        prop_assert!(listing.lines().count() >= image.program.len());
+    }
+}

@@ -1,0 +1,327 @@
+//! Property tests: every dispatch technique must handle arbitrary program
+//! shapes, and the paper's structural invariants must hold on all of them.
+//!
+//! Programs are generated as raw instruction streams (kinds + targets) and
+//! driven by a deterministic random walk, so these tests exercise the
+//! translators (block/region construction, sharing, quick gaps, side
+//! entries) far beyond what the hand-written benchmarks reach.
+
+use proptest::prelude::*;
+
+use ivm_bpred::IdealBtb;
+use ivm_cache::{CycleCosts, PerfectIcache};
+use ivm_core::{
+    translate, CoverAlgorithm, Engine, InstKind, Measurement, NativeSpec, OpId, Profile,
+    ProfileCollector, ProgramCode, ReplicaSelection, RunResult, Runner, SuperSelection,
+    Technique, VmEvents, VmSpec,
+};
+
+/// A tiny VM with every instruction kind, including a quickable one.
+struct TestVm {
+    spec: VmSpec,
+    plain: Vec<OpId>,
+    cond: OpId,
+    jump: OpId,
+    call: OpId,
+    ret: OpId,
+    quickable: OpId,
+    quick: OpId,
+}
+
+fn test_vm() -> TestVm {
+    let mut b = VmSpec::builder("proptest");
+    let plain = vec![
+        b.inst("p0", NativeSpec::new(2, 6, InstKind::Plain)),
+        b.inst("p1", NativeSpec::new(3, 9, InstKind::Plain)),
+        b.inst("p2", NativeSpec::new(1, 4, InstKind::Plain)),
+        b.inst("p3", NativeSpec::new(5, 14, InstKind::Plain).non_relocatable()),
+    ];
+    let cond = b.inst("cond", NativeSpec::new(3, 12, InstKind::CondBranch));
+    let jump = b.inst("jump", NativeSpec::new(2, 8, InstKind::Jump));
+    let call = b.inst("call", NativeSpec::new(4, 12, InstKind::Call));
+    let ret = b.inst("ret", NativeSpec::new(3, 10, InstKind::Return));
+    let quick = b.inst("gq", NativeSpec::new(4, 12, InstKind::Plain));
+    let quickable = b.quickable("g", NativeSpec::new(40, 80, InstKind::Plain), vec![quick]);
+    TestVm { spec: b.build(), plain, cond, jump, call, ret, quickable, quick }
+}
+
+/// Instruction template drawn by proptest; resolved into a program later.
+#[derive(Debug, Clone, Copy)]
+enum Templ {
+    Plain(u8),
+    Quickable,
+    Cond(u8),
+    Jump(u8),
+    Call(u8),
+    Ret,
+}
+
+fn templ_strategy() -> impl Strategy<Value = Templ> {
+    prop_oneof![
+        5 => any::<u8>().prop_map(Templ::Plain),
+        1 => Just(Templ::Quickable),
+        2 => any::<u8>().prop_map(Templ::Cond),
+        1 => any::<u8>().prop_map(Templ::Jump),
+        1 => any::<u8>().prop_map(Templ::Call),
+        1 => Just(Templ::Ret),
+    ]
+}
+
+/// Like [`templ_strategy`] but only fully-relocatable, non-quickable
+/// instructions: non-relocatable interiors execute dispatch stubs in
+/// dynamic code (paper §5.2), so dispatch-count monotonicity only holds for
+/// relocatable programs.
+fn relocatable_templ_strategy() -> impl Strategy<Value = Templ> {
+    prop_oneof![
+        5 => (0u8..3).prop_map(Templ::Plain),
+        2 => any::<u8>().prop_map(Templ::Cond),
+        1 => any::<u8>().prop_map(Templ::Jump),
+        1 => any::<u8>().prop_map(Templ::Call),
+        1 => Just(Templ::Ret),
+    ]
+}
+
+fn build_program(vm: &TestVm, templ: &[Templ]) -> ProgramCode {
+    let n = templ.len() as u32;
+    let mut p = ProgramCode::builder("random");
+    for (i, t) in templ.iter().enumerate() {
+        let pick_target = |sel: u8| u32::from(sel) % n;
+        match t {
+            Templ::Plain(k) => {
+                p.push(vm.plain[usize::from(*k) % vm.plain.len()], None);
+            }
+            Templ::Quickable => {
+                p.push(vm.quickable, None);
+            }
+            Templ::Cond(s) => {
+                p.push(vm.cond, Some(pick_target(*s)));
+            }
+            Templ::Jump(s) => {
+                p.push(vm.jump, Some(pick_target(*s)));
+            }
+            Templ::Call(s) => {
+                let t = pick_target(*s);
+                let inst = p.push(vm.call, Some(t));
+                // call targets are entry points
+                let _ = inst;
+                p.mark_entry(t);
+            }
+            Templ::Ret => {
+                p.push(vm.ret, None);
+            }
+        }
+        let _ = i;
+    }
+    // Ensure execution cannot fall off the end.
+    p.push(vm.ret, None);
+    p.finish(&vm.spec)
+}
+
+/// Deterministic random walk over the program, reporting to `events`.
+/// Returns the number of steps taken.
+fn walk(vm: &TestVm, program: &ProgramCode, decisions: &[bool], events: &mut dyn VmEvents) -> usize {
+    let n = program.len();
+    let mut quickened = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut d = 0usize;
+    let decide = |d: &mut usize| {
+        let v = decisions[*d % decisions.len()];
+        *d += 1;
+        v
+    };
+    let mut ip = 0usize;
+    events.begin(ip);
+    for step in 0..600 {
+        let op = program.op(ip);
+        let kind = vm.spec.native(op).kind;
+        // Quickening happens on the first execution of a quickable site.
+        if kind == InstKind::Quickable && !quickened[ip] {
+            quickened[ip] = true;
+            events.quicken(ip, vm.quick);
+        }
+        let (next, taken) = match kind {
+            InstKind::Plain | InstKind::Quickable => (ip + 1, false),
+            InstKind::CondBranch => {
+                if decide(&mut d) {
+                    (program.target(ip).expect("cond target"), true)
+                } else {
+                    (ip + 1, false)
+                }
+            }
+            InstKind::Jump => (program.target(ip).expect("jump target"), true),
+            InstKind::Call => {
+                if stack.len() < 16 {
+                    stack.push(ip + 1);
+                    (program.target(ip).expect("call target"), true)
+                } else {
+                    // Too deep: treat as a no-op fall-through is illegal for
+                    // Call, so return instead (pop if possible).
+                    match stack.pop() {
+                        Some(r) => (r, true),
+                        None => return step,
+                    }
+                }
+            }
+            InstKind::Return => match stack.pop() {
+                Some(r) => (r, true),
+                None => return step,
+            },
+        };
+        if next >= n {
+            return step;
+        }
+        events.transfer(ip, next, taken);
+        ip = next;
+    }
+    600
+}
+
+fn all_techniques() -> Vec<Technique> {
+    vec![
+        Technique::Switch,
+        Technique::Threaded,
+        Technique::StaticRepl { budget: 30, selection: ReplicaSelection::RoundRobin },
+        Technique::StaticRepl { budget: 13, selection: ReplicaSelection::Random { seed: 5 } },
+        Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Greedy },
+        Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Optimal },
+        Technique::StaticBoth {
+            replicas: 15,
+            supers: 10,
+            selection: ReplicaSelection::RoundRobin,
+            algo: CoverAlgorithm::Greedy,
+        },
+        Technique::DynamicRepl,
+        Technique::DynamicSuper,
+        Technique::DynamicBoth,
+        Technique::AcrossBb,
+        Technique::WithStaticSuper { supers: 20, algo: CoverAlgorithm::Greedy },
+        Technique::WithStaticSuperAcross { supers: 20, algo: CoverAlgorithm::Greedy },
+        Technique::SubroutineThreading,
+    ]
+}
+
+fn run_technique(
+    vm: &TestVm,
+    program: &ProgramCode,
+    decisions: &[bool],
+    profile: &Profile,
+    tech: Technique,
+) -> RunResult {
+    let t = translate(&vm.spec, program, tech, Some(profile), SuperSelection::gforth());
+    assert_eq!(t.validate(), program.len(), "{tech}: layout invariants");
+    let engine = Engine::new(
+        Box::new(IdealBtb::new()),
+        Box::new(PerfectIcache::default()),
+        CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
+    );
+    let mut m = Measurement::new(t, Runner::new(engine));
+    walk(vm, program, decisions, &mut m);
+    m.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every technique translates and executes every program shape.
+    #[test]
+    fn all_techniques_survive_random_programs(
+        templ in proptest::collection::vec(templ_strategy(), 4..50),
+        decisions in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let vm = test_vm();
+        let program = build_program(&vm, &templ);
+        let mut collector = ProfileCollector::new(&program);
+        walk(&vm, &program, &decisions, &mut collector);
+        let profile = collector.into_profile();
+        for tech in all_techniques() {
+            let r = run_technique(&vm, &program, &decisions, &profile, tech);
+            prop_assert!(r.cycles >= 0.0, "{tech}: negative cycles");
+        }
+    }
+
+    /// Paper §7.3: plain, static replication and dynamic replication retire
+    /// exactly the same instructions and indirect branches.
+    #[test]
+    fn replication_preserves_instruction_counts(
+        templ in proptest::collection::vec(templ_strategy(), 4..50),
+        decisions in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let vm = test_vm();
+        let program = build_program(&vm, &templ);
+        let mut collector = ProfileCollector::new(&program);
+        walk(&vm, &program, &decisions, &mut collector);
+        let profile = collector.into_profile();
+
+        let plain = run_technique(&vm, &program, &decisions, &profile, Technique::Threaded);
+        let srepl = run_technique(&vm, &program, &decisions, &profile,
+            Technique::StaticRepl { budget: 30, selection: ReplicaSelection::RoundRobin });
+        let drepl = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicRepl);
+
+        prop_assert_eq!(plain.counters.instructions, srepl.counters.instructions);
+        prop_assert_eq!(plain.counters.indirect_branches, srepl.counters.indirect_branches);
+        prop_assert_eq!(plain.counters.instructions, drepl.counters.instructions);
+        prop_assert_eq!(plain.counters.indirect_branches, drepl.counters.indirect_branches);
+        prop_assert_eq!(plain.counters.dispatches, drepl.counters.dispatches);
+    }
+
+    /// Dynamic super and dynamic both differ only in sharing: identical
+    /// instruction counts, and sharing never *increases* code size.
+    #[test]
+    fn sharing_only_affects_code_size(
+        templ in proptest::collection::vec(templ_strategy(), 4..50),
+        decisions in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let vm = test_vm();
+        let program = build_program(&vm, &templ);
+        let mut collector = ProfileCollector::new(&program);
+        walk(&vm, &program, &decisions, &mut collector);
+        let profile = collector.into_profile();
+
+        let ds = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicSuper);
+        let db = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicBoth);
+        prop_assert_eq!(ds.counters.instructions, db.counters.instructions);
+        prop_assert_eq!(ds.counters.indirect_branches, db.counters.indirect_branches);
+        prop_assert!(ds.counters.code_bytes <= db.counters.code_bytes);
+    }
+
+    /// Superinstructions and fall-through merging only remove dispatches
+    /// (for relocatable code — stubs for non-relocatable interiors may add
+    /// them, paper §5.2).
+    #[test]
+    fn dispatch_counts_are_monotone(
+        templ in proptest::collection::vec(relocatable_templ_strategy(), 4..50),
+        decisions in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let vm = test_vm();
+        let program = build_program(&vm, &templ);
+        let mut collector = ProfileCollector::new(&program);
+        walk(&vm, &program, &decisions, &mut collector);
+        let profile = collector.into_profile();
+
+        let plain = run_technique(&vm, &program, &decisions, &profile, Technique::Threaded);
+        let ds = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicSuper);
+        let across = run_technique(&vm, &program, &decisions, &profile, Technique::AcrossBb);
+        prop_assert!(ds.counters.dispatches <= plain.counters.dispatches);
+        prop_assert!(across.counters.dispatches <= ds.counters.dispatches);
+    }
+
+    /// The optimal parser never produces more units (dispatches) than
+    /// greedy under identical superinstruction tables.
+    #[test]
+    fn optimal_never_worse_than_greedy(
+        templ in proptest::collection::vec(templ_strategy(), 4..50),
+        decisions in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let vm = test_vm();
+        let program = build_program(&vm, &templ);
+        let mut collector = ProfileCollector::new(&program);
+        walk(&vm, &program, &decisions, &mut collector);
+        let profile = collector.into_profile();
+
+        let g = run_technique(&vm, &program, &decisions, &profile,
+            Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Greedy });
+        let o = run_technique(&vm, &program, &decisions, &profile,
+            Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Optimal });
+        prop_assert!(o.counters.dispatches <= g.counters.dispatches);
+    }
+}
