@@ -1,8 +1,10 @@
-//! Criterion microbenchmarks of the predictor and cache simulators.
+//! Microbenchmarks of the predictor and cache simulators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor};
+use ivm_bpred::{
+    Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
+};
 use ivm_cache::{FetchCache, Icache, IcacheConfig, TraceCache};
+use ivm_harness::Bencher;
 
 /// A synthetic dispatch stream: 64 branches cycling over 4 targets each.
 fn stream() -> Vec<(u64, u64)> {
@@ -15,20 +17,18 @@ fn stream() -> Vec<(u64, u64)> {
         .collect()
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn bench_predictors(b: &mut Bencher) {
     let s = stream();
-    let mut group = c.benchmark_group("predictors");
+    let mut group = b.group("predictors");
     let mut run = |name: &str, p: &mut dyn IndirectPredictor| {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| {
-                let mut misses = 0u64;
-                for &(branch, target) in &s {
-                    if !p.predict_and_update(branch, target) {
-                        misses += 1;
-                    }
+        group.bench(name, || {
+            let mut misses = 0u64;
+            for &(branch, target) in &s {
+                if !p.predict_and_update(branch, target) {
+                    misses += 1;
                 }
-                misses
-            });
+            }
+            misses
         });
     };
     run("ideal", &mut IdealBtb::new());
@@ -36,26 +36,26 @@ fn bench_predictors(c: &mut Criterion) {
     run("btb-p4", &mut Btb::new(BtbConfig::pentium4()));
     run("btb-2bit", &mut TwoBitBtb::new());
     run("two-level", &mut TwoLevelPredictor::new(TwoLevelConfig::pentium_m()));
-    group.finish();
 }
 
-fn bench_caches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fetch-caches");
+fn bench_caches(b: &mut Bencher) {
+    let mut group = b.group("fetch-caches");
     let mut run = |name: &str, cache: &mut dyn FetchCache| {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| {
-                let mut misses = 0u64;
-                for i in 0..4096u64 {
-                    misses += cache.fetch((i % 512) * 48, 24);
-                }
-                misses
-            });
+        group.bench(name, || {
+            let mut misses = 0u64;
+            for i in 0..4096u64 {
+                misses += cache.fetch((i % 512) * 48, 24);
+            }
+            misses
         });
     };
     run("celeron-l1i", &mut Icache::new(IcacheConfig::celeron_l1i()));
     run("p4-trace-cache", &mut TraceCache::pentium4());
-    group.finish();
 }
 
-criterion_group!(benches, bench_predictors, bench_caches);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bencher::new("predictors");
+    bench_predictors(&mut b);
+    bench_caches(&mut b);
+    b.finish();
+}

@@ -13,14 +13,13 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin ablations`
 
-use ivm_bench::{forth_training, print_table, Row};
+use ivm_bench::{forth_benches, forth_training, print_table, smoke, Row};
 use ivm_bpred::{
     Btb, BtbConfig, CascadedPredictor, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
     TwoLevelPredictor,
 };
 use ivm_cache::{CpuSpec, Icache, IcacheConfig};
 use ivm_core::{CoverAlgorithm, Engine, Profile, ReplicaSelection, Technique};
-use ivm_forth::programs::SUITE;
 
 fn engine_with(pred: Box<dyn IndirectPredictor>, cpu: &CpuSpec) -> Engine {
     Engine::new(pred, cpu.fetch_cache(), cpu.costs)
@@ -28,8 +27,11 @@ fn engine_with(pred: Box<dyn IndirectPredictor>, cpu: &CpuSpec) -> Engine {
 
 fn replica_selection(training: &Profile) {
     let cpu = CpuSpec::celeron800();
+    // A single stream can get lucky on an individual benchmark, so the
+    // random arm is averaged over several seeds.
+    const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
     let mut rows = Vec::new();
-    for b in SUITE {
+    for b in forth_benches() {
         let image = b.image();
         let (rr, _) = ivm_forth::measure(
             &image,
@@ -38,26 +40,34 @@ fn replica_selection(training: &Profile) {
             Some(training),
         )
         .expect("runs");
-        let image = b.image();
-        let (rand, _) = ivm_forth::measure(
-            &image,
-            Technique::StaticRepl { budget: 400, selection: ReplicaSelection::Random { seed: 3 } },
-            &cpu,
-            Some(training),
-        )
-        .expect("runs");
+        let mut rand_mispred = 0.0;
+        let mut rand_cycles = 0.0;
+        for seed in SEEDS {
+            let image = b.image();
+            let (rand, _) = ivm_forth::measure(
+                &image,
+                Technique::StaticRepl { budget: 400, selection: ReplicaSelection::Random { seed } },
+                &cpu,
+                Some(training),
+            )
+            .expect("runs");
+            rand_mispred += rand.counters.indirect_mispredicted as f64;
+            rand_cycles += rand.cycles;
+        }
+        rand_mispred /= SEEDS.len() as f64;
+        rand_cycles /= SEEDS.len() as f64;
         rows.push(Row {
             label: b.name.to_owned(),
             values: vec![
                 rr.counters.indirect_mispredicted as f64,
-                rand.counters.indirect_mispredicted as f64,
-                rand.cycles / rr.cycles,
+                rand_mispred,
+                rand_cycles / rr.cycles,
             ],
         });
     }
     print_table(
         "§5.1 replica selection: mispredictions, round-robin vs random \
-         (3rd col: round-robin speed advantage)",
+         (random averaged over 5 seeds; 3rd col: round-robin speed advantage)",
         &["rr-mispred", "rnd-mispred", "rr-adv"],
         &rows,
         2,
@@ -67,7 +77,7 @@ fn replica_selection(training: &Profile) {
 fn cover_algorithms(training: &Profile) {
     let cpu = CpuSpec::celeron800();
     let mut rows = Vec::new();
-    for b in SUITE {
+    for b in forth_benches() {
         let image = b.image();
         let (g, _) = ivm_forth::measure(
             &image,
@@ -112,7 +122,7 @@ fn predictor_family(training: &Profile) {
         ("two-level", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
         ("cascaded", || Box::new(CascadedPredictor::with_defaults())),
     ];
-    for b in SUITE.iter().take(3) {
+    for b in forth_benches().iter().take(3) {
         for &(pname, make) in &families {
             let image = b.image();
             let (plain, _) = ivm_forth::measure_with(
@@ -124,10 +134,7 @@ fn predictor_family(training: &Profile) {
             .expect("runs");
             rows.push(Row {
                 label: format!("{} / {}", b.name, pname),
-                values: vec![
-                    100.0 * plain.counters.misprediction_rate(),
-                    plain.cycles,
-                ],
+                values: vec![100.0 * plain.counters.misprediction_rate(), plain.cycles],
             });
         }
     }
@@ -142,21 +149,19 @@ fn predictor_family(training: &Profile) {
 
 fn btb_size_sweep(training: &Profile) {
     let cpu = CpuSpec::celeron800();
-    let b = ivm_forth::programs::BENCH_GC;
-    let sizes = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192];
+    let b = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
+    let sizes: &[usize] =
+        if smoke() { &[64, 512, 8192] } else { &[64, 128, 256, 512, 1024, 2048, 4096, 8192] };
     let mut rows = Vec::new();
     for tech in [Technique::Threaded, Technique::DynamicRepl] {
         let mut values = Vec::new();
-        for &entries in &sizes {
+        for &entries in sizes {
             let image = b.image();
             let pred = Box::new(Btb::new(BtbConfig::new(entries, 4)));
-            let engine = Engine::new(
-                pred,
-                Box::new(Icache::new(IcacheConfig::celeron_l1i())),
-                cpu.costs,
-            );
-            let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(training))
-                .expect("runs");
+            let engine =
+                Engine::new(pred, Box::new(Icache::new(IcacheConfig::celeron_l1i())), cpu.costs);
+            let (r, _) =
+                ivm_forth::measure_with(&image, tech, engine, Some(training)).expect("runs");
             values.push(r.counters.indirect_mispredicted as f64);
         }
         rows.push(Row { label: tech.paper_name().to_owned(), values });
@@ -179,7 +184,7 @@ fn tos_caching(training: &Profile) {
     let cpu = CpuSpec::pentium4_northwood();
     let no_tos = ivm_forth::spec_without_tos_caching();
     let mut rows = Vec::new();
-    for b in SUITE.iter().take(4) {
+    for b in forth_benches().iter().take(4) {
         let image = b.image();
         let gain = |spec: &ivm_core::VmSpec| {
             let cycles = |tech| {

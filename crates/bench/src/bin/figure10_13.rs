@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure10_13 -- [bench-gc|brew|mpeg|compress|<any suite name>]`
 //! (default: all four of the paper's figures)
 
-use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_bench::{forth_training, java_benches, java_trainings, print_table, smoke, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{RunResult, Technique};
 
@@ -24,16 +24,13 @@ fn metrics_row(r: &RunResult, costs: &ivm_cache::CycleCosts) -> Vec<f64> {
     ]
 }
 
-fn report(figure: &str, bench: &str, results: &[(Technique, RunResult)], costs: &ivm_cache::CycleCosts) {
-    let columns = [
-        "cycles",
-        "instrs",
-        "ind.br.",
-        "mispred",
-        "ic.miss",
-        "misscyc",
-        "codeB",
-    ];
+fn report(
+    figure: &str,
+    bench: &str,
+    results: &[(Technique, RunResult)],
+    costs: &ivm_cache::CycleCosts,
+) {
+    let columns = ["cycles", "instrs", "ind.br.", "mispred", "ic.miss", "misscyc", "codeB"];
     let raw: Vec<Row> = results
         .iter()
         .map(|(t, r)| Row { label: t.paper_name().to_owned(), values: metrics_row(r, costs) })
@@ -79,12 +76,10 @@ fn run_forth(figure: &str, name: &str) {
 
 fn run_java(figure: &str, name: &str) {
     let cpu = CpuSpec::pentium4_northwood();
-    let idx = ivm_java::programs::SUITE
-        .iter()
-        .position(|b| b.name == name)
-        .expect("known java benchmark");
+    let benches = java_benches();
+    let idx = benches.iter().position(|b| b.name == name).expect("known java benchmark");
     let training = &java_trainings()[idx];
-    let b = ivm_java::programs::SUITE[idx];
+    let b = benches[idx];
     let results: Vec<(Technique, RunResult)> = Technique::jvm_suite()
         .into_iter()
         .map(|t| {
@@ -121,7 +116,10 @@ fn run_one(name: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        for name in ["bench-gc", "brew", "mpeg", "compress"] {
+        // The paper's four figures; in smoke mode one per VM suffices.
+        let defaults: &[&str] =
+            if smoke() { &["micro", "mpeg"] } else { &["bench-gc", "brew", "mpeg", "compress"] };
+        for name in defaults {
             run_one(name);
         }
     } else {

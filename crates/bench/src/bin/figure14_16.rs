@@ -8,11 +8,17 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure14_16 -- [forth|java]`
 //! (default: both)
 
-use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_bench::{forth_training, java_benches, java_trainings, print_table, smoke, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Profile, ReplicaSelection, Technique};
 
-const PERCENTS: [usize; 11] = [0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+fn percents() -> &'static [usize] {
+    if smoke() {
+        &[0, 50, 100]
+    } else {
+        &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    }
+}
 
 fn split_technique(total: usize, pct_super: usize) -> Technique {
     let supers = total * pct_super / 100;
@@ -30,17 +36,14 @@ fn split_technique(total: usize, pct_super: usize) -> Technique {
     }
 }
 
-fn sweep(
-    totals: &[usize],
-    mut run: impl FnMut(Technique) -> (f64, u64),
-) -> (Vec<Row>, Vec<Row>) {
+fn sweep(totals: &[usize], mut run: impl FnMut(Technique) -> (f64, u64)) -> (Vec<Row>, Vec<Row>) {
     let mut cycle_rows = Vec::new();
     let mut mispred_rows = Vec::new();
     for &total in totals {
         let mut cycles = Vec::new();
         let mut mispreds = Vec::new();
-        for pct in PERCENTS {
-            let (c, m) = run(split_technique(total, pct));
+        for pct in percents() {
+            let (c, m) = run(split_technique(total, *pct));
             cycles.push(c);
             mispreds.push(m as f64);
         }
@@ -51,20 +54,21 @@ fn sweep(
 }
 
 fn percent_columns() -> Vec<String> {
-    PERCENTS.iter().map(|p| format!("{p}%sup")).collect()
+    percents().iter().map(|p| format!("{p}%sup")).collect()
 }
 
 fn forth_sweep() {
     let cpu = CpuSpec::celeron800();
     let training = forth_training();
-    let bench = ivm_forth::programs::BENCH_GC;
+    let bench = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
     // The paper sweeps up to 1600 additional instructions (Figure 14).
-    let totals = [0usize, 25, 50, 100, 200, 400, 800, 1600];
+    let totals: &[usize] =
+        if smoke() { &[0, 100, 400] } else { &[0, 25, 50, 100, 200, 400, 800, 1600] };
     // Record the execution once and replay it per configuration — the
     // sweep measures the same run under many layouts.
     let image = bench.image();
     let (trace, _) = ivm_forth::record(&image).expect("recording run");
-    let (cycles, _) = sweep(&totals, |tech| {
+    let (cycles, _) = sweep(totals, |tech| {
         let r = ivm_forth::measure_trace(&image, &trace, tech, &cpu, Some(&training));
         (r.cycles, r.counters.indirect_mispredicted)
     });
@@ -80,16 +84,14 @@ fn forth_sweep() {
 
 fn java_sweep() {
     let cpu = CpuSpec::pentium4_northwood();
-    let idx = ivm_java::programs::SUITE
-        .iter()
-        .position(|b| b.name == "mpeg")
-        .expect("mpeg exists");
+    let benches = java_benches();
+    let idx = benches.iter().position(|b| b.name == "mpeg").expect("mpeg exists");
     let training: Profile = java_trainings().swap_remove(idx);
-    let bench = ivm_java::programs::SUITE[idx];
-    let totals = [0usize, 50, 100, 200, 300, 400];
+    let bench = benches[idx];
+    let totals: &[usize] = if smoke() { &[0, 200] } else { &[0, 50, 100, 200, 300, 400] };
     let image = (bench.build)();
     let (trace, _) = ivm_java::record(&image).expect("recording run");
-    let (cycles, mispreds) = sweep(&totals, |tech| {
+    let (cycles, mispreds) = sweep(totals, |tech| {
         let r = ivm_java::measure_trace(&image, &trace, tech, &cpu, Some(&training));
         (r.cycles, r.counters.indirect_mispredicted)
     });

@@ -19,14 +19,9 @@ fn main() {
         })
         .collect();
 
-    let mut rows = vec![Row {
-        label: "plain".to_owned(),
-        values: vec![1.0; baselines.len()],
-    }];
+    let mut rows = vec![Row { label: "plain".to_owned(), values: vec![1.0; baselines.len()] }];
     rows.extend(
-        speedup_rows(&baselines, &per_technique)
-            .into_iter()
-            .filter(|r| r.label != "plain"),
+        speedup_rows(&baselines, &per_technique).into_iter().filter(|r| r.label != "plain"),
     );
     print_table(
         &format!(

@@ -22,7 +22,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin scaling`
 
-use ivm_bench::{print_table, Row};
+use ivm_bench::{print_table, smoke, Row};
 use ivm_bpred::{Btb, BtbConfig};
 use ivm_cache::{CpuSpec, PerfectIcache};
 use ivm_core::{Engine, ReplicaSelection, Technique};
@@ -56,7 +56,13 @@ fn synthesize(words: usize, body_len: usize) -> String {
     src
 }
 
-const SIZES: [usize; 6] = [4, 8, 16, 32, 64, 128];
+fn sizes() -> &'static [usize] {
+    if smoke() {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    }
+}
 
 fn static_repl() -> Technique {
     Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin }
@@ -65,7 +71,7 @@ fn static_repl() -> Technique {
 fn prediction_only() {
     let cpu = CpuSpec::pentium4_northwood();
     let mut rows = Vec::new();
-    for &words in &SIZES {
+    for &words in sizes() {
         let src = synthesize(words, 12);
         let image = ivm_forth::compile(&src).expect("synthetic program compiles");
         let profile = ivm_forth::profile(&image).expect("profiles");
@@ -94,7 +100,7 @@ fn prediction_only() {
 fn celeron_regime() {
     let cpu = CpuSpec::celeron800();
     let mut rows = Vec::new();
-    for &words in &SIZES {
+    for &words in sizes() {
         let src = synthesize(words, 12);
         let image = ivm_forth::compile(&src).expect("synthetic program compiles");
         let profile = ivm_forth::profile(&image).expect("profiles");
@@ -102,8 +108,7 @@ fn celeron_regime() {
             ivm_forth::measure(&image, Technique::Threaded, &cpu, Some(&profile)).expect("runs");
         let mut values = Vec::new();
         for tech in [static_repl(), Technique::DynamicRepl, Technique::DynamicSuper] {
-            let (r, _) =
-                ivm_forth::measure(&image, tech, &cpu, Some(&profile)).expect("runs");
+            let (r, _) = ivm_forth::measure(&image, tech, &cpu, Some(&profile)).expect("runs");
             values.push(plain.cycles / r.cycles);
         }
         rows.push(Row { label: format!("{words} words"), values });

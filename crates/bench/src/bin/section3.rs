@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin section3`
 
-use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_bench::{forth_benches, forth_training, java_benches, java_trainings, print_table, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
@@ -19,7 +19,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut ratio_rows = Vec::new();
-    for b in ivm_forth::programs::SUITE {
+    for b in forth_benches() {
         let image = b.image();
         let (switch, _) = ivm_forth::measure(&image, Technique::Switch, &cpu, Some(&training))
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
@@ -53,7 +53,7 @@ fn main() {
 
     let trainings = java_trainings();
     let mut jrows = Vec::new();
-    for (b, t) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+    for (b, t) in java_benches().iter().zip(&trainings) {
         let image = (b.build)();
         let (plain, _) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(t))
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));

@@ -8,65 +8,61 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin simulator_study -- [benchmark]`
 
-use ivm_bench::{forth_training, print_table, Row};
+use ivm_bench::{forth_training, print_table, smoke, Row};
 use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
 use ivm_cache::{CycleCosts, Icache, IcacheConfig, PerfectIcache};
 use ivm_core::{Engine, Technique};
 
 fn techniques() -> Vec<Technique> {
-    vec![
-        Technique::Threaded,
-        Technique::DynamicRepl,
-        Technique::DynamicSuper,
-        Technique::AcrossBb,
-    ]
+    vec![Technique::Threaded, Technique::DynamicRepl, Technique::DynamicSuper, Technique::AcrossBb]
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bench-gc".into());
-    let bench = ivm_forth::programs::find(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let default = if smoke() { "micro" } else { "bench-gc" };
+    let name = std::env::args().nth(1).unwrap_or_else(|| default.into());
+    let bench =
+        ivm_forth::programs::find(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let training = forth_training();
     let costs = CycleCosts::celeron();
 
     // Part 1: BTB geometry grid with a perfect I-cache.
-    let geometries: Vec<(String, BtbConfig)> = [
-        (256usize, 1usize),
-        (256, 4),
-        (512, 1),
-        (512, 4),
-        (2048, 4),
-        (8192, 4),
-    ]
-    .into_iter()
-    .flat_map(|(entries, assoc)| {
-        [
-            (format!("{entries}x{assoc} tagged"), BtbConfig::new(entries, assoc)),
-            (format!("{entries}x{assoc} tagless"), BtbConfig::new(entries, assoc).tagless()),
-        ]
-    })
-    .collect();
+    let shapes: &[(usize, usize)] = if smoke() {
+        &[(256, 1), (2048, 4)]
+    } else {
+        &[(256, 1), (256, 4), (512, 1), (512, 4), (2048, 4), (8192, 4)]
+    };
+    let geometries: Vec<(String, BtbConfig)> = shapes
+        .iter()
+        .copied()
+        .flat_map(|(entries, assoc)| {
+            [
+                (format!("{entries}x{assoc} tagged"), BtbConfig::new(entries, assoc)),
+                (format!("{entries}x{assoc} tagless"), BtbConfig::new(entries, assoc).tagless()),
+            ]
+        })
+        .collect();
 
     let mut rows = Vec::new();
     for (label, cfg) in &geometries {
         let mut values = Vec::new();
         for tech in techniques() {
             let image = bench.image();
-            let engine = Engine::new(
-                Box::new(Btb::new(*cfg)),
-                Box::new(PerfectIcache::default()),
-                costs,
-            );
+            let engine =
+                Engine::new(Box::new(Btb::new(*cfg)), Box::new(PerfectIcache::default()), costs);
             let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
                 .unwrap_or_else(|e| panic!("{tech}: {e}"));
             values.push(100.0 * r.counters.misprediction_rate());
         }
         rows.push(Row { label: label.clone(), values });
     }
-    let cols: Vec<&str> = techniques().iter().map(|t| t.paper_name()).map(|s| {
-        // leak is fine in a short-lived report binary
-        Box::leak(s.to_owned().into_boxed_str()) as &str
-    }).collect();
+    let cols: Vec<&str> = techniques()
+        .iter()
+        .map(|t| t.paper_name())
+        .map(|s| {
+            // leak is fine in a short-lived report binary
+            Box::leak(s.to_owned().into_boxed_str()) as &str
+        })
+        .collect();
     print_table(
         &format!("Misprediction rate (%) of {name} across BTB geometries (perfect I-cache)"),
         &cols,
@@ -76,7 +72,8 @@ fn main() {
 
     // Part 2: I-cache capacity sweep with an ideal predictor.
     let mut rows = Vec::new();
-    for kb in [4usize, 8, 16, 32, 64] {
+    let kbs: &[usize] = if smoke() { &[4, 64] } else { &[4, 8, 16, 32, 64] };
+    for &kb in kbs {
         let mut values = Vec::new();
         for tech in techniques() {
             let image = bench.image();

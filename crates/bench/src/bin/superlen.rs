@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin superlen`
 
-use ivm_bench::{forth_names, forth_training, java_trainings, print_table, Row};
+use ivm_bench::{
+    forth_benches, forth_names, forth_training, java_benches, java_trainings, print_table, Row,
+};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
@@ -24,7 +26,7 @@ fn main() {
     let mut rows = Vec::new();
     for tech in techniques {
         let mut values = Vec::new();
-        for b in ivm_forth::programs::SUITE {
+        for b in forth_benches() {
             let image = b.image();
             let (r, out) = ivm_forth::measure(&image, tech, &cpu, Some(&training))
                 .unwrap_or_else(|e| panic!("{tech}: {e}"));
@@ -44,7 +46,7 @@ fn main() {
     let mut rows = Vec::new();
     for tech in techniques {
         let mut values = Vec::new();
-        for (b, t) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+        for (b, t) in java_benches().iter().zip(&trainings) {
             let image = (b.build)();
             let (r, out) = ivm_java::measure(&image, tech, &cpu, Some(t))
                 .unwrap_or_else(|e| panic!("{tech}: {e}"));

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin table8`
 
-use ivm_bench::{java_trainings, print_table, Row};
+use ivm_bench::{java_benches, java_trainings, print_table, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
@@ -21,7 +21,7 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    for (b, training) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+    for (b, training) in java_benches().iter().zip(&trainings) {
         let mut values = Vec::new();
         for tech in techniques {
             let image = (b.build)();

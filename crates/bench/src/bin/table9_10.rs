@@ -14,7 +14,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin table9_10`
 
 use ivm_bench::native_model::NativeCompiler;
-use ivm_bench::{forth_training, java_trainings, print_table, Row};
+use ivm_bench::{forth_training, java_benches, java_trainings, print_table, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
@@ -56,7 +56,7 @@ fn table10() {
 
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; 1 + compilers.len()];
-    for (b, training) in ivm_java::programs::SUITE.iter().zip(&trainings) {
+    for (b, training) in java_benches().iter().zip(&trainings) {
         let image = (b.build)();
         let (plain, _) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(training))
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
@@ -70,8 +70,11 @@ fn table10() {
         }
         rows.push(Row { label: b.name.to_owned(), values });
     }
-    let n = ivm_java::programs::SUITE.len() as f64;
-    rows.push(Row { label: "average".to_owned(), values: sums.into_iter().map(|s| s / n).collect() });
+    let n = java_benches().len() as f64;
+    rows.push(Row {
+        label: "average".to_owned(),
+        values: sums.into_iter().map(|s| s / n).collect(),
+    });
     print_table(
         "Table X: JVM speedups over plain (native/JIT columns modelled)",
         &["w/static acr", "kaffe JIT", "HS interp", "HS mixed"],

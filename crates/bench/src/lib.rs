@@ -40,14 +40,47 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[Row], precision: usize
     println!();
 }
 
+/// True when the `IVM_SMOKE` environment variable is set (to anything
+/// but `0`).
+///
+/// In smoke mode the bin harnesses run a reduced workload — a
+/// two-benchmark subset of each suite and shortened sweeps — so CI can
+/// check every binary end to end in seconds. The numbers printed under
+/// smoke mode are *not* the paper's numbers; `results/*.txt` is always
+/// regenerated without it.
+pub fn smoke() -> bool {
+    std::env::var("IVM_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// The Forth benchmarks the harnesses iterate: the full paper suite, or
+/// just the micro workload under [`smoke`].
+pub fn forth_benches() -> Vec<ivm_forth::programs::Benchmark> {
+    if smoke() {
+        vec![ivm_forth::programs::MICRO]
+    } else {
+        ivm_forth::programs::SUITE.to_vec()
+    }
+}
+
+/// The Java benchmarks the harnesses iterate: the full paper suite, or a
+/// two-benchmark subset under [`smoke`]. mpeg stays in the subset
+/// because several binaries single it out by name.
+pub fn java_benches() -> Vec<ivm_java::programs::Benchmark> {
+    if smoke() {
+        vec![ivm_java::programs::MPEG, ivm_java::programs::DB]
+    } else {
+        ivm_java::programs::SUITE.to_vec()
+    }
+}
+
 /// The Forth benchmark names, in paper order.
 pub fn forth_names() -> Vec<&'static str> {
-    ivm_forth::programs::SUITE.iter().map(|b| b.name).collect()
+    forth_benches().iter().map(|b| b.name).collect()
 }
 
 /// The Java benchmark names, in paper order.
 pub fn java_names() -> Vec<&'static str> {
-    ivm_java::programs::SUITE.iter().map(|b| b.name).collect()
+    java_benches().iter().map(|b| b.name).collect()
 }
 
 /// Runs every Forth benchmark under `technique` on `cpu`.
@@ -58,7 +91,7 @@ pub fn java_names() -> Vec<&'static str> {
 ///
 /// Panics if a bundled benchmark fails at runtime (a bug in this crate).
 pub fn forth_suite(cpu: &CpuSpec, technique: Technique, training: &Profile) -> Vec<RunResult> {
-    ivm_forth::programs::SUITE
+    forth_benches()
         .iter()
         .map(|b| {
             let image = b.image();
@@ -75,7 +108,8 @@ pub fn forth_suite(cpu: &CpuSpec, technique: Technique, training: &Profile) -> V
 ///
 /// Panics if the training run fails.
 pub fn forth_training() -> Profile {
-    ivm_forth::profile(&ivm_forth::programs::BRAINLESS.image()).expect("training run")
+    let trainer = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BRAINLESS };
+    ivm_forth::profile(&trainer.image()).expect("training run")
 }
 
 /// Cross-validated training profiles for the Java suite: benchmark `i`
@@ -86,7 +120,7 @@ pub fn forth_training() -> Profile {
 ///
 /// Panics if a training run fails.
 pub fn java_trainings() -> Vec<Profile> {
-    let profiles: Vec<Profile> = ivm_java::programs::SUITE
+    let profiles: Vec<Profile> = java_benches()
         .iter()
         .map(|b| ivm_java::profile(&(b.build)()).expect("training run"))
         .collect();
@@ -110,7 +144,7 @@ pub fn java_trainings() -> Vec<Profile> {
 ///
 /// Panics if a bundled benchmark fails at runtime.
 pub fn java_suite(cpu: &CpuSpec, technique: Technique, trainings: &[Profile]) -> Vec<RunResult> {
-    ivm_java::programs::SUITE
+    java_benches()
         .iter()
         .zip(trainings)
         .map(|(b, training)| {
@@ -131,11 +165,7 @@ pub fn speedup_rows(
         .iter()
         .map(|(tech, results)| Row {
             label: tech.paper_name().to_owned(),
-            values: results
-                .iter()
-                .zip(baselines)
-                .map(|(r, b)| r.speedup_over(b))
-                .collect(),
+            values: results.iter().zip(baselines).map(|(r, b)| r.speedup_over(b)).collect(),
         })
         .collect()
 }

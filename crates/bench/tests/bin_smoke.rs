@@ -1,0 +1,79 @@
+//! Smoke test: every bin target in `src/bin/` must run end to end on the
+//! reduced `IVM_SMOKE` workload, exit successfully, and print at least
+//! one parseable table row. This is what keeps the 15 report harnesses
+//! honest between full `results/` regenerations.
+
+use std::process::Command;
+use std::thread;
+
+/// Every bin target of this crate, resolved at compile time so the test
+/// fails to build if a binary is renamed without updating the list.
+const BINS: &[(&str, &str)] = &[
+    ("ablations", env!("CARGO_BIN_EXE_ablations")),
+    ("figure7", env!("CARGO_BIN_EXE_figure7")),
+    ("figure8", env!("CARGO_BIN_EXE_figure8")),
+    ("figure9", env!("CARGO_BIN_EXE_figure9")),
+    ("figure10_13", env!("CARGO_BIN_EXE_figure10_13")),
+    ("figure14_16", env!("CARGO_BIN_EXE_figure14_16")),
+    ("related_work", env!("CARGO_BIN_EXE_related_work")),
+    ("scaling", env!("CARGO_BIN_EXE_scaling")),
+    ("section3", env!("CARGO_BIN_EXE_section3")),
+    ("simulator_study", env!("CARGO_BIN_EXE_simulator_study")),
+    ("superlen", env!("CARGO_BIN_EXE_superlen")),
+    ("table1_4", env!("CARGO_BIN_EXE_table1_4")),
+    ("table5", env!("CARGO_BIN_EXE_table5")),
+    ("table8", env!("CARGO_BIN_EXE_table8")),
+    ("table9_10", env!("CARGO_BIN_EXE_table9_10")),
+];
+
+/// A line is a table row if it has a label and its last column parses as
+/// a number (`print_table` emits right-aligned numeric columns).
+fn has_numeric_row(stdout: &str) -> bool {
+    stdout.lines().any(|line| {
+        let mut fields = line.split_whitespace();
+        matches!(
+            (fields.next(), fields.next_back()),
+            (Some(_), Some(last)) if last.parse::<f64>().is_ok()
+        )
+    })
+}
+
+/// Runs one binary with `IVM_SMOKE=1` and returns an error description
+/// on any failure.
+fn run_smoke(name: &str, path: &str) -> Result<(), String> {
+    let out = Command::new(path)
+        .env("IVM_SMOKE", "1")
+        .output()
+        .map_err(|e| format!("{name}: failed to spawn: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "{name}: exited with {:?}\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if !has_numeric_row(&stdout) {
+        return Err(format!("{name}: no parseable numeric table row in output:\n{stdout}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn every_binary_runs_under_smoke_workload() {
+    // All binaries run concurrently: the wall time is the slowest one,
+    // not the sum.
+    let handles: Vec<_> = BINS
+        .iter()
+        .map(|&(name, path)| (name, thread::spawn(move || run_smoke(name, path))))
+        .collect();
+    let failures: Vec<String> = handles
+        .into_iter()
+        .filter_map(|(name, h)| match h.join() {
+            Ok(Ok(())) => None,
+            Ok(Err(msg)) => Some(msg),
+            Err(_) => Some(format!("{name}: test thread panicked")),
+        })
+        .collect();
+    assert!(failures.is_empty(), "binaries failed under IVM_SMOKE=1:\n{}", failures.join("\n"));
+}

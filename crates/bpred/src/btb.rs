@@ -134,11 +134,7 @@ impl Btb {
     /// Creates an empty BTB with the given configuration.
     pub fn new(config: BtbConfig) -> Self {
         let empty = Way { tag: 0, target: 0, valid: false, lru: 0 };
-        Self {
-            config,
-            sets: vec![vec![empty; config.assoc]; config.sets()],
-            tick: 0,
-        }
+        Self { config, sets: vec![vec![empty; config.assoc]; config.sets()], tick: 0 }
     }
 
     /// The configuration this BTB was built with.

@@ -67,7 +67,11 @@ impl TwoLevelPredictor {
     /// Creates an empty predictor.
     pub fn new(config: TwoLevelConfig) -> Self {
         assert!(config.history_len > 0, "history length must be at least 1");
-        assert!(config.table_bits <= 24, "table of 2^{} entries is unreasonable", config.table_bits);
+        assert!(
+            config.table_bits <= 24,
+            "table of 2^{} entries is unreasonable",
+            config.table_bits
+        );
         Self {
             config,
             history: Vec::with_capacity(config.history_len),
@@ -115,11 +119,7 @@ impl IndirectPredictor for TwoLevelPredictor {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "two-level-h{}-t{}",
-            self.config.history_len,
-            1u64 << self.config.table_bits
-        )
+        format!("two-level-h{}-t{}", self.config.history_len, 1u64 << self.config.table_bits)
     }
 }
 
@@ -130,7 +130,11 @@ mod tests {
 
     /// Replays the paper's Table I loop (A B A GOTO, threaded dispatch) and
     /// counts mispredictions per iteration once warmed up.
-    fn steady_state_misses<P: IndirectPredictor>(p: &mut P, seq: &[(Addr, Addr)], warmup: usize) -> usize {
+    fn steady_state_misses<P: IndirectPredictor>(
+        p: &mut P,
+        seq: &[(Addr, Addr)],
+        warmup: usize,
+    ) -> usize {
         for _ in 0..warmup {
             for &(b, t) in seq {
                 p.predict_and_update(b, t);
@@ -191,7 +195,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "history length")]
     fn zero_history_rejected() {
-        let _ = TwoLevelPredictor::new(TwoLevelConfig { history_len: 0, table_bits: 4, target_bits: 4 });
+        let _ = TwoLevelPredictor::new(TwoLevelConfig {
+            history_len: 0,
+            table_bits: 4,
+            target_bits: 4,
+        });
     }
 
     #[test]

@@ -72,14 +72,7 @@ fn table2_replication_eliminates_mispredictions() {
 fn table3_original_code_two_misses() {
     // Instruction stream: A B A B A GOTO, back to start.
     // Dispatches: br-A->B, br-B->A, br-A->B, br-B->A, br-A->GOTO, br-GOTO->A.
-    let seq = [
-        (br(A), B),
-        (br(B), A),
-        (br(A), B),
-        (br(B), A),
-        (br(A), GOTO),
-        (br(GOTO), A),
-    ];
+    let seq = [(br(A), B), (br(B), A), (br(A), B), (br(B), A), (br(A), GOTO), (br(GOTO), A)];
     assert_eq!(steady_misses(&seq, 100), 2);
 }
 
@@ -88,14 +81,7 @@ fn table3_original_code_two_misses() {
 /// to 3 per iteration.
 #[test]
 fn table3_bad_replication_three_misses() {
-    let seq = [
-        (br(A), B1),
-        (br(B1), A),
-        (br(A), B2),
-        (br(B2), A),
-        (br(A), GOTO),
-        (br(GOTO), A),
-    ];
+    let seq = [(br(A), B1), (br(B1), A), (br(A), B2), (br(B2), A), (br(A), GOTO), (br(GOTO), A)];
     assert_eq!(steady_misses(&seq, 100), 3);
 }
 

@@ -1,6 +1,7 @@
 //! Property tests for the predictor simulators.
 
-use proptest::prelude::*;
+use ivm_harness::prop::{self, Source};
+use ivm_harness::{prop_assert, prop_assert_eq};
 
 use ivm_bpred::{
     Btb, BtbConfig, CaseBlockTable, IdealBtb, IndirectPredictor, PredictorStats, TwoBitBtb,
@@ -9,9 +10,8 @@ use ivm_bpred::{
 
 /// A random dispatch stream: branch/target pairs drawn from small pools so
 /// that re-use (the interesting case) actually happens.
-fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    proptest::collection::vec((0u64..24, 0u64..24), 1..300)
-        .prop_map(|v| v.into_iter().map(|(b, t)| (0x1000 + b * 16, 0x9000 + t * 16)).collect())
+fn stream(src: &mut Source) -> Vec<(u64, u64)> {
+    src.vec_of(1..300, |s| (0x1000 + s.int_in(0u64..24) * 16, 0x9000 + s.int_in(0u64..24) * 16))
 }
 
 fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
@@ -26,11 +26,12 @@ fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
     ]
 }
 
-proptest! {
-    /// Predictors are deterministic: replaying a stream after reset gives
-    /// identical outcomes.
-    #[test]
-    fn deterministic_after_reset(stream in stream_strategy()) {
+/// Predictors are deterministic: replaying a stream after reset gives
+/// identical outcomes.
+#[test]
+fn deterministic_after_reset() {
+    prop::check("deterministic_after_reset", prop::Config::from_env(), |src| {
+        let stream = stream(src);
         for mut p in predictors() {
             let first: Vec<bool> =
                 stream.iter().map(|&(b, t)| p.predict_and_update(b, t)).collect();
@@ -39,29 +40,40 @@ proptest! {
                 stream.iter().map(|&(b, t)| p.predict_and_update(b, t)).collect();
             prop_assert_eq!(&first, &second, "{} diverged after reset", p.describe());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A monomorphic branch is predicted by every BTB-family predictor
-    /// after one execution, regardless of interleaved other branches that
-    /// do not alias it away (ideal/2-bit have no aliasing at all).
-    #[test]
-    fn monomorphic_branches_hit_on_unbounded_predictors(target in 0u64..1000) {
-        let target = 0x5000 + target * 8;
-        for mut p in [
-            Box::new(IdealBtb::new()) as Box<dyn IndirectPredictor>,
-            Box::new(TwoBitBtb::new()),
-        ] {
-            p.predict_and_update(0x42, target);
-            for _ in 0..10 {
-                prop_assert!(p.predict_and_update(0x42, target), "{}", p.describe());
+/// A monomorphic branch is predicted by every BTB-family predictor
+/// after one execution, regardless of interleaved other branches that
+/// do not alias it away (ideal/2-bit have no aliasing at all).
+#[test]
+fn monomorphic_branches_hit_on_unbounded_predictors() {
+    prop::check(
+        "monomorphic_branches_hit_on_unbounded_predictors",
+        prop::Config::from_env(),
+        |src| {
+            let target = 0x5000 + src.int_in(0u64..1000) * 8;
+            for mut p in [
+                Box::new(IdealBtb::new()) as Box<dyn IndirectPredictor>,
+                Box::new(TwoBitBtb::new()),
+            ] {
+                p.predict_and_update(0x42, target);
+                for _ in 0..10 {
+                    prop_assert!(p.predict_and_update(0x42, target), "{}", p.describe());
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The ideal BTB is an upper bound for any finite tagged BTB on the
-    /// same stream (finite ones only add capacity/conflict misses).
-    #[test]
-    fn ideal_upper_bounds_finite_tagged(stream in stream_strategy()) {
+/// The ideal BTB is an upper bound for any finite tagged BTB on the
+/// same stream (finite ones only add capacity/conflict misses).
+#[test]
+fn ideal_upper_bounds_finite_tagged() {
+    prop::check("ideal_upper_bounds_finite_tagged", prop::Config::from_env(), |src| {
+        let stream = stream(src);
         let mut ideal = PredictorStats::new(IdealBtb::new());
         let mut finite = PredictorStats::new(Btb::new(BtbConfig::new(8, 1)));
         for &(b, t) in &stream {
@@ -69,11 +81,15 @@ proptest! {
             finite.predict_and_update(b, t);
         }
         prop_assert!(ideal.mispredicted() <= finite.mispredicted());
-    }
+        Ok(())
+    });
+}
 
-    /// Statistics wrapper counts every execution.
-    #[test]
-    fn stats_count_everything(stream in stream_strategy()) {
+/// Statistics wrapper counts every execution.
+#[test]
+fn stats_count_everything() {
+    prop::check("stats_count_everything", prop::Config::from_env(), |src| {
+        let stream = stream(src);
         let mut p = PredictorStats::new(IdealBtb::new());
         for &(b, t) in &stream {
             p.predict_and_update(b, t);
@@ -82,23 +98,31 @@ proptest! {
         prop_assert!(p.mispredicted() <= p.executed());
         let rate = p.misprediction_rate();
         prop_assert!((0.0..=1.0).contains(&rate));
-    }
+        Ok(())
+    });
+}
 
-    /// BTB occupancy never exceeds capacity.
-    #[test]
-    fn occupancy_bounded(stream in stream_strategy()) {
+/// BTB occupancy never exceeds capacity.
+#[test]
+fn occupancy_bounded() {
+    prop::check("occupancy_bounded", prop::Config::from_env(), |src| {
+        let stream = stream(src);
         let cfg = BtbConfig::new(16, 4);
         let mut btb = Btb::new(cfg);
         for &(b, t) in &stream {
             btb.predict_and_update(b, t);
             prop_assert!(btb.occupancy() <= cfg.entries());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The case block table keyed by opcode predicts a switch interpreter
-    /// perfectly once every opcode has been seen (targets fixed per key).
-    #[test]
-    fn case_block_table_is_perfect_for_switch(ops in proptest::collection::vec(0u64..16, 1..200)) {
+/// The case block table keyed by opcode predicts a switch interpreter
+/// perfectly once every opcode has been seen (targets fixed per key).
+#[test]
+fn case_block_table_is_perfect_for_switch() {
+    prop::check("case_block_table_is_perfect_for_switch", prop::Config::from_env(), |src| {
+        let ops = src.vec_of(1..200, |s| s.int_in(0u64..16));
         let mut cbt = CaseBlockTable::new();
         let case_addr = |op: u64| 0x7000 + op * 64;
         let mut seen = std::collections::HashSet::new();
@@ -107,5 +131,6 @@ proptest! {
             prop_assert_eq!(hit, seen.contains(&op));
             seen.insert(op);
         }
-    }
+        Ok(())
+    });
 }

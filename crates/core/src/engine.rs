@@ -89,8 +89,7 @@ impl Engine {
         let Some(stats) = &self.branch_stats else {
             return Vec::new();
         };
-        let mut v: Vec<(Addr, u64, u64)> =
-            stats.iter().map(|(&b, &(e, m))| (b, e, m)).collect();
+        let mut v: Vec<(Addr, u64, u64)> = stats.iter().map(|(&b, &(e, m))| (b, e, m)).collect();
         v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v
@@ -178,13 +177,9 @@ impl Runner {
     fn view(&self, t: &Translation, i: usize) -> View {
         let slot = t.slot(i);
         match slot.alt {
-            Some(AltCode { entry, work_instrs, fetch, fall, .. }) if self.in_side(i) => View {
-                entry,
-                work_instrs,
-                fetch,
-                fall: Some(fall),
-                taken: Some(fall),
-            },
+            Some(AltCode { entry, work_instrs, fetch, fall, .. }) if self.in_side(i) => {
+                View { entry, work_instrs, fetch, fall: Some(fall), taken: Some(fall) }
+            }
             _ => View {
                 entry: slot.entry,
                 work_instrs: slot.work_instrs,

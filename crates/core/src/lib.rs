@@ -71,10 +71,9 @@ pub use engine::{Engine, RunResult, Runner};
 pub use events::{Measurement, NullEvents, Tee, VmEvents};
 pub use layout::{CodeSpace, Routine, RoutineTable, DYNAMIC_BASE, STATIC_BASE};
 pub use native::{
-    align_up, static_super_spec, InstKind, NativeSpec, CODE_ALIGN, DISPATCH_BYTES,
-    DISPATCH_INSTRS, IP_INC_BYTES, IP_INC_INSTRS, STATIC_SUPER_SAVINGS_BYTES,
-    STATIC_SUPER_SAVINGS_INSTRS, SWITCH_BREAK_BYTES, SWITCH_BREAK_INSTRS, SWITCH_DISPATCH_BYTES,
-    SWITCH_DISPATCH_INSTRS,
+    align_up, static_super_spec, InstKind, NativeSpec, CODE_ALIGN, DISPATCH_BYTES, DISPATCH_INSTRS,
+    IP_INC_BYTES, IP_INC_INSTRS, STATIC_SUPER_SAVINGS_BYTES, STATIC_SUPER_SAVINGS_INSTRS,
+    SWITCH_BREAK_BYTES, SWITCH_BREAK_INSTRS, SWITCH_DISPATCH_BYTES, SWITCH_DISPATCH_INSTRS,
 };
 pub use profile::{Profile, ProfileCollector};
 pub use program::{ProgramBuilder, ProgramCode};

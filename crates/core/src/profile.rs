@@ -294,9 +294,8 @@ impl Profile {
                 .map_err(|e| format!("line {}: bad count: {e}", lineno + 1))?;
             match kind {
                 "op" => {
-                    let op: OpId = body
-                        .parse()
-                        .map_err(|e| format!("line {}: bad op id: {e}", lineno + 1))?;
+                    let op: OpId =
+                        body.parse().map_err(|e| format!("line {}: bad op id: {e}", lineno + 1))?;
                     p.record_op(op, count);
                 }
                 "block" => {

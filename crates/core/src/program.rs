@@ -100,11 +100,7 @@ impl ProgramCode {
     pub fn blocks(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
         let n = self.ops.len();
         self.block_starts.iter().enumerate().map(move |(bi, &s)| {
-            let end = self
-                .block_starts
-                .get(bi + 1)
-                .map(|&e| e as usize)
-                .unwrap_or(n);
+            let end = self.block_starts.get(bi + 1).map(|&e| e as usize).unwrap_or(n);
             (s as usize)..end
         })
     }
@@ -115,11 +111,7 @@ impl ProgramCode {
             Ok(b) => b,
             Err(ins) => ins - 1,
         };
-        let end = self
-            .block_starts
-            .get(bi + 1)
-            .map(|&e| e as usize)
-            .unwrap_or(self.ops.len());
+        let end = self.block_starts.get(bi + 1).map(|&e| e as usize).unwrap_or(self.ops.len());
         (self.block_starts[bi] as usize)..end
     }
 
@@ -186,9 +178,9 @@ impl ProgramBuilder {
             let kind = spec.native(op).kind;
             match kind {
                 InstKind::CondBranch | InstKind::Jump => {
-                    let t = target.unwrap_or_else(|| {
-                        panic!("{} at {} needs a target", spec.name(op), i)
-                    }) as usize;
+                    let t = target
+                        .unwrap_or_else(|| panic!("{} at {} needs a target", spec.name(op), i))
+                        as usize;
                     assert!(t < n, "target {t} of instance {i} out of range");
                     leaders[t] = true;
                 }
@@ -211,11 +203,8 @@ impl ProgramBuilder {
                 leaders[i + 1] = true;
             }
         }
-        let block_starts: Vec<u32> = leaders
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| l.then_some(i as u32))
-            .collect();
+        let block_starts: Vec<u32> =
+            leaders.iter().enumerate().filter_map(|(i, &l)| l.then_some(i as u32)).collect();
         ProgramCode {
             name: self.name,
             ops: self.ops,

@@ -2,8 +2,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ivm_harness::Xoshiro256StarStar;
 
 use crate::spec::OpId;
 use crate::superinst::SuperId;
@@ -38,20 +37,14 @@ pub enum UnitOp {
 /// assert_eq!(alloc[&UnitOp::Op(0)], 9);
 /// assert_eq!(alloc[&UnitOp::Op(1)], 1);
 /// ```
-pub fn allocate_replicas(
-    budget: usize,
-    counts: &HashMap<UnitOp, u64>,
-) -> HashMap<UnitOp, usize> {
+pub fn allocate_replicas(budget: usize, counts: &HashMap<UnitOp, u64>) -> HashMap<UnitOp, usize> {
     let total: u64 = counts.values().sum();
     if budget == 0 || total == 0 {
         return HashMap::new();
     }
     // Deterministic order for reproducible largest-remainder rounding.
-    let mut entries: Vec<(UnitOp, u64)> = counts
-        .iter()
-        .filter(|(_, &c)| c > 0)
-        .map(|(&u, &c)| (u, c))
-        .collect();
+    let mut entries: Vec<(UnitOp, u64)> =
+        counts.iter().filter(|(_, &c)| c > 0).map(|(&u, &c)| (u, c)).collect();
     entries.sort();
 
     let mut alloc: Vec<(UnitOp, usize, f64)> = entries
@@ -85,12 +78,14 @@ pub fn allocate_replicas(
 /// Chooses which replica each emitted occurrence of a unit-op uses.
 ///
 /// Round-robin cycles per unit-op (the paper's winner, §5.1); random picks
-/// uniformly with a seeded PRNG.
+/// uniformly with a seeded PRNG whose stream is stable across releases
+/// ([`Xoshiro256StarStar`]), so seeded layouts — and every golden number
+/// derived from them — never shift under dependency or toolchain changes.
 #[derive(Debug)]
 pub struct ReplicaPicker {
     selection: ReplicaSelection,
     counters: HashMap<UnitOp, usize>,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
 }
 
 impl ReplicaPicker {
@@ -100,7 +95,7 @@ impl ReplicaPicker {
             ReplicaSelection::Random { seed } => seed,
             ReplicaSelection::RoundRobin => 0,
         };
-        Self { selection, counters: HashMap::new(), rng: StdRng::seed_from_u64(seed) }
+        Self { selection, counters: HashMap::new(), rng: Xoshiro256StarStar::seed_from_u64(seed) }
     }
 
     /// Picks a copy index in `0..copies` for the next occurrence of `uop`.
@@ -120,7 +115,7 @@ impl ReplicaPicker {
                 *counter += 1;
                 pick
             }
-            ReplicaSelection::Random { .. } => self.rng.gen_range(0..copies),
+            ReplicaSelection::Random { .. } => self.rng.below_usize(copies),
         }
     }
 }
@@ -131,11 +126,8 @@ mod tests {
 
     #[test]
     fn allocation_is_proportional_and_exact() {
-        let counts = HashMap::from([
-            (UnitOp::Op(0), 500u64),
-            (UnitOp::Op(1), 300),
-            (UnitOp::Op(2), 200),
-        ]);
+        let counts =
+            HashMap::from([(UnitOp::Op(0), 500u64), (UnitOp::Op(1), 300), (UnitOp::Op(2), 200)]);
         let alloc = allocate_replicas(100, &counts);
         assert_eq!(alloc[&UnitOp::Op(0)], 50);
         assert_eq!(alloc[&UnitOp::Op(1)], 30);
@@ -145,8 +137,7 @@ mod tests {
 
     #[test]
     fn largest_remainder_spends_entire_budget() {
-        let counts =
-            HashMap::from([(UnitOp::Op(0), 1u64), (UnitOp::Op(1), 1), (UnitOp::Op(2), 1)]);
+        let counts = HashMap::from([(UnitOp::Op(0), 1u64), (UnitOp::Op(1), 1), (UnitOp::Op(2), 1)]);
         let alloc = allocate_replicas(10, &counts);
         assert_eq!(alloc.values().sum::<usize>(), 10);
     }

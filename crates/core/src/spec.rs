@@ -93,12 +93,7 @@ impl VmSpec {
     /// The largest `work_bytes` among `op`'s quick variants (used to size
     /// the patch gap in dynamic code; paper §5.4). Zero if not quickable.
     pub fn max_quick_bytes(&self, op: OpId) -> u32 {
-        self.def(op)
-            .quick_variants
-            .iter()
-            .map(|&q| self.native(q).work_bytes)
-            .max()
-            .unwrap_or(0)
+        self.def(op).quick_variants.iter().map(|&q| self.native(q).work_bytes).max().unwrap_or(0)
     }
 }
 

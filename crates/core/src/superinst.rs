@@ -324,8 +324,8 @@ mod tests {
         let mut t = SuperTable::empty();
         t.insert(&s, vec![a, c], 1); // id 0
         t.insert(&s, vec![c, d], 1); // id 1
-        // Sequence a c d: greedy munches [a,c] then leaves d alone (2 units);
-        // optimal does the same here (2 units) — both legal.
+                                     // Sequence a c d: greedy munches [a,c] then leaves d alone (2 units);
+                                     // optimal does the same here (2 units) — both legal.
         let g = t.cover(&[a, c, d], CoverAlgorithm::Greedy);
         let o = t.cover(&[a, c, d], CoverAlgorithm::Optimal);
         assert_eq!(g.len(), 2);

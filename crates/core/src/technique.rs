@@ -220,9 +220,7 @@ impl std::str::FromStr for Technique {
             "static repl" => {
                 Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin }
             }
-            "static super" => {
-                Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Greedy }
-            }
+            "static super" => Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Greedy },
             "static both" => Technique::StaticBoth {
                 replicas: 365,
                 supers: 35,
@@ -261,8 +259,9 @@ mod tests {
         assert!(!Technique::DynamicRepl.needs_profile());
         assert!(Technique::StaticRepl { budget: 1, selection: ReplicaSelection::RoundRobin }
             .needs_profile());
-        assert!(Technique::WithStaticSuper { supers: 4, algo: CoverAlgorithm::Greedy }
-            .needs_profile());
+        assert!(
+            Technique::WithStaticSuper { supers: 4, algo: CoverAlgorithm::Greedy }.needs_profile()
+        );
     }
 
     #[test]

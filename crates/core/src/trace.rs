@@ -60,10 +60,7 @@ impl ExecutionTrace {
 
     /// Number of recorded control transfers (excluding begins/quickenings).
     pub fn transfers(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, Event::Transfer { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e, Event::Transfer { .. })).count()
     }
 
     /// Replays the recorded stream into `sink` in order.
@@ -74,9 +71,7 @@ impl ExecutionTrace {
                 Event::Transfer { from, to, taken } => {
                     sink.transfer(from as usize, to as usize, taken)
                 }
-                Event::Quicken { instance, quick_op } => {
-                    sink.quicken(instance as usize, quick_op)
-                }
+                Event::Quicken { instance, quick_op } => sink.quicken(instance as usize, quick_op),
             }
         }
     }

@@ -1,0 +1,56 @@
+//! Pins the exact replica-selection streams.
+//!
+//! `ReplicaSelection::Random` feeds seeded PRNG choices into the code
+//! layout, so the stream is baked into every golden number under
+//! `results/` that involves random selection (the §5.1 ablation). These
+//! tests hard-code the first 32 picks for representative seeds: any
+//! change to the PRNG algorithm, the seeding, or the range-reduction
+//! method trips them immediately instead of silently drifting goldens.
+//!
+//! If one of these tests ever fails, do not update the expectations
+//! without also regenerating `results/*.txt` and saying so in the
+//! changelog — the streams are part of the reproducibility contract.
+
+use ivm_core::{ReplicaPicker, ReplicaSelection, UnitOp};
+
+fn picks(seed: u64, copies: usize, n: usize) -> Vec<usize> {
+    let mut p = ReplicaPicker::new(ReplicaSelection::Random { seed });
+    (0..n).map(|_| p.pick(UnitOp::Op(0), copies)).collect()
+}
+
+#[test]
+fn random_selection_stream_is_pinned_seed42() {
+    assert_eq!(
+        picks(42, 4, 32),
+        vec![
+            2, 2, 1, 1, 0, 0, 2, 3, 2, 1, 1, 1, 2, 2, 1, 2, 1, 0, 3, 2, 1, 3, 1, 3, 0, 0, 0, 0, 2,
+            2, 1, 2
+        ]
+    );
+}
+
+/// Seed 3 is among the seeds the `ablations` binary averages over for
+/// the §5.1 round-robin-vs-random study, so this stream is directly
+/// load-bearing for `results/ablations.txt`.
+#[test]
+fn random_selection_stream_is_pinned_seed3() {
+    assert_eq!(
+        picks(3, 3, 32),
+        vec![
+            0, 2, 1, 2, 2, 2, 2, 1, 0, 0, 1, 0, 0, 1, 2, 1, 0, 1, 2, 2, 1, 0, 0, 2, 2, 2, 1, 1, 2,
+            2, 2, 1
+        ]
+    );
+}
+
+/// The stream is consumed lazily: single-copy picks short-circuit without
+/// advancing the PRNG, so interleaving them must not shift the stream.
+#[test]
+fn single_copy_picks_do_not_consume_randomness() {
+    let mut interleaved = ReplicaPicker::new(ReplicaSelection::Random { seed: 42 });
+    let mut plain = ReplicaPicker::new(ReplicaSelection::Random { seed: 42 });
+    for _ in 0..16 {
+        assert_eq!(interleaved.pick(UnitOp::Op(7), 1), 0);
+        assert_eq!(interleaved.pick(UnitOp::Op(0), 4), plain.pick(UnitOp::Op(0), 4));
+    }
+}

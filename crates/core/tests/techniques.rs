@@ -8,8 +8,8 @@ use ivm_bpred::{Btb, BtbConfig, IdealBtb};
 use ivm_cache::{CycleCosts, PerfectIcache};
 use ivm_core::{
     translate, CoverAlgorithm, Engine, InstKind, Measurement, NativeSpec, Profile,
-    ProfileCollector, ProgramCode, ReplicaSelection, RunResult, Runner, SuperSelection,
-    Technique, VmEvents, VmSpec,
+    ProfileCollector, ProgramCode, ReplicaSelection, RunResult, Runner, SuperSelection, Technique,
+    VmEvents, VmSpec,
 };
 
 /// A small Forth-ish instruction set.
@@ -223,7 +223,7 @@ fn identical_blocks_share_dynamic_superinstructions() {
     p.push(m.lit, None); // 0
     p.push(m.add, None); // 1
     p.push(m.beq, Some(3)); // 2
-    // Block 2 (identical content): lit add / beq back to 0
+                            // Block 2 (identical content): lit add / beq back to 0
     p.push(m.lit, None); // 3
     p.push(m.add, None); // 4
     p.push(m.beq, Some(0)); // 5

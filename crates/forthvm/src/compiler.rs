@@ -537,7 +537,8 @@ mod tests {
 
     #[test]
     fn recursion_compiles() {
-        let src = ": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 10 fib . ;";
+        let src =
+            ": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 10 fib . ;";
         let image = compile(src).expect("compiles");
         assert!(image.program.len() > 10);
     }

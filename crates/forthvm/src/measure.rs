@@ -3,8 +3,8 @@
 
 use ivm_cache::CpuSpec;
 use ivm_core::{
-    translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult,
-    Runner, SuperSelection, Technique,
+    translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult, Runner,
+    SuperSelection, Technique,
 };
 
 use crate::compiler::Image;
@@ -66,13 +66,8 @@ pub fn measure_with(
     training: Option<&Profile>,
 ) -> Result<(RunResult, Output), VmError> {
     let o = ops();
-    let translation = translate(
-        &o.spec,
-        &image.program,
-        technique,
-        training,
-        SuperSelection::gforth(),
-    );
+    let translation =
+        translate(&o.spec, &image.program, technique, training, SuperSelection::gforth());
     let runner = Runner::new(engine);
     let mut measurement = Measurement::new(translation, runner);
     let output = run(image, &mut measurement, DEFAULT_FUEL)?;
@@ -105,13 +100,8 @@ pub fn measure_trace(
     training: Option<&Profile>,
 ) -> RunResult {
     let o = ops();
-    let translation = translate(
-        &o.spec,
-        &image.program,
-        technique,
-        training,
-        SuperSelection::gforth(),
-    );
+    let translation =
+        translate(&o.spec, &image.program, technique, training, SuperSelection::gforth());
     let mut measurement = Measurement::new(translation, Runner::new(Engine::for_cpu(cpu)));
     trace.replay(&mut measurement);
     measurement.finish()

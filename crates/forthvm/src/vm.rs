@@ -476,14 +476,20 @@ mod tests {
 
     #[test]
     fn arithmetic_words() {
-        assert_eq!(eval(": main 2 3 + . 10 3 - . 6 7 * . 20 6 / . 20 6 mod . ;").text, "5 7 42 3 2 ");
+        assert_eq!(
+            eval(": main 2 3 + . 10 3 - . 6 7 * . 20 6 / . 20 6 mod . ;").text,
+            "5 7 42 3 2 "
+        );
         assert_eq!(eval(": main -5 abs . 3 7 min . 3 7 max . -5 negate . ;").text, "5 3 7 5 ");
         assert_eq!(eval(": main 6 1+ . 6 1- . 6 2* . 6 2/ . ;").text, "7 5 12 3 ");
     }
 
     #[test]
     fn logic_and_shifts() {
-        assert_eq!(eval(": main 12 10 and . 12 10 or . 12 10 xor . 0 invert . ;").text, "8 14 6 -1 ");
+        assert_eq!(
+            eval(": main 12 10 and . 12 10 or . 12 10 xor . 0 invert . ;").text,
+            "8 14 6 -1 "
+        );
         assert_eq!(eval(": main 1 4 lshift . 256 4 rshift . ;").text, "16 16 ");
     }
 
@@ -513,14 +519,8 @@ mod tests {
 
     #[test]
     fn memory_words() {
-        assert_eq!(
-            eval("variable x : main 42 x ! x @ . 8 x +! x @ . ;").text,
-            "42 50 "
-        );
-        assert_eq!(
-            eval("create arr 10 cells allot : main 7 arr 3 + ! arr 3 + @ . ;").text,
-            "7 "
-        );
+        assert_eq!(eval("variable x : main 42 x ! x @ . 8 x +! x @ . ;").text, "42 50 ");
+        assert_eq!(eval("create arr 10 cells allot : main 7 arr 3 + ! arr 3 + @ . ;").text, "7 ");
     }
 
     #[test]
@@ -538,13 +538,12 @@ mod tests {
 
     #[test]
     fn calls_and_recursion() {
+        assert_eq!(eval(": sq dup * ; : main 7 sq . ;").text, "49 ");
         assert_eq!(
-            eval(": sq dup * ; : main 7 sq . ;").text,
-            "49 "
-        );
-        assert_eq!(
-            eval(": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 15 fib . ;")
-                .text,
+            eval(
+                ": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 15 fib . ;"
+            )
+            .text,
             "610 "
         );
     }
@@ -625,10 +624,8 @@ mod extension_tests {
         use crate::measure::{measure, profile};
         use ivm_cache::CpuSpec;
         use ivm_core::Technique;
-        let image = compile(
-            ": main 0 40 0 do i 30 >= ?leave i 1 pick xor 1023 and 2 +loop . ;",
-        )
-        .expect("compiles");
+        let image = compile(": main 0 40 0 do i 30 >= ?leave i 1 pick xor 1023 and 2 +loop . ;")
+            .expect("compiles");
         let prof = profile(&image).expect("profiles");
         let mut texts = Vec::new();
         for tech in Technique::gforth_suite() {

@@ -1,0 +1,571 @@
+//! A minimal deterministic property-testing framework.
+//!
+//! Properties are written in the *fused* style: the property closure
+//! receives a [`Source`] and draws its own random inputs from it, then
+//! returns `Ok(())` or `Err(message)` (the [`prop_assert!`] and
+//! [`prop_assert_eq!`] macros produce the latter). Example:
+//!
+//! ```
+//! use ivm_harness::{prop, prop_assert};
+//!
+//! prop::check("abs_is_nonnegative", prop::Config::from_env(), |src| {
+//!     let x: i32 = src.int_in(-1000..1000);
+//!     prop_assert!(x.abs() >= 0, "x = {x}");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! # Determinism and replay
+//!
+//! Every run uses a fixed default seed, so `cargo test` is deterministic
+//! on every machine. Two environment variables override the defaults:
+//!
+//! * `IVM_PROP_SEED` — the run seed (decimal or `0x`-prefixed hex). Case
+//!   0 uses exactly this seed, so the seed printed by a failure report
+//!   replays that failure with `IVM_PROP_CASES=1`.
+//! * `IVM_PROP_CASES` — the number of random cases per property (soak
+//!   runs set this high; replay sets it to 1).
+//!
+//! Known-bad seeds can also be pinned in code via
+//! [`Config::with_regressions`]; they run before the random cases on
+//! every execution, which is this framework's replacement for proptest's
+//! `.proptest-regressions` files.
+//!
+//! # How shrinking works
+//!
+//! While generating, every choice (`below`, `int_in`, `weighted`, …) is
+//! recorded on a tape of `u64` values. A failing case is shrunk by
+//! editing the *tape* — deleting spans and decreasing entries — and
+//! re-running the generator in replay mode, where draws read tape entries
+//! (clamped into range, zero once the tape is exhausted). Any tape decodes
+//! to a valid input, so shrinking composes through `map`-style code,
+//! enum choices and nested collections without per-type shrinkers, and
+//! smaller tapes decode to structurally smaller inputs.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, Xoshiro256StarStar};
+
+/// Default number of random cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default run seed: arbitrary but fixed forever.
+pub const DEFAULT_SEED: u64 = 0x1B75_97C5_A1E5_7D01;
+
+/// Hard cap on failing-case re-executions spent shrinking.
+const MAX_SHRINK_ATTEMPTS: u32 = 400;
+
+/// Configuration for one [`check`] run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Seed for case 0; later cases derive their seeds from it.
+    pub seed: u64,
+    /// Seeds of previously-found failures, replayed before random cases.
+    pub regressions: Vec<u64>,
+}
+
+impl Config {
+    /// Default cases and seed, overridden by `IVM_PROP_CASES` and
+    /// `IVM_PROP_SEED` when set (invalid values are ignored).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let cases = std::env::var("IVM_PROP_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let seed = std::env::var("IVM_PROP_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(DEFAULT_SEED);
+        Self { cases, seed, regressions: Vec::new() }
+    }
+
+    /// Scales the default case count; an explicit `IVM_PROP_CASES` still
+    /// wins. Use for properties that are too slow for the default.
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Self {
+        if std::env::var_os("IVM_PROP_CASES").is_none() {
+            self.cases = cases;
+        }
+        self
+    }
+
+    /// Pins regression seeds that are replayed before the random cases.
+    #[must_use]
+    pub fn with_regressions(mut self, seeds: &[u64]) -> Self {
+        self.regressions.extend_from_slice(seeds);
+        self
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+enum Mode {
+    Random(Xoshiro256StarStar),
+    Replay(Vec<u64>),
+}
+
+/// The stream of random choices a property draws its inputs from.
+///
+/// In random mode choices come from the seeded PRNG and are recorded; in
+/// replay mode (used for shrinking) they are read back from an edited
+/// tape. All drawing methods funnel through [`below`](Self::below), so
+/// both modes stay in sync by construction.
+pub struct Source {
+    mode: Mode,
+    tape: Vec<u64>,
+    pos: usize,
+}
+
+impl Source {
+    fn random(seed: u64) -> Self {
+        Self {
+            mode: Mode::Random(Xoshiro256StarStar::seed_from_u64(seed)),
+            tape: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn replay(tape: Vec<u64>) -> Self {
+        Self { mode: Mode::Replay(tape), tape: Vec::new(), pos: 0 }
+    }
+
+    /// Uniform value in `0..n`; the primitive every other draw uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty choice range");
+        let v = match &mut self.mode {
+            Mode::Random(rng) => {
+                let v = rng.below(n);
+                self.tape.push(v);
+                v
+            }
+            // Clamp (not wrap) so smaller tape entries always decode to
+            // smaller choices — the monotonicity shrinking relies on.
+            Mode::Replay(tape) => tape.get(self.pos).copied().unwrap_or(0).min(n - 1),
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// Uniform integer in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn int_in<T: IntSample>(&mut self, range: std::ops::Range<T>) -> T {
+        let (lo, hi) = (range.start.to_i128(), range.end.to_i128());
+        assert!(lo < hi, "empty range");
+        // Ranges of any <=64-bit int type span at most u64::MAX values.
+        let span = u64::try_from(hi - lo).expect("range fits in u64");
+        T::from_i128(lo + i128::from(self.below(span)))
+    }
+
+    /// Uniform value over a full (at most 32-bit) integer domain.
+    pub fn full<T: IntSample + Bounded32>(&mut self) -> T {
+        T::from_i128(T::MIN_I128 + i128::from(self.below(T::DOMAIN)))
+    }
+
+    /// Uniform boolean. `false` is the shrink target.
+    pub fn bool(&mut self) -> bool {
+        self.below(2) == 1
+    }
+
+    /// Index into `weights`, chosen with probability proportional to the
+    /// weight. Zero-weight entries are never chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "weights must not all be zero");
+        let mut v = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if v < w {
+                return i;
+            }
+            v -= w;
+        }
+        unreachable!("below(total) is within the weight sum")
+    }
+
+    /// Uniformly picks one of `items`, cloning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<T: Clone>(&mut self, items: &[T]) -> T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        items[self.below(items.len() as u64) as usize].clone()
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`. Drawing the length first keeps the tape layout
+    /// stable, so deleting trailing tape entries shortens the vector.
+    pub fn vec_of<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut element: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let n = self.int_in(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// A vector of exactly `n` elements.
+    pub fn vec_exact<T>(&mut self, n: usize, mut element: impl FnMut(&mut Source) -> T) -> Vec<T> {
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// An ASCII-lowercase string with length drawn from `len`.
+    pub fn lowercase(&mut self, len: std::ops::Range<usize>) -> String {
+        let n = self.int_in(len);
+        (0..n).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+}
+
+/// Integer types drawable with [`Source::int_in`].
+pub trait IntSample: Copy {
+    /// Widens to `i128` (lossless for all implementors).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the framework only passes in-range values.
+    fn from_i128(v: i128) -> Self;
+}
+
+/// Marker for integer domains small enough for [`Source::full`].
+pub trait Bounded32: IntSample {
+    /// `MIN` as `i128`.
+    const MIN_I128: i128;
+    /// Number of distinct values in the domain.
+    const DOMAIN: u64;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl IntSample for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+impl_int_sample!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+macro_rules! impl_bounded32 {
+    ($($t:ty),*) => {$(
+        impl Bounded32 for $t {
+            const MIN_I128: i128 = <$t>::MIN as i128;
+            const DOMAIN: u64 = (<$t>::MAX as i128 - <$t>::MIN as i128 + 1) as u64;
+        }
+    )*};
+}
+impl_bounded32!(i8, u8, i16, u16, i32, u32);
+
+/// The outcome of one property execution.
+type CaseResult = Result<(), String>;
+
+/// A property: draws inputs from the source, checks, reports.
+pub trait Property: Fn(&mut Source) -> CaseResult {}
+impl<F: Fn(&mut Source) -> CaseResult> Property for F {}
+
+/// Runs `property` for `config.cases` random cases (after any pinned
+/// regression seeds), shrinking and reporting the first failure.
+///
+/// # Panics
+///
+/// Panics with a replay-instruction report if the property fails.
+pub fn check(name: &str, config: Config, property: impl Property) {
+    for &seed in &config.regressions {
+        if let Some(report) = run_case(name, &property, seed, None) {
+            panic!("{report}");
+        }
+    }
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        if let Some(report) = run_case(name, &property, seed, Some((case, config.cases))) {
+            panic!("{report}");
+        }
+    }
+}
+
+/// The seed for random case `case` of a run seeded with `run_seed`. Case
+/// 0 uses the run seed itself so a reported seed replays directly via
+/// `IVM_PROP_SEED=<seed> IVM_PROP_CASES=1`.
+fn case_seed(run_seed: u64, case: u32) -> u64 {
+    if case == 0 {
+        run_seed
+    } else {
+        let mut s = run_seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut s)
+    }
+}
+
+fn run_case(
+    name: &str,
+    property: &impl Property,
+    seed: u64,
+    case: Option<(u32, u32)>,
+) -> Option<String> {
+    let mut src = Source::random(seed);
+    let error = execute(property, &mut src)?;
+    let tape = src.tape.clone();
+    let (min_tape, min_error, attempts) = shrink(property, tape, error);
+    let mut report = format!("property `{name}` failed\n");
+    match case {
+        Some((i, n)) => {
+            let _ = writeln!(report, "  random case {} of {n}, seed {seed:#x}", i + 1);
+        }
+        None => {
+            let _ = writeln!(report, "  pinned regression seed {seed:#x}");
+        }
+    }
+    let _ = writeln!(
+        report,
+        "  after shrinking ({attempts} attempts, tape length {}):\n  {min_error}",
+        min_tape.len()
+    );
+    let _ = write!(report, "  replay: IVM_PROP_SEED={seed:#x} IVM_PROP_CASES=1 cargo test {name}");
+    Some(report)
+}
+
+/// Runs the property, converting panics into `Err` so internal
+/// `assert!`s shrink like `prop_assert!`s.
+fn execute(property: &impl Property, src: &mut Source) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| property(src))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(panic) => Some(panic_message(panic)),
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    match panic.downcast::<String>() {
+        Ok(s) => format!("panicked: {s}"),
+        Err(panic) => match panic.downcast::<&str>() {
+            Ok(s) => format!("panicked: {s}"),
+            Err(_) => "panicked (non-string payload)".to_owned(),
+        },
+    }
+}
+
+fn replays_to_failure(property: &impl Property, tape: &[u64]) -> Option<String> {
+    execute(property, &mut Source::replay(tape.to_vec()))
+}
+
+/// Greedy tape minimisation: repeatedly tries truncations, span
+/// deletions and entry decreases, keeping any edit that still fails.
+fn shrink(
+    property: &impl Property,
+    mut tape: Vec<u64>,
+    mut error: String,
+) -> (Vec<u64>, String, u32) {
+    let mut attempts = 0u32;
+    let try_tape = |candidate: &[u64], attempts: &mut u32| -> Option<String> {
+        if *attempts >= MAX_SHRINK_ATTEMPTS {
+            return None;
+        }
+        *attempts += 1;
+        replays_to_failure(property, candidate)
+    };
+
+    'outer: loop {
+        // Pass 1: drop trailing entries (halving first, then single steps).
+        let mut cut = tape.len() / 2;
+        while cut > 0 && attempts < MAX_SHRINK_ATTEMPTS {
+            if tape.len() > cut {
+                if let Some(e) = try_tape(&tape[..tape.len() - cut], &mut attempts) {
+                    tape.truncate(tape.len() - cut);
+                    error = e;
+                    continue 'outer;
+                }
+            }
+            cut /= 2;
+        }
+        // Pass 2: delete interior spans, larger chunks first.
+        for chunk in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + chunk <= tape.len() {
+                if attempts >= MAX_SHRINK_ATTEMPTS {
+                    break;
+                }
+                let mut candidate = tape.clone();
+                candidate.drain(i..i + chunk);
+                if let Some(e) = try_tape(&candidate, &mut attempts) {
+                    tape = candidate;
+                    error = e;
+                    continue 'outer;
+                }
+                i += chunk;
+            }
+        }
+        // Pass 3: decrease entries (zero, then halve, then decrement).
+        for i in 0..tape.len() {
+            if tape[i] == 0 {
+                continue;
+            }
+            for smaller in [0, tape[i] / 2, tape[i] - 1] {
+                if smaller >= tape[i] || attempts >= MAX_SHRINK_ATTEMPTS {
+                    continue;
+                }
+                let mut candidate = tape.clone();
+                candidate[i] = smaller;
+                if let Some(e) = try_tape(&candidate, &mut attempts) {
+                    tape = candidate;
+                    error = e;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    // Trailing zeros decode identically to an exhausted tape.
+    while tape.last() == Some(&0) {
+        tape.pop();
+    }
+    (tape, error, attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("tautology", Config::from_env(), |src: &mut Source| {
+            let x: u32 = src.int_in(0..100);
+            if x < 100 {
+                Ok(())
+            } else {
+                Err("impossible".into())
+            }
+        });
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut src = Source::random(seed);
+            (src.int_in(0i64..1000), src.bool(), src.vec_of(0..10, |s| s.full::<u8>()))
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn failing_property_is_shrunk_to_threshold() {
+        // The classic shrink test: fails for x >= 500, must shrink to 500.
+        let property = |src: &mut Source| {
+            let x: u32 = src.int_in(0..100_000);
+            if x >= 500 {
+                Err(format!("x = {x}"))
+            } else {
+                Ok(())
+            }
+        };
+        // Find a failing seed, then check the shrinker's output.
+        for seed in 0..64 {
+            let mut src = Source::random(seed);
+            if let Some(err) = execute(&property, &mut src) {
+                let (tape, min_err, _) = shrink(&property, src.tape.clone(), err);
+                assert_eq!(tape, vec![500], "shrink did not reach the boundary");
+                assert_eq!(min_err, "x = 500");
+                return;
+            }
+        }
+        panic!("no failing seed found in 64 tries");
+    }
+
+    #[test]
+    fn shrinking_shortens_vectors() {
+        // Fails when any element is >= 10; minimal case is a single [10].
+        let property = |src: &mut Source| {
+            let v = src.vec_of(0..50, |s| s.int_in(0u32..1000));
+            if v.iter().any(|&x| x >= 10) {
+                Err(format!("{v:?}"))
+            } else {
+                Ok(())
+            }
+        };
+        for seed in 0..64 {
+            let mut src = Source::random(seed);
+            if let Some(err) = execute(&property, &mut src) {
+                let (tape, min_err, _) = shrink(&property, src.tape.clone(), err);
+                // Tape: [len, elem] — one element of exactly the boundary.
+                assert_eq!(tape, vec![1, 10], "unexpected minimal tape");
+                assert_eq!(min_err, "[10]");
+                return;
+            }
+        }
+        panic!("no failing seed found in 64 tries");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let property = |src: &mut Source| {
+            let x: u32 = src.int_in(0..1000);
+            assert!(x < 100, "boom {x}");
+            Ok(())
+        };
+        for seed in 0..64 {
+            let mut src = Source::random(seed);
+            if let Some(err) = execute(&property, &mut src) {
+                assert!(err.contains("boom"), "panic message lost: {err}");
+                let (tape, ..) = shrink(&property, src.tape.clone(), err);
+                assert_eq!(tape, vec![100]);
+                return;
+            }
+        }
+        panic!("no failing seed found in 64 tries");
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_entries() {
+        let mut src = Source::replay(vec![900, 3]);
+        assert_eq!(src.below(10), 9); // clamped to n - 1
+        assert_eq!(src.below(10), 3);
+        assert_eq!(src.below(10), 0); // exhausted tape reads zero
+    }
+
+    #[test]
+    fn case_zero_uses_run_seed_directly() {
+        assert_eq!(case_seed(0xDEAD, 0), 0xDEAD);
+        assert_ne!(case_seed(0xDEAD, 1), 0xDEAD);
+        assert_ne!(case_seed(0xDEAD, 1), case_seed(0xDEAD, 2));
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed(" 0X2A "), Some(42));
+        assert_eq!(parse_seed("nope"), None);
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut src = Source::random(3);
+        for _ in 0..200 {
+            let i = src.weighted(&[0, 5, 0, 1]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_report_names_the_property() {
+        check("always_fails", Config::from_env().cases(1), |_src: &mut Source| Err("no".into()));
+    }
+}

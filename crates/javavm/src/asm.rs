@@ -93,10 +93,7 @@ impl JavaImage {
     pub fn find_method(&self, qualified: &str) -> Option<MethodId> {
         let (cls, name) = qualified.split_once('.')?;
         let class = self.classes.iter().position(|c| c.name == cls)? as ClassId;
-        self.methods
-            .iter()
-            .position(|m| m.class == class && m.name == name)
-            .map(|i| i as MethodId)
+        self.methods.iter().position(|m| m.class == class && m.name == name).map(|i| i as MethodId)
     }
 
     /// Resolves a virtual method by receiver class and name id, walking the
@@ -105,10 +102,8 @@ impl JavaImage {
         let name = &self.names[name_id];
         let mut cur = Some(class);
         while let Some(c) = cur {
-            if let Some(i) = self
-                .methods
-                .iter()
-                .position(|m| m.class == c && !m.is_static && &m.name == name)
+            if let Some(i) =
+                self.methods.iter().position(|m| m.class == c && !m.is_static && &m.name == name)
             {
                 return Some(i as MethodId);
             }
@@ -217,10 +212,7 @@ impl Asm {
     ///
     /// Panics if the superclass is unknown or the name is duplicated.
     pub fn class(&mut self, name: &str, super_class: Option<&str>, fields: &[&str]) -> ClassId {
-        assert!(
-            self.classes.iter().all(|c| c.name != name),
-            "duplicate class {name}"
-        );
+        assert!(self.classes.iter().all(|c| c.name != name), "duplicate class {name}");
         let super_class = super_class.map(|s| self.class_id(s));
         let id = self.classes.len() as ClassId;
         self.classes.push(ClassDef {
@@ -335,9 +327,7 @@ impl Asm {
     /// Defines a method-local label at the current position.
     pub fn label(&mut self, name: &str) {
         let cur = self.current.expect("in method");
-        let prev = self
-            .labels
-            .insert(format!("{cur}:{name}"), self.program.len() as u32);
+        let prev = self.labels.insert(format!("{cur}:{name}"), self.program.len() as u32);
         assert!(prev.is_none(), "duplicate label {name}");
     }
 
@@ -349,10 +339,7 @@ impl Asm {
     pub fn link(mut self) -> JavaImage {
         assert!(self.current.is_none(), "unterminated method");
         for (inst, key) in std::mem::take(&mut self.label_fixups) {
-            let target = *self
-                .labels
-                .get(&key)
-                .unwrap_or_else(|| panic!("undefined label {key}"));
+            let target = *self.labels.get(&key).unwrap_or_else(|| panic!("undefined label {key}"));
             self.program.patch_target(inst, target);
         }
         let method_fixups = std::mem::take(&mut self.method_fixups);
@@ -360,10 +347,7 @@ impl Asm {
             .into_iter()
             .map(|(from, to, handler)| {
                 let resolve = |key: &str| {
-                    *self
-                        .labels
-                        .get(key)
-                        .unwrap_or_else(|| panic!("undefined handler label {key}"))
+                    *self.labels.get(key).unwrap_or_else(|| panic!("undefined handler label {key}"))
                 };
                 let range = HandlerRange {
                     from: resolve(&from),
@@ -412,7 +396,8 @@ impl Asm {
                 .classes
                 .iter()
                 .position(|c| c.name == cls)
-                .unwrap_or_else(|| panic!("unknown class {cls}")) as ClassId;
+                .unwrap_or_else(|| panic!("unknown class {cls}"))
+                as ClassId;
             let m = image
                 .methods
                 .iter()
@@ -425,9 +410,7 @@ impl Asm {
             .methods
             .iter()
             .find(|m| {
-                m.is_static
-                    && m.name == "main"
-                    && image.classes[m.class as usize].name == "Main"
+                m.is_static && m.name == "main" && image.classes[m.class as usize].name == "Main"
             })
             .expect("program must define static Main.main");
         self.program.patch_target(self.boot_call, main.entry);

@@ -155,10 +155,8 @@ fn build() -> JavaOps {
     let iaload = b.inst("iaload", NativeSpec::new(11, 28, InstKind::Plain));
     let iastore = b.inst("iastore", NativeSpec::new(12, 30, InstKind::Plain));
     let arraylength = b.inst("arraylength", NativeSpec::new(7, 16, InstKind::Plain));
-    let print_int = b.inst(
-        "print_int",
-        NativeSpec::new(260, 220, InstKind::Plain).non_relocatable(),
-    );
+    let print_int =
+        b.inst("print_int", NativeSpec::new(260, 220, InstKind::Plain).non_relocatable());
     // athrow's unwinding work runs in the runtime; the routine itself is
     // kept relocatable via an indirect branch to the throw code (§5.3).
     let athrow = b.inst("athrow", NativeSpec::new(90, 120, InstKind::Return));

@@ -52,7 +52,9 @@ mod measure;
 pub mod programs;
 mod vm;
 
-pub use asm::{disassemble, Asm, ClassDef, ClassId, HandlerRange, JavaImage, MethodDef, MethodId, SwitchTable};
+pub use asm::{
+    disassemble, Asm, ClassDef, ClassId, HandlerRange, JavaImage, MethodDef, MethodId, SwitchTable,
+};
 pub use inst::{ops, JavaOps};
 pub use measure::{measure, measure_trace, measure_with, profile, record, DEFAULT_FUEL};
 pub use vm::{run, JavaError, JavaOutput};

@@ -2,8 +2,8 @@
 
 use ivm_cache::CpuSpec;
 use ivm_core::{
-    translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult,
-    Runner, SuperSelection, Technique,
+    translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult, Runner,
+    SuperSelection, Technique,
 };
 
 use crate::asm::JavaImage;

@@ -109,7 +109,11 @@ fn as_i32(v: i64) -> i64 {
 /// let out = ivm_java::run(&image, &mut NullEvents, 1_000).unwrap();
 /// assert_eq!(out.text, "42\n");
 /// ```
-pub fn run(image: &JavaImage, events: &mut dyn VmEvents, fuel: u64) -> Result<JavaOutput, JavaError> {
+pub fn run(
+    image: &JavaImage,
+    events: &mut dyn VmEvents,
+    fuel: u64,
+) -> Result<JavaOutput, JavaError> {
     let o = ops();
     let program = &image.program;
     // Current (quickened) opcode per instance, plus the cached quick
@@ -208,7 +212,12 @@ pub fn run(image: &JavaImage, events: &mut dyn VmEvents, fuel: u64) -> Result<Ja
         let flow = if op == o.ldc {
             stack.push(operand);
             Flow::Next
-        } else if op == o.iload || op == o.iload_0 || op == o.iload_1 || op == o.iload_2 || op == o.iload_3 {
+        } else if op == o.iload
+            || op == o.iload_0
+            || op == o.iload_1
+            || op == o.iload_2
+            || op == o.iload_3
+        {
             let frame = frames.last().expect("frame");
             let idx = operand as usize;
             if idx >= frame.locals.len() {
@@ -216,7 +225,12 @@ pub fn run(image: &JavaImage, events: &mut dyn VmEvents, fuel: u64) -> Result<Ja
             }
             stack.push(frame.locals[idx]);
             Flow::Next
-        } else if op == o.istore || op == o.istore_0 || op == o.istore_1 || op == o.istore_2 || op == o.istore_3 {
+        } else if op == o.istore
+            || op == o.istore_0
+            || op == o.istore_1
+            || op == o.istore_2
+            || op == o.istore_3
+        {
             let v = pop!();
             let frame = frames.last_mut().expect("frame");
             let idx = operand as usize;
@@ -475,11 +489,9 @@ pub fn run(image: &JavaImage, events: &mut dyn VmEvents, fuel: u64) -> Result<Ja
                     HeapObj::Object { class, .. } => *class,
                     HeapObj::Array(_) => return Err(JavaError::BadReference(ip, r)),
                 };
-                let off = image
-                    .resolve_field(class, operand as usize)
-                    .ok_or_else(|| {
-                        JavaError::ResolutionFailure(ip, image.names[operand as usize].clone())
-                    })?;
+                let off = image.resolve_field(class, operand as usize).ok_or_else(|| {
+                    JavaError::ResolutionFailure(ip, image.names[operand as usize].clone())
+                })?;
                 quick_operand[ip] = off as i64;
                 // Word fields and "byte" fields get different quick forms
                 // (modeling the paper's multiple quick getfield variants).
@@ -510,11 +522,9 @@ pub fn run(image: &JavaImage, events: &mut dyn VmEvents, fuel: u64) -> Result<Ja
                     HeapObj::Object { class, .. } => *class,
                     HeapObj::Array(_) => return Err(JavaError::BadReference(ip, r)),
                 };
-                let off = image
-                    .resolve_field(class, operand as usize)
-                    .ok_or_else(|| {
-                        JavaError::ResolutionFailure(ip, image.names[operand as usize].clone())
-                    })?;
+                let off = image.resolve_field(class, operand as usize).ok_or_else(|| {
+                    JavaError::ResolutionFailure(ip, image.names[operand as usize].clone())
+                })?;
                 quick_operand[ip] = off as i64;
                 let quick = if off % 2 == 0 { o.putfield_quick_w } else { o.putfield_quick_b };
                 cur_ops[ip] = quick;
@@ -834,10 +844,7 @@ mod tests {
             a.end_method();
             a.link()
         };
-        assert!(matches!(
-            run(&image, &mut NullEvents, 1000),
-            Err(JavaError::DivisionByZero(_))
-        ));
+        assert!(matches!(run(&image, &mut NullEvents, 1000), Err(JavaError::DivisionByZero(_))));
     }
 
     #[test]
@@ -854,10 +861,7 @@ mod tests {
             a.end_method();
             a.link()
         };
-        assert!(matches!(
-            run(&image, &mut NullEvents, 1000),
-            Err(JavaError::BadReference(_, 0))
-        ));
+        assert!(matches!(run(&image, &mut NullEvents, 1000), Err(JavaError::BadReference(_, 0))));
     }
 }
 

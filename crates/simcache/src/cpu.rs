@@ -122,7 +122,9 @@ mod tests {
         ] {
             let mut p = cpu.predictor();
             assert!(!p.predict_and_update(1, 2));
-            assert!(p.predict_and_update(1, 2) || matches!(cpu.predictor, PredictorKind::TwoLevel(_)));
+            assert!(
+                p.predict_and_update(1, 2) || matches!(cpu.predictor, PredictorKind::TwoLevel(_))
+            );
             let mut ic = cpu.fetch_cache();
             ic.fetch(0, 64);
             assert!(ic.accesses() > 0);

@@ -248,7 +248,7 @@ mod tests {
     fn working_set_larger_than_cache_thrashes() {
         let mut ic = Icache::new(IcacheConfig::celeron_l1i());
         let code_size = 64 * 1024u64; // 4x the capacity
-        // Stream through the code twice; second pass should still miss a lot.
+                                      // Stream through the code twice; second pass should still miss a lot.
         for _ in 0..2 {
             for addr in (0..code_size).step_by(32) {
                 ic.fetch(addr, 32);

@@ -1,11 +1,12 @@
 //! Property tests for the fetch-cache simulators and cost model.
 
-use proptest::prelude::*;
+use ivm_harness::prop::{self, Source};
+use ivm_harness::{prop_assert, prop_assert_eq};
 
 use ivm_cache::{CycleCosts, FetchCache, Icache, IcacheConfig, PerfCounters, TraceCache};
 
-fn access_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
-    proptest::collection::vec((0u64..1 << 16, 1u32..96), 1..300)
+fn accesses(src: &mut Source) -> Vec<(u64, u32)> {
+    src.vec_of(1..300, |s| (s.int_in(0u64..1 << 16), s.int_in(1u32..96)))
 }
 
 fn caches() -> Vec<Box<dyn FetchCache>> {
@@ -16,10 +17,11 @@ fn caches() -> Vec<Box<dyn FetchCache>> {
     ]
 }
 
-proptest! {
-    /// Misses are monotone and bounded by line touches.
-    #[test]
-    fn misses_bounded_by_touches(accesses in access_strategy()) {
+/// Misses are monotone and bounded by line touches.
+#[test]
+fn misses_bounded_by_touches() {
+    prop::check("misses_bounded_by_touches", prop::Config::from_env(), |src| {
+        let accesses = accesses(src);
         for mut c in caches() {
             let mut total_touches = 0u64;
             for &(addr, len) in &accesses {
@@ -31,20 +33,29 @@ proptest! {
             }
             prop_assert!(c.misses() <= total_touches);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Repeating the same access immediately always hits.
-    #[test]
-    fn immediate_repeat_hits(addr in 0u64..1 << 20, len in 1u32..64) {
+/// Repeating the same access immediately always hits.
+#[test]
+fn immediate_repeat_hits() {
+    prop::check("immediate_repeat_hits", prop::Config::from_env(), |src| {
+        let addr = src.int_in(0u64..1 << 20);
+        let len = src.int_in(1u32..64);
         for mut c in caches() {
             c.fetch(addr, len);
             prop_assert_eq!(c.fetch(addr, len), 0, "{}", c.describe());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Reset restores cold-start behaviour exactly.
-    #[test]
-    fn reset_restores_cold_start(accesses in access_strategy()) {
+/// Reset restores cold-start behaviour exactly.
+#[test]
+fn reset_restores_cold_start() {
+    prop::check("reset_restores_cold_start", prop::Config::from_env(), |src| {
+        let accesses = accesses(src);
         for mut c in caches() {
             let first: Vec<u64> = accesses.iter().map(|&(a, l)| c.fetch(a, l)).collect();
             c.reset();
@@ -52,12 +63,16 @@ proptest! {
             let second: Vec<u64> = accesses.iter().map(|&(a, l)| c.fetch(a, l)).collect();
             prop_assert_eq!(&first, &second, "{}", c.describe());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A strictly larger cache of the same shape never misses more on the
-    /// same trace (LRU inclusion-style property for same assoc scaling).
-    #[test]
-    fn bigger_cache_never_worse(accesses in access_strategy()) {
+/// A strictly larger cache of the same shape never misses more on the
+/// same trace (LRU inclusion-style property for same assoc scaling).
+#[test]
+fn bigger_cache_never_worse() {
+    prop::check("bigger_cache_never_worse", prop::Config::from_env(), |src| {
+        let accesses = accesses(src);
         let mut small = Icache::new(IcacheConfig { capacity: 2048, line_size: 32, assoc: 64 });
         let mut big = Icache::new(IcacheConfig { capacity: 4096, line_size: 32, assoc: 128 });
         for &(a, l) in &accesses {
@@ -67,11 +82,17 @@ proptest! {
         // Fully-associative LRU caches obey inclusion: more capacity can
         // only help.
         prop_assert!(big.misses() <= small.misses());
-    }
+        Ok(())
+    });
+}
 
-    /// Cycle model is linear and non-negative.
-    #[test]
-    fn cycles_linear(instr in 0u64..1 << 40, mis in 0u64..1 << 30, miss in 0u64..1 << 20) {
+/// Cycle model is linear and non-negative.
+#[test]
+fn cycles_linear() {
+    prop::check("cycles_linear", prop::Config::from_env(), |src| {
+        let instr = src.int_in(0u64..1 << 40);
+        let mis = src.int_in(0u64..1 << 30);
+        let miss = src.int_in(0u64..1 << 20);
         let c = PerfCounters {
             instructions: instr,
             indirect_mispredicted: mis,
@@ -83,5 +104,6 @@ proptest! {
         prop_assert!(total >= 0.0);
         let parts = instr as f64 * costs.cpi + c.mispredict_cycles(&costs) + c.miss_cycles(&costs);
         prop_assert!((total - parts).abs() < 1e-6 * total.max(1.0));
-    }
+        Ok(())
+    });
 }

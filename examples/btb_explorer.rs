@@ -3,15 +3,17 @@
 //!
 //! Run with: `cargo run --release --example btb_explorer -- [benchmark]`
 
-use ivm::bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor};
+use ivm::bpred::{
+    Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
+};
 use ivm::cache::{CpuSpec, PerfectIcache};
 use ivm::core::{Engine, Technique};
 use ivm::forth;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "bench-gc".into());
-    let bench = ivm::forth::programs::find(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let bench =
+        ivm::forth::programs::find(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let training = forth::profile(&ivm::forth::programs::BRAINLESS.image())?;
     let cpu = CpuSpec::celeron800();
 
@@ -21,9 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("BTB 512x4", || Box::new(Btb::new(BtbConfig::celeron()))),
         ("BTB 4096x4", || Box::new(Btb::new(BtbConfig::pentium4()))),
         ("BTB + 2-bit counters", || Box::new(TwoBitBtb::new())),
-        ("two-level (Pentium M)", || {
-            Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))
-        }),
+        ("two-level (Pentium M)", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
     ];
 
     println!("Benchmark: {name} (Celeron cost model, perfect I-cache)");

@@ -12,9 +12,7 @@
 use std::collections::HashMap;
 
 use ivm::cache::CpuSpec;
-use ivm::core::{
-    translate, Engine, Measurement, Runner, SuperSelection, Technique,
-};
+use ivm::core::{translate, Engine, Measurement, Runner, SuperSelection, Technique};
 use ivm::forth;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,22 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(2)
         .map(|t| t.parse().expect("technique name"))
         .unwrap_or(Technique::Threaded);
-    let bench = ivm::forth::programs::find(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let bench =
+        ivm::forth::programs::find(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let image = bench.image();
     let cpu = CpuSpec::celeron800();
 
-    let training = (technique.needs_profile()).then(|| {
-        forth::profile(&ivm::forth::programs::BRAINLESS.image()).expect("training run")
-    });
+    let training = (technique.needs_profile())
+        .then(|| forth::profile(&ivm::forth::programs::BRAINLESS.image()).expect("training run"));
     let o = forth::ops();
-    let translation = translate(
-        &o.spec,
-        &image.program,
-        technique,
-        training.as_ref(),
-        SuperSelection::gforth(),
-    );
+    let translation =
+        translate(&o.spec, &image.program, technique, training.as_ref(), SuperSelection::gforth());
 
     // Map each dispatch branch address to the opcode(s) owning it.
     let mut owner: HashMap<u64, &str> = HashMap::new();
@@ -54,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     forth::run(&image, &mut m, forth::DEFAULT_FUEL)?;
 
     println!("Worst dispatch branches for {name} ({technique}, {}):", cpu.name);
-    println!("{:<12} {:<12} {:>12} {:>12} {:>8}", "branch", "VM word", "executed", "mispred", "rate%");
+    println!(
+        "{:<12} {:<12} {:>12} {:>12} {:>8}",
+        "branch", "VM word", "executed", "mispred", "rate%"
+    );
     for (branch, execs, misses) in m.runner().engine().top_mispredicted(12) {
         println!(
             "{branch:#012x} {:<12} {execs:>12} {misses:>12} {:>8.1}",

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1e862dbc5da0ae6b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1e862dbc5da0ae6b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

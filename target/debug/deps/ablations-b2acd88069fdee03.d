@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b2acd88069fdee03.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b2acd88069fdee03: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/bin_smoke-4d67677f5d7cde09.d: crates/bench/tests/bin_smoke.rs
+
+/root/repo/target/debug/deps/bin_smoke-4d67677f5d7cde09: crates/bench/tests/bin_smoke.rs
+
+crates/bench/tests/bin_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_ablations=/root/repo/target/debug/ablations
+# env-dep:CARGO_BIN_EXE_figure10_13=/root/repo/target/debug/figure10_13
+# env-dep:CARGO_BIN_EXE_figure14_16=/root/repo/target/debug/figure14_16
+# env-dep:CARGO_BIN_EXE_figure7=/root/repo/target/debug/figure7
+# env-dep:CARGO_BIN_EXE_figure8=/root/repo/target/debug/figure8
+# env-dep:CARGO_BIN_EXE_figure9=/root/repo/target/debug/figure9
+# env-dep:CARGO_BIN_EXE_related_work=/root/repo/target/debug/related_work
+# env-dep:CARGO_BIN_EXE_scaling=/root/repo/target/debug/scaling
+# env-dep:CARGO_BIN_EXE_section3=/root/repo/target/debug/section3
+# env-dep:CARGO_BIN_EXE_simulator_study=/root/repo/target/debug/simulator_study
+# env-dep:CARGO_BIN_EXE_superlen=/root/repo/target/debug/superlen
+# env-dep:CARGO_BIN_EXE_table1_4=/root/repo/target/debug/table1_4
+# env-dep:CARGO_BIN_EXE_table5=/root/repo/target/debug/table5
+# env-dep:CARGO_BIN_EXE_table8=/root/repo/target/debug/table8
+# env-dep:CARGO_BIN_EXE_table9_10=/root/repo/target/debug/table9_10

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/bin_smoke-7cd7c2a3737520ff.d: crates/bench/tests/bin_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbin_smoke-7cd7c2a3737520ff.rmeta: crates/bench/tests/bin_smoke.rs Cargo.toml
+
+crates/bench/tests/bin_smoke.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ablations=placeholder:ablations
+# env-dep:CARGO_BIN_EXE_figure10_13=placeholder:figure10_13
+# env-dep:CARGO_BIN_EXE_figure14_16=placeholder:figure14_16
+# env-dep:CARGO_BIN_EXE_figure7=placeholder:figure7
+# env-dep:CARGO_BIN_EXE_figure8=placeholder:figure8
+# env-dep:CARGO_BIN_EXE_figure9=placeholder:figure9
+# env-dep:CARGO_BIN_EXE_related_work=placeholder:related_work
+# env-dep:CARGO_BIN_EXE_scaling=placeholder:scaling
+# env-dep:CARGO_BIN_EXE_section3=placeholder:section3
+# env-dep:CARGO_BIN_EXE_simulator_study=placeholder:simulator_study
+# env-dep:CARGO_BIN_EXE_superlen=placeholder:superlen
+# env-dep:CARGO_BIN_EXE_table1_4=placeholder:table1_4
+# env-dep:CARGO_BIN_EXE_table5=placeholder:table5
+# env-dep:CARGO_BIN_EXE_table8=placeholder:table8
+# env-dep:CARGO_BIN_EXE_table9_10=placeholder:table9_10
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_robustness-ba31425e973b36e1.d: tests/compiler_robustness.rs
+
+/root/repo/target/debug/deps/compiler_robustness-ba31425e973b36e1: tests/compiler_robustness.rs
+
+tests/compiler_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler_robustness-c8f31ac656ec2aba.d: tests/compiler_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler_robustness-c8f31ac656ec2aba.rmeta: tests/compiler_robustness.rs Cargo.toml
+
+tests/compiler_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_stack-746d6da034d5217c.d: tests/cross_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_stack-746d6da034d5217c.rmeta: tests/cross_stack.rs Cargo.toml
+
+tests/cross_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

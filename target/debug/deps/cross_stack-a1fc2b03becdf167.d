@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_stack-a1fc2b03becdf167.d: tests/cross_stack.rs
+
+/root/repo/target/debug/deps/cross_stack-a1fc2b03becdf167: tests/cross_stack.rs
+
+tests/cross_stack.rs:

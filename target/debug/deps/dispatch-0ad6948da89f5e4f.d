@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dispatch-0ad6948da89f5e4f.d: crates/bench/benches/dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch-0ad6948da89f5e4f.rmeta: crates/bench/benches/dispatch.rs Cargo.toml
+
+crates/bench/benches/dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

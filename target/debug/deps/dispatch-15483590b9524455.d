@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch-15483590b9524455.d: crates/bench/benches/dispatch.rs
+
+/root/repo/target/debug/deps/dispatch-15483590b9524455: crates/bench/benches/dispatch.rs
+
+crates/bench/benches/dispatch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure10_13-cbffcbd8c2db4c06.d: crates/bench/src/bin/figure10_13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure10_13-cbffcbd8c2db4c06.rmeta: crates/bench/src/bin/figure10_13.rs Cargo.toml
+
+crates/bench/src/bin/figure10_13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure10_13-db9a84c48f38eb29.d: crates/bench/src/bin/figure10_13.rs
+
+/root/repo/target/debug/deps/figure10_13-db9a84c48f38eb29: crates/bench/src/bin/figure10_13.rs
+
+crates/bench/src/bin/figure10_13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure10_13-f5062b0b0d639e20.d: crates/bench/src/bin/figure10_13.rs
+
+/root/repo/target/debug/deps/figure10_13-f5062b0b0d639e20: crates/bench/src/bin/figure10_13.rs
+
+crates/bench/src/bin/figure10_13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure14_16-52c071ecc0d71c66.d: crates/bench/src/bin/figure14_16.rs
+
+/root/repo/target/debug/deps/figure14_16-52c071ecc0d71c66: crates/bench/src/bin/figure14_16.rs
+
+crates/bench/src/bin/figure14_16.rs:

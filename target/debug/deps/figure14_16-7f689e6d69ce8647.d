@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure14_16-7f689e6d69ce8647.d: crates/bench/src/bin/figure14_16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure14_16-7f689e6d69ce8647.rmeta: crates/bench/src/bin/figure14_16.rs Cargo.toml
+
+crates/bench/src/bin/figure14_16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

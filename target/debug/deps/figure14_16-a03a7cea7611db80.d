@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure14_16-a03a7cea7611db80.d: crates/bench/src/bin/figure14_16.rs
+
+/root/repo/target/debug/deps/figure14_16-a03a7cea7611db80: crates/bench/src/bin/figure14_16.rs
+
+crates/bench/src/bin/figure14_16.rs:

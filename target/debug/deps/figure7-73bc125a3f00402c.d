@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-73bc125a3f00402c.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-73bc125a3f00402c: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

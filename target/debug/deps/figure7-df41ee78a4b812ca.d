@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-df41ee78a4b812ca.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-df41ee78a4b812ca: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

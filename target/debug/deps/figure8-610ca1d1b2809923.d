@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-610ca1d1b2809923.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/debug/deps/figure8-610ca1d1b2809923: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-888813dcd4e7da7c.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/debug/deps/figure8-888813dcd4e7da7c: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

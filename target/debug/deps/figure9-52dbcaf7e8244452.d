@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure9-52dbcaf7e8244452.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/debug/deps/figure9-52dbcaf7e8244452: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

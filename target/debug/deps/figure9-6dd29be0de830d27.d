@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure9-6dd29be0de830d27.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/debug/deps/figure9-6dd29be0de830d27: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

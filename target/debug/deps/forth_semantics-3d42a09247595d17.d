@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forth_semantics-3d42a09247595d17.d: tests/forth_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforth_semantics-3d42a09247595d17.rmeta: tests/forth_semantics.rs Cargo.toml
+
+tests/forth_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

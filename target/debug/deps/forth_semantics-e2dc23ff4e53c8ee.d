@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forth_semantics-e2dc23ff4e53c8ee.d: tests/forth_semantics.rs
+
+/root/repo/target/debug/deps/forth_semantics-e2dc23ff4e53c8ee: tests/forth_semantics.rs
+
+tests/forth_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_outputs-b25ad8a8b4109aed.d: tests/golden_outputs.rs
+
+/root/repo/target/debug/deps/golden_outputs-b25ad8a8b4109aed: tests/golden_outputs.rs
+
+tests/golden_outputs.rs:

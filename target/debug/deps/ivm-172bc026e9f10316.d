@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivm-172bc026e9f10316.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm-172bc026e9f10316.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ivm-32dc565150479bc3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libivm-32dc565150479bc3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libivm-32dc565150479bc3.rmeta: src/lib.rs
+
+src/lib.rs:

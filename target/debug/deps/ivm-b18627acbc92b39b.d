@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivm-b18627acbc92b39b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm-b18627acbc92b39b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

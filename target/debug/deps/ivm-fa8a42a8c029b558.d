@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ivm-fa8a42a8c029b558.d: src/lib.rs
+
+/root/repo/target/debug/deps/ivm-fa8a42a8c029b558: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ivm_bench-3f1f30c186654926.d: crates/bench/src/lib.rs crates/bench/src/native_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_bench-3f1f30c186654926.rmeta: crates/bench/src/lib.rs crates/bench/src/native_model.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/native_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

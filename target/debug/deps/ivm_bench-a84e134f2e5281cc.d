@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ivm_bench-a84e134f2e5281cc.d: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+/root/repo/target/debug/deps/ivm_bench-a84e134f2e5281cc: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/native_model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivm_bench-ca33d841b858f940.d: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+/root/repo/target/debug/deps/libivm_bench-ca33d841b858f940.rlib: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+/root/repo/target/debug/deps/libivm_bench-ca33d841b858f940.rmeta: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/native_model.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ivm_bpred-66f712edaf4ca7dc.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+/root/repo/target/debug/deps/libivm_bpred-66f712edaf4ca7dc.rlib: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+/root/repo/target/debug/deps/libivm_bpred-66f712edaf4ca7dc.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/cascaded.rs:
+crates/bpred/src/case_block.rs:
+crates/bpred/src/ideal.rs:
+crates/bpred/src/stats.rs:
+crates/bpred/src/two_bit.rs:
+crates/bpred/src/two_level.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivm_bpred-9fc3fa2f0c002fd7.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+/root/repo/target/debug/deps/ivm_bpred-9fc3fa2f0c002fd7: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/cascaded.rs:
+crates/bpred/src/case_block.rs:
+crates/bpred/src/ideal.rs:
+crates/bpred/src/stats.rs:
+crates/bpred/src/two_bit.rs:
+crates/bpred/src/two_level.rs:

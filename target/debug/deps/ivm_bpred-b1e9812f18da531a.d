@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ivm_bpred-b1e9812f18da531a.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_bpred-b1e9812f18da531a.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs Cargo.toml
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/cascaded.rs:
+crates/bpred/src/case_block.rs:
+crates/bpred/src/ideal.rs:
+crates/bpred/src/stats.rs:
+crates/bpred/src/two_bit.rs:
+crates/bpred/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

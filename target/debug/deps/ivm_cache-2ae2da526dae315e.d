@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ivm_cache-2ae2da526dae315e.d: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_cache-2ae2da526dae315e.rmeta: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs Cargo.toml
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/cost.rs:
+crates/simcache/src/cpu.rs:
+crates/simcache/src/icache.rs:
+crates/simcache/src/trace_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ivm_cache-8214705c3eed7d63.d: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+/root/repo/target/debug/deps/ivm_cache-8214705c3eed7d63: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/cost.rs:
+crates/simcache/src/cpu.rs:
+crates/simcache/src/icache.rs:
+crates/simcache/src/trace_cache.rs:

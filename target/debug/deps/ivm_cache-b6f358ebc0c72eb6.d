@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ivm_cache-b6f358ebc0c72eb6.d: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+/root/repo/target/debug/deps/libivm_cache-b6f358ebc0c72eb6.rlib: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+/root/repo/target/debug/deps/libivm_cache-b6f358ebc0c72eb6.rmeta: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/cost.rs:
+crates/simcache/src/cpu.rs:
+crates/simcache/src/icache.rs:
+crates/simcache/src/trace_cache.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ivm_core-07c253d56c172ba1.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs
+
+/root/repo/target/debug/deps/libivm_core-07c253d56c172ba1.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs
+
+/root/repo/target/debug/deps/libivm_core-07c253d56c172ba1.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/native.rs:
+crates/core/src/profile.rs:
+crates/core/src/program.rs:
+crates/core/src/replicate.rs:
+crates/core/src/slots.rs:
+crates/core/src/spec.rs:
+crates/core/src/superinst.rs:
+crates/core/src/technique.rs:
+crates/core/src/trace.rs:
+crates/core/src/translate.rs:

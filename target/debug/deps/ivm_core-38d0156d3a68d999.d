@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ivm_core-38d0156d3a68d999.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_core-38d0156d3a68d999.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/native.rs:
+crates/core/src/profile.rs:
+crates/core/src/program.rs:
+crates/core/src/replicate.rs:
+crates/core/src/slots.rs:
+crates/core/src/spec.rs:
+crates/core/src/superinst.rs:
+crates/core/src/technique.rs:
+crates/core/src/trace.rs:
+crates/core/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

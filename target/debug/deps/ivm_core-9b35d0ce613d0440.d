@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ivm_core-9b35d0ce613d0440.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs
+
+/root/repo/target/debug/deps/ivm_core-9b35d0ce613d0440: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/native.rs:
+crates/core/src/profile.rs:
+crates/core/src/program.rs:
+crates/core/src/replicate.rs:
+crates/core/src/slots.rs:
+crates/core/src/spec.rs:
+crates/core/src/superinst.rs:
+crates/core/src/technique.rs:
+crates/core/src/trace.rs:
+crates/core/src/translate.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ivm_core-bb9434588750deb0.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_core-bb9434588750deb0.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/native.rs crates/core/src/profile.rs crates/core/src/program.rs crates/core/src/replicate.rs crates/core/src/slots.rs crates/core/src/spec.rs crates/core/src/superinst.rs crates/core/src/technique.rs crates/core/src/trace.rs crates/core/src/translate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/native.rs:
+crates/core/src/profile.rs:
+crates/core/src/program.rs:
+crates/core/src/replicate.rs:
+crates/core/src/slots.rs:
+crates/core/src/spec.rs:
+crates/core/src/superinst.rs:
+crates/core/src/technique.rs:
+crates/core/src/trace.rs:
+crates/core/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ivm_forth-08df66b0e8a8de27.d: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs
+
+/root/repo/target/debug/deps/ivm_forth-08df66b0e8a8de27: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs
+
+crates/forthvm/src/lib.rs:
+crates/forthvm/src/compiler.rs:
+crates/forthvm/src/inst.rs:
+crates/forthvm/src/measure.rs:
+crates/forthvm/src/programs.rs:
+crates/forthvm/src/vm.rs:
+crates/forthvm/src/../forth/gray.fs:
+crates/forthvm/src/../forth/bench-gc.fs:
+crates/forthvm/src/../forth/tscp.fs:
+crates/forthvm/src/../forth/vmgen.fs:
+crates/forthvm/src/../forth/cross.fs:
+crates/forthvm/src/../forth/brainless.fs:
+crates/forthvm/src/../forth/brew.fs:
+crates/forthvm/src/../forth/micro.fs:

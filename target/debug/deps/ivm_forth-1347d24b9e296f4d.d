@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ivm_forth-1347d24b9e296f4d.d: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs
+
+/root/repo/target/debug/deps/libivm_forth-1347d24b9e296f4d.rlib: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs
+
+/root/repo/target/debug/deps/libivm_forth-1347d24b9e296f4d.rmeta: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs
+
+crates/forthvm/src/lib.rs:
+crates/forthvm/src/compiler.rs:
+crates/forthvm/src/inst.rs:
+crates/forthvm/src/measure.rs:
+crates/forthvm/src/programs.rs:
+crates/forthvm/src/vm.rs:
+crates/forthvm/src/../forth/gray.fs:
+crates/forthvm/src/../forth/bench-gc.fs:
+crates/forthvm/src/../forth/tscp.fs:
+crates/forthvm/src/../forth/vmgen.fs:
+crates/forthvm/src/../forth/cross.fs:
+crates/forthvm/src/../forth/brainless.fs:
+crates/forthvm/src/../forth/brew.fs:
+crates/forthvm/src/../forth/micro.fs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ivm_forth-cb5eae4129cabef4.d: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_forth-cb5eae4129cabef4.rmeta: crates/forthvm/src/lib.rs crates/forthvm/src/compiler.rs crates/forthvm/src/inst.rs crates/forthvm/src/measure.rs crates/forthvm/src/programs.rs crates/forthvm/src/vm.rs crates/forthvm/src/../forth/gray.fs crates/forthvm/src/../forth/bench-gc.fs crates/forthvm/src/../forth/tscp.fs crates/forthvm/src/../forth/vmgen.fs crates/forthvm/src/../forth/cross.fs crates/forthvm/src/../forth/brainless.fs crates/forthvm/src/../forth/brew.fs crates/forthvm/src/../forth/micro.fs Cargo.toml
+
+crates/forthvm/src/lib.rs:
+crates/forthvm/src/compiler.rs:
+crates/forthvm/src/inst.rs:
+crates/forthvm/src/measure.rs:
+crates/forthvm/src/programs.rs:
+crates/forthvm/src/vm.rs:
+crates/forthvm/src/../forth/gray.fs:
+crates/forthvm/src/../forth/bench-gc.fs:
+crates/forthvm/src/../forth/tscp.fs:
+crates/forthvm/src/../forth/vmgen.fs:
+crates/forthvm/src/../forth/cross.fs:
+crates/forthvm/src/../forth/brainless.fs:
+crates/forthvm/src/../forth/brew.fs:
+crates/forthvm/src/../forth/micro.fs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivm_harness-2df625e8f9496a77.d: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_harness-2df625e8f9496a77.rmeta: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/bench.rs:
+crates/harness/src/prop.rs:
+crates/harness/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

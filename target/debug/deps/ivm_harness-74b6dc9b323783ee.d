@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ivm_harness-74b6dc9b323783ee.d: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+/root/repo/target/debug/deps/libivm_harness-74b6dc9b323783ee.rlib: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+/root/repo/target/debug/deps/libivm_harness-74b6dc9b323783ee.rmeta: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/bench.rs:
+crates/harness/src/prop.rs:
+crates/harness/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ivm_harness-8c87892751718c14.d: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_harness-8c87892751718c14.rmeta: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/bench.rs:
+crates/harness/src/prop.rs:
+crates/harness/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ivm_harness-b03cb8d7937d6048.d: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+/root/repo/target/debug/deps/ivm_harness-b03cb8d7937d6048: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/bench.rs:
+crates/harness/src/prop.rs:
+crates/harness/src/rng.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ivm_java-42866362f505ef4e.d: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libivm_java-42866362f505ef4e.rmeta: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs Cargo.toml
+
+crates/javavm/src/lib.rs:
+crates/javavm/src/asm.rs:
+crates/javavm/src/inst.rs:
+crates/javavm/src/measure.rs:
+crates/javavm/src/programs/mod.rs:
+crates/javavm/src/programs/compress.rs:
+crates/javavm/src/programs/db.rs:
+crates/javavm/src/programs/jack.rs:
+crates/javavm/src/programs/javac.rs:
+crates/javavm/src/programs/jess.rs:
+crates/javavm/src/programs/mpeg.rs:
+crates/javavm/src/programs/mtrt.rs:
+crates/javavm/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

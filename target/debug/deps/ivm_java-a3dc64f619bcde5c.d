@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ivm_java-a3dc64f619bcde5c.d: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs
+
+/root/repo/target/debug/deps/libivm_java-a3dc64f619bcde5c.rlib: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs
+
+/root/repo/target/debug/deps/libivm_java-a3dc64f619bcde5c.rmeta: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs
+
+crates/javavm/src/lib.rs:
+crates/javavm/src/asm.rs:
+crates/javavm/src/inst.rs:
+crates/javavm/src/measure.rs:
+crates/javavm/src/programs/mod.rs:
+crates/javavm/src/programs/compress.rs:
+crates/javavm/src/programs/db.rs:
+crates/javavm/src/programs/jack.rs:
+crates/javavm/src/programs/javac.rs:
+crates/javavm/src/programs/jess.rs:
+crates/javavm/src/programs/mpeg.rs:
+crates/javavm/src/programs/mtrt.rs:
+crates/javavm/src/vm.rs:

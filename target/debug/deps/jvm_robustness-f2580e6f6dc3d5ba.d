@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jvm_robustness-f2580e6f6dc3d5ba.d: tests/jvm_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjvm_robustness-f2580e6f6dc3d5ba.rmeta: tests/jvm_robustness.rs Cargo.toml
+
+tests/jvm_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

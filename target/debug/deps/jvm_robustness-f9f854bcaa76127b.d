@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jvm_robustness-f9f854bcaa76127b.d: tests/jvm_robustness.rs
+
+/root/repo/target/debug/deps/jvm_robustness-f9f854bcaa76127b: tests/jvm_robustness.rs
+
+tests/jvm_robustness.rs:

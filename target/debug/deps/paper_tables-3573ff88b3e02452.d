@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-3573ff88b3e02452.d: crates/bpred/tests/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-3573ff88b3e02452: crates/bpred/tests/paper_tables.rs
+
+crates/bpred/tests/paper_tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-f221db6e29419d91.d: crates/bpred/tests/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-f221db6e29419d91.rmeta: crates/bpred/tests/paper_tables.rs Cargo.toml
+
+crates/bpred/tests/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictors-a6311dfe16390d9e.d: crates/bench/benches/predictors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictors-a6311dfe16390d9e.rmeta: crates/bench/benches/predictors.rs Cargo.toml
+
+crates/bench/benches/predictors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictors-e6e4ad91c60edd1a.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/debug/deps/predictors-e6e4ad91c60edd1a: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

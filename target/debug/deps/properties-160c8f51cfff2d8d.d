@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-160c8f51cfff2d8d.d: crates/simcache/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-160c8f51cfff2d8d: crates/simcache/tests/properties.rs
+
+crates/simcache/tests/properties.rs:

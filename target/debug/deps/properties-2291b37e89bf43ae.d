@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2291b37e89bf43ae.d: crates/simcache/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2291b37e89bf43ae.rmeta: crates/simcache/tests/properties.rs Cargo.toml
+
+crates/simcache/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8b2051d8d7526c69.d: crates/bpred/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8b2051d8d7526c69.rmeta: crates/bpred/tests/properties.rs Cargo.toml
+
+crates/bpred/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cbe9bde4a927c590.d: crates/bpred/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cbe9bde4a927c590: crates/bpred/tests/properties.rs
+
+crates/bpred/tests/properties.rs:

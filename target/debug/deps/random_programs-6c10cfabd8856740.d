@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-6c10cfabd8856740.d: tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-6c10cfabd8856740: tests/random_programs.rs
+
+tests/random_programs.rs:

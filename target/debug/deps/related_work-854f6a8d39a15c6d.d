@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_work-854f6a8d39a15c6d.d: crates/bench/src/bin/related_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_work-854f6a8d39a15c6d.rmeta: crates/bench/src/bin/related_work.rs Cargo.toml
+
+crates/bench/src/bin/related_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-8e987c719ba93463.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-8e987c719ba93463: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

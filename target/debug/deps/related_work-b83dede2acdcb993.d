@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-b83dede2acdcb993.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-b83dede2acdcb993: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

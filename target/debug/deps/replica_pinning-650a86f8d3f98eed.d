@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replica_pinning-650a86f8d3f98eed.d: crates/core/tests/replica_pinning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplica_pinning-650a86f8d3f98eed.rmeta: crates/core/tests/replica_pinning.rs Cargo.toml
+
+crates/core/tests/replica_pinning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replica_pinning-e1f920edb2f77c5e.d: crates/core/tests/replica_pinning.rs
+
+/root/repo/target/debug/deps/replica_pinning-e1f920edb2f77c5e: crates/core/tests/replica_pinning.rs
+
+crates/core/tests/replica_pinning.rs:

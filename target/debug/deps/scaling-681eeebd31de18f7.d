@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-681eeebd31de18f7.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-681eeebd31de18f7: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-d0dbd2111c3da0b6.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-d0dbd2111c3da0b6: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/section3-44056265fb5836ac.d: crates/bench/src/bin/section3.rs
+
+/root/repo/target/debug/deps/section3-44056265fb5836ac: crates/bench/src/bin/section3.rs
+
+crates/bench/src/bin/section3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/section3-b7e9818a926b75f5.d: crates/bench/src/bin/section3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsection3-b7e9818a926b75f5.rmeta: crates/bench/src/bin/section3.rs Cargo.toml
+
+crates/bench/src/bin/section3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

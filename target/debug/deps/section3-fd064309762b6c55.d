@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/section3-fd064309762b6c55.d: crates/bench/src/bin/section3.rs
+
+/root/repo/target/debug/deps/section3-fd064309762b6c55: crates/bench/src/bin/section3.rs
+
+crates/bench/src/bin/section3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_study-17669d8e6dfbc61e.d: crates/bench/src/bin/simulator_study.rs
+
+/root/repo/target/debug/deps/simulator_study-17669d8e6dfbc61e: crates/bench/src/bin/simulator_study.rs
+
+crates/bench/src/bin/simulator_study.rs:

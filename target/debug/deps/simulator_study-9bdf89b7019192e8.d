@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_study-9bdf89b7019192e8.d: crates/bench/src/bin/simulator_study.rs
+
+/root/repo/target/debug/deps/simulator_study-9bdf89b7019192e8: crates/bench/src/bin/simulator_study.rs
+
+crates/bench/src/bin/simulator_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_study-f4fb87de59818c0f.d: crates/bench/src/bin/simulator_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_study-f4fb87de59818c0f.rmeta: crates/bench/src/bin/simulator_study.rs Cargo.toml
+
+crates/bench/src/bin/simulator_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superlen-00e90da08c4bd9c6.d: crates/bench/src/bin/superlen.rs
+
+/root/repo/target/debug/deps/superlen-00e90da08c4bd9c6: crates/bench/src/bin/superlen.rs
+
+crates/bench/src/bin/superlen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/superlen-8baa125e79db1955.d: crates/bench/src/bin/superlen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperlen-8baa125e79db1955.rmeta: crates/bench/src/bin/superlen.rs Cargo.toml
+
+crates/bench/src/bin/superlen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superlen-a7da9198dac0952d.d: crates/bench/src/bin/superlen.rs
+
+/root/repo/target/debug/deps/superlen-a7da9198dac0952d: crates/bench/src/bin/superlen.rs
+
+crates/bench/src/bin/superlen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/superlen-c524b949bb2c3c92.d: crates/bench/src/bin/superlen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperlen-c524b949bb2c3c92.rmeta: crates/bench/src/bin/superlen.rs Cargo.toml
+
+crates/bench/src/bin/superlen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_4-9781862a2e4d6a95.d: crates/bench/src/bin/table1_4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_4-9781862a2e4d6a95.rmeta: crates/bench/src/bin/table1_4.rs Cargo.toml
+
+crates/bench/src/bin/table1_4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_4-c0334466462dc9c4.d: crates/bench/src/bin/table1_4.rs
+
+/root/repo/target/debug/deps/table1_4-c0334466462dc9c4: crates/bench/src/bin/table1_4.rs
+
+crates/bench/src/bin/table1_4.rs:

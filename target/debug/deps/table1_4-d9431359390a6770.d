@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_4-d9431359390a6770.d: crates/bench/src/bin/table1_4.rs
+
+/root/repo/target/debug/deps/table1_4-d9431359390a6770: crates/bench/src/bin/table1_4.rs
+
+crates/bench/src/bin/table1_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d3afeda92f47081f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-d3afeda92f47081f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

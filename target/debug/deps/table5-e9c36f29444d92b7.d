@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-e9c36f29444d92b7.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-e9c36f29444d92b7: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-3e50098471f0fb55.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-3e50098471f0fb55: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

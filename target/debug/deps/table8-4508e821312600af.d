@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-4508e821312600af.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-4508e821312600af: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9_10-3ccaad449ab84492.d: crates/bench/src/bin/table9_10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9_10-3ccaad449ab84492.rmeta: crates/bench/src/bin/table9_10.rs Cargo.toml
+
+crates/bench/src/bin/table9_10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

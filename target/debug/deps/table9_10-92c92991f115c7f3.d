@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_10-92c92991f115c7f3.d: crates/bench/src/bin/table9_10.rs
+
+/root/repo/target/debug/deps/table9_10-92c92991f115c7f3: crates/bench/src/bin/table9_10.rs
+
+crates/bench/src/bin/table9_10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_10-994e2ba7788c8210.d: crates/bench/src/bin/table9_10.rs
+
+/root/repo/target/debug/deps/table9_10-994e2ba7788c8210: crates/bench/src/bin/table9_10.rs
+
+crates/bench/src/bin/table9_10.rs:

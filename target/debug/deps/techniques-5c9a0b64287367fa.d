@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/techniques-5c9a0b64287367fa.d: crates/core/tests/techniques.rs
+
+/root/repo/target/debug/deps/techniques-5c9a0b64287367fa: crates/core/tests/techniques.rs
+
+crates/core/tests/techniques.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/techniques-619b5633651bb45f.d: crates/core/tests/techniques.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtechniques-619b5633651bb45f.rmeta: crates/core/tests/techniques.rs Cargo.toml
+
+crates/core/tests/techniques.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

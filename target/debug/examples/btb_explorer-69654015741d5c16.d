@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/btb_explorer-69654015741d5c16.d: examples/btb_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbtb_explorer-69654015741d5c16.rmeta: examples/btb_explorer.rs Cargo.toml
+
+examples/btb_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

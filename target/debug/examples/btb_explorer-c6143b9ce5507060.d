@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btb_explorer-c6143b9ce5507060.d: examples/btb_explorer.rs
+
+/root/repo/target/debug/examples/btb_explorer-c6143b9ce5507060: examples/btb_explorer.rs
+
+examples/btb_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dispatch_doctor-c14c277416145396.d: examples/dispatch_doctor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdispatch_doctor-c14c277416145396.rmeta: examples/dispatch_doctor.rs Cargo.toml
+
+examples/dispatch_doctor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_doctor-dcf85d6ccf2a4545.d: examples/dispatch_doctor.rs
+
+/root/repo/target/debug/examples/dispatch_doctor-dcf85d6ccf2a4545: examples/dispatch_doctor.rs
+
+examples/dispatch_doctor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/forth_repl-497b86962160141f.d: examples/forth_repl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libforth_repl-497b86962160141f.rmeta: examples/forth_repl.rs Cargo.toml
+
+examples/forth_repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

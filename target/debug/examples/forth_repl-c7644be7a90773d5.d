@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forth_repl-c7644be7a90773d5.d: examples/forth_repl.rs
+
+/root/repo/target/debug/examples/forth_repl-c7644be7a90773d5: examples/forth_repl.rs
+
+examples/forth_repl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forth_suite-44b32fc0b563d60b.d: examples/forth_suite.rs
+
+/root/repo/target/debug/examples/forth_suite-44b32fc0b563d60b: examples/forth_suite.rs
+
+examples/forth_suite.rs:

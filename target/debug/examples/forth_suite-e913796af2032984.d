@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/forth_suite-e913796af2032984.d: examples/forth_suite.rs Cargo.toml
+
+/root/repo/target/debug/examples/libforth_suite-e913796af2032984.rmeta: examples/forth_suite.rs Cargo.toml
+
+examples/forth_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/java_suite-4eaadf21df07bd1a.d: examples/java_suite.rs
+
+/root/repo/target/debug/examples/java_suite-4eaadf21df07bd1a: examples/java_suite.rs
+
+examples/java_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/java_suite-e9f1abeae2386782.d: examples/java_suite.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjava_suite-e9f1abeae2386782.rmeta: examples/java_suite.rs Cargo.toml
+
+examples/java_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

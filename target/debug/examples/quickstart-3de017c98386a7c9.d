@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3de017c98386a7c9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3de017c98386a7c9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-40869d41af6f6032.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-40869d41af6f6032: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

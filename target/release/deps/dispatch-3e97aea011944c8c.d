@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dispatch-3e97aea011944c8c.d: crates/bench/benches/dispatch.rs
+
+/root/repo/target/release/deps/dispatch-3e97aea011944c8c: crates/bench/benches/dispatch.rs
+
+crates/bench/benches/dispatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure10_13-869af3e7864169e7.d: crates/bench/src/bin/figure10_13.rs
+
+/root/repo/target/release/deps/figure10_13-869af3e7864169e7: crates/bench/src/bin/figure10_13.rs
+
+crates/bench/src/bin/figure10_13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure10_13-8d01cdb3570dae6b.d: crates/bench/src/bin/figure10_13.rs
+
+/root/repo/target/release/deps/figure10_13-8d01cdb3570dae6b: crates/bench/src/bin/figure10_13.rs
+
+crates/bench/src/bin/figure10_13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure14_16-04d0e06a43d46085.d: crates/bench/src/bin/figure14_16.rs
+
+/root/repo/target/release/deps/figure14_16-04d0e06a43d46085: crates/bench/src/bin/figure14_16.rs
+
+crates/bench/src/bin/figure14_16.rs:

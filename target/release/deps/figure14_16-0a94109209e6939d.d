@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure14_16-0a94109209e6939d.d: crates/bench/src/bin/figure14_16.rs
+
+/root/repo/target/release/deps/figure14_16-0a94109209e6939d: crates/bench/src/bin/figure14_16.rs
+
+crates/bench/src/bin/figure14_16.rs:

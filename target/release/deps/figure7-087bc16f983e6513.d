@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-087bc16f983e6513.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-087bc16f983e6513: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-e04769772cb443aa.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-e04769772cb443aa: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure8-7247a5a57909ae91.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/release/deps/figure8-7247a5a57909ae91: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure8-93706c9061b09588.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/release/deps/figure8-93706c9061b09588: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure9-03dc9509df311a6d.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/release/deps/figure9-03dc9509df311a6d: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

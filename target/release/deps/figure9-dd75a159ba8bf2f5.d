@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure9-dd75a159ba8bf2f5.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/release/deps/figure9-dd75a159ba8bf2f5: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

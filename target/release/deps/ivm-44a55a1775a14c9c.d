@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ivm-44a55a1775a14c9c.d: src/lib.rs
+
+/root/repo/target/release/deps/libivm-44a55a1775a14c9c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libivm-44a55a1775a14c9c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ivm_bench-71b7f0952cc9e38c.d: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+/root/repo/target/release/deps/ivm_bench-71b7f0952cc9e38c: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/native_model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ivm_bench-eed68b5ab5c73c3f.d: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+/root/repo/target/release/deps/libivm_bench-eed68b5ab5c73c3f.rlib: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+/root/repo/target/release/deps/libivm_bench-eed68b5ab5c73c3f.rmeta: crates/bench/src/lib.rs crates/bench/src/native_model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/native_model.rs:

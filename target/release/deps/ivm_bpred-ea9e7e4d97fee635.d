@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ivm_bpred-ea9e7e4d97fee635.d: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+/root/repo/target/release/deps/libivm_bpred-ea9e7e4d97fee635.rlib: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+/root/repo/target/release/deps/libivm_bpred-ea9e7e4d97fee635.rmeta: crates/bpred/src/lib.rs crates/bpred/src/btb.rs crates/bpred/src/cascaded.rs crates/bpred/src/case_block.rs crates/bpred/src/ideal.rs crates/bpred/src/stats.rs crates/bpred/src/two_bit.rs crates/bpred/src/two_level.rs
+
+crates/bpred/src/lib.rs:
+crates/bpred/src/btb.rs:
+crates/bpred/src/cascaded.rs:
+crates/bpred/src/case_block.rs:
+crates/bpred/src/ideal.rs:
+crates/bpred/src/stats.rs:
+crates/bpred/src/two_bit.rs:
+crates/bpred/src/two_level.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ivm_cache-84b7b827aab3a346.d: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+/root/repo/target/release/deps/libivm_cache-84b7b827aab3a346.rlib: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+/root/repo/target/release/deps/libivm_cache-84b7b827aab3a346.rmeta: crates/simcache/src/lib.rs crates/simcache/src/cost.rs crates/simcache/src/cpu.rs crates/simcache/src/icache.rs crates/simcache/src/trace_cache.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/cost.rs:
+crates/simcache/src/cpu.rs:
+crates/simcache/src/icache.rs:
+crates/simcache/src/trace_cache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ivm_harness-179f98116f7e581c.d: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+/root/repo/target/release/deps/libivm_harness-179f98116f7e581c.rlib: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+/root/repo/target/release/deps/libivm_harness-179f98116f7e581c.rmeta: crates/harness/src/lib.rs crates/harness/src/bench.rs crates/harness/src/prop.rs crates/harness/src/rng.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/bench.rs:
+crates/harness/src/prop.rs:
+crates/harness/src/rng.rs:

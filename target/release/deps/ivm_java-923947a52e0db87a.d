@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ivm_java-923947a52e0db87a.d: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs
+
+/root/repo/target/release/deps/libivm_java-923947a52e0db87a.rlib: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs
+
+/root/repo/target/release/deps/libivm_java-923947a52e0db87a.rmeta: crates/javavm/src/lib.rs crates/javavm/src/asm.rs crates/javavm/src/inst.rs crates/javavm/src/measure.rs crates/javavm/src/programs/mod.rs crates/javavm/src/programs/compress.rs crates/javavm/src/programs/db.rs crates/javavm/src/programs/jack.rs crates/javavm/src/programs/javac.rs crates/javavm/src/programs/jess.rs crates/javavm/src/programs/mpeg.rs crates/javavm/src/programs/mtrt.rs crates/javavm/src/vm.rs
+
+crates/javavm/src/lib.rs:
+crates/javavm/src/asm.rs:
+crates/javavm/src/inst.rs:
+crates/javavm/src/measure.rs:
+crates/javavm/src/programs/mod.rs:
+crates/javavm/src/programs/compress.rs:
+crates/javavm/src/programs/db.rs:
+crates/javavm/src/programs/jack.rs:
+crates/javavm/src/programs/javac.rs:
+crates/javavm/src/programs/jess.rs:
+crates/javavm/src/programs/mpeg.rs:
+crates/javavm/src/programs/mtrt.rs:
+crates/javavm/src/vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predictors-4dfc5a37bd4aec41.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/release/deps/predictors-4dfc5a37bd4aec41: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

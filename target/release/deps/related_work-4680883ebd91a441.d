@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work-4680883ebd91a441.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/release/deps/related_work-4680883ebd91a441: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

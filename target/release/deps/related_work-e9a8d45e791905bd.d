@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work-e9a8d45e791905bd.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/release/deps/related_work-e9a8d45e791905bd: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-27aafd7b5355a6ef.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-27aafd7b5355a6ef: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-e3c4e7b92cc76836.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-e3c4e7b92cc76836: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/section3-0d875604ca372fbe.d: crates/bench/src/bin/section3.rs
+
+/root/repo/target/release/deps/section3-0d875604ca372fbe: crates/bench/src/bin/section3.rs
+
+crates/bench/src/bin/section3.rs:

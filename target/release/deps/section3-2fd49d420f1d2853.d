@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/section3-2fd49d420f1d2853.d: crates/bench/src/bin/section3.rs
+
+/root/repo/target/release/deps/section3-2fd49d420f1d2853: crates/bench/src/bin/section3.rs
+
+crates/bench/src/bin/section3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_study-2e16272989ae6921.d: crates/bench/src/bin/simulator_study.rs
+
+/root/repo/target/release/deps/simulator_study-2e16272989ae6921: crates/bench/src/bin/simulator_study.rs
+
+crates/bench/src/bin/simulator_study.rs:

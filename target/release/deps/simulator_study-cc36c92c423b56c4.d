@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_study-cc36c92c423b56c4.d: crates/bench/src/bin/simulator_study.rs
+
+/root/repo/target/release/deps/simulator_study-cc36c92c423b56c4: crates/bench/src/bin/simulator_study.rs
+
+crates/bench/src/bin/simulator_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/superlen-6d00fa83e3da8d1b.d: crates/bench/src/bin/superlen.rs
+
+/root/repo/target/release/deps/superlen-6d00fa83e3da8d1b: crates/bench/src/bin/superlen.rs
+
+crates/bench/src/bin/superlen.rs:

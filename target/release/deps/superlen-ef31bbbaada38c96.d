@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/superlen-ef31bbbaada38c96.d: crates/bench/src/bin/superlen.rs
+
+/root/repo/target/release/deps/superlen-ef31bbbaada38c96: crates/bench/src/bin/superlen.rs
+
+crates/bench/src/bin/superlen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_4-3695e47dec331804.d: crates/bench/src/bin/table1_4.rs
+
+/root/repo/target/release/deps/table1_4-3695e47dec331804: crates/bench/src/bin/table1_4.rs
+
+crates/bench/src/bin/table1_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_4-66e6f6c1ff5ff6c7.d: crates/bench/src/bin/table1_4.rs
+
+/root/repo/target/release/deps/table1_4-66e6f6c1ff5ff6c7: crates/bench/src/bin/table1_4.rs
+
+crates/bench/src/bin/table1_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-18479dbeb3aaf1e5.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-18479dbeb3aaf1e5: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

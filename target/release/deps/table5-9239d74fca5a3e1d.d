@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-9239d74fca5a3e1d.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-9239d74fca5a3e1d: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

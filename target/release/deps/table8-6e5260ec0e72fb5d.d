@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-6e5260ec0e72fb5d.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-6e5260ec0e72fb5d: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

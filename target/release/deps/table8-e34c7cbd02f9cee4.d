@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-e34c7cbd02f9cee4.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-e34c7cbd02f9cee4: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

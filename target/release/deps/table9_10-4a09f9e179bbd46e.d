@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_10-4a09f9e179bbd46e.d: crates/bench/src/bin/table9_10.rs
+
+/root/repo/target/release/deps/table9_10-4a09f9e179bbd46e: crates/bench/src/bin/table9_10.rs
+
+crates/bench/src/bin/table9_10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_10-c34cb5f8be6ec8f4.d: crates/bench/src/bin/table9_10.rs
+
+/root/repo/target/release/deps/table9_10-c34cb5f8be6ec8f4: crates/bench/src/bin/table9_10.rs
+
+crates/bench/src/bin/table9_10.rs:

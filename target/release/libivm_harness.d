@@ -1,0 +1,1 @@
+/root/repo/target/release/libivm_harness.rlib: /root/repo/crates/harness/src/bench.rs /root/repo/crates/harness/src/lib.rs /root/repo/crates/harness/src/prop.rs /root/repo/crates/harness/src/rng.rs

@@ -2,62 +2,79 @@
 //! compiler or the assembler-facing VMs — either it compiles and runs
 //! within fuel, or it reports a structured error.
 
-use proptest::prelude::*;
+use ivm_harness::prop::{self, Source};
+use ivm_harness::{prop_assert, prop_assert_eq};
 
 use ivm::core::NullEvents;
 use ivm::forth;
 
-fn token_strategy() -> impl Strategy<Value = String> {
-    prop_oneof![
-        // Words the compiler knows, including structure words.
-        proptest::sample::select(vec![
-            ":", ";", "if", "else", "then", "begin", "until", "while", "repeat", "do", "loop",
-            "+loop", "?leave", "case", "of", "endof", "endcase", "recurse", "exit", "dup",
-            "drop", "swap", "+", "-", "*", "/", "@", "!", ".", "i", "j", "variable",
-            "constant", "create", "allot", "cells", "main", "x",
-        ])
-        .prop_map(str::to_owned),
+/// Words the compiler knows, including structure words.
+const KNOWN_WORDS: [&str; 38] = [
+    ":", ";", "if", "else", "then", "begin", "until", "while", "repeat", "do", "loop", "+loop",
+    "?leave", "case", "of", "endof", "endcase", "recurse", "exit", "dup", "drop", "swap", "+", "-",
+    "*", "/", "@", "!", ".", "i", "j", "variable", "constant", "create", "allot", "cells", "main",
+    "x",
+];
+
+fn token(src: &mut Source) -> String {
+    match src.weighted(&[3, 1, 1]) {
+        0 => src.pick(&KNOWN_WORDS).to_owned(),
         // Numbers.
-        (-1000i64..1000).prop_map(|n| n.to_string()),
+        1 => src.int_in(-1000i64..1000).to_string(),
         // Garbage identifiers.
-        "[a-z]{1,6}",
-    ]
+        _ => src.lowercase(1..7),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn tokens(src: &mut Source, max: usize) -> Vec<String> {
+    src.vec_of(0..max, token)
+}
 
-    /// The compiler returns Ok or Err, never panics, on random token soup.
-    #[test]
-    fn compiler_never_panics(tokens in proptest::collection::vec(token_strategy(), 0..60)) {
-        let source = tokens.join(" ");
+/// The compiler returns Ok or Err, never panics, on random token soup.
+#[test]
+fn compiler_never_panics() {
+    prop::check("compiler_never_panics", prop::Config::from_env().cases(64), |src| {
+        let source = tokens(src, 60).join(" ");
         let _ = forth::compile(&source);
-    }
+        Ok(())
+    });
+}
 
-    /// Whatever compiles must run to a clean stop or a structured VM error
-    /// within fuel — never a panic or an infinite loop.
-    #[test]
-    fn compiled_soup_runs_or_errors(tokens in proptest::collection::vec(token_strategy(), 0..60)) {
-        let source = format!(": main {} ;", tokens.iter().filter(|t| {
-            // Keep the body free of definition words so it stays one word.
-            !matches!(t.as_str(), ":" | ";" | "variable" | "constant" | "create" | "main")
-        }).cloned().collect::<Vec<_>>().join(" "));
+/// Whatever compiles must run to a clean stop or a structured VM error
+/// within fuel — never a panic or an infinite loop.
+#[test]
+fn compiled_soup_runs_or_errors() {
+    prop::check("compiled_soup_runs_or_errors", prop::Config::from_env().cases(64), |src| {
+        let body = tokens(src, 60)
+            .iter()
+            .filter(|t| {
+                // Keep the body free of definition words so it stays one word.
+                !matches!(t.as_str(), ":" | ";" | "variable" | "constant" | "create" | "main")
+            })
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(" ");
+        let source = format!(": main {body} ;");
         if let Ok(image) = forth::compile(&source) {
             let _ = forth::run(&image, &mut NullEvents, 200_000);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Compiling is deterministic: same source, same image shape.
-    #[test]
-    fn compilation_is_deterministic(tokens in proptest::collection::vec(token_strategy(), 0..40)) {
-        let source = tokens.join(" ");
+/// Compiling is deterministic: same source, same image shape.
+#[test]
+fn compilation_is_deterministic() {
+    prop::check("compilation_is_deterministic", prop::Config::from_env().cases(64), |src| {
+        let source = tokens(src, 40).join(" ");
         match (forth::compile(&source), forth::compile(&source)) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.program.len(), b.program.len());
-                prop_assert_eq!(a.operands, b.operands);
+                prop_assert_eq!(&a.operands, &b.operands);
             }
-            (Err(a), Err(b)) => prop_assert_eq!(a.message, b.message),
+            (Err(a), Err(b)) => prop_assert_eq!(&a.message, &b.message),
             (a, b) => prop_assert!(false, "nondeterministic outcome: {a:?} vs {b:?}"),
         }
-    }
+        Ok(())
+    });
 }

@@ -44,10 +44,8 @@ fn two_level_predictor_shrinks_the_gap() {
     // pathology (repeated opcodes with changing successors) — returns
     // would not be fixed by either predictor or technique.
     let straightline = || {
-        forth::compile(
-            ": main 1 500 0 do dup 1+ swap dup xor swap dup + 2* 1+ 16383 and loop . ;",
-        )
-        .expect("compiles")
+        forth::compile(": main 1 500 0 do dup 1+ swap dup xor swap dup + 2* 1+ 16383 and loop . ;")
+            .expect("compiles")
     };
     let image = straightline();
     let profile = forth::profile(&image).expect("profiles");
@@ -139,9 +137,7 @@ fn predictor_choice_only_affects_prediction_counters() {
     let with_pred = |pred: Box<dyn ivm::bpred::IndirectPredictor>| {
         let image = forth_image();
         let engine = Engine::new(pred, Box::new(PerfectIcache::default()), costs);
-        forth::measure_with(&image, Technique::AcrossBb, engine, Some(&profile))
-            .expect("runs")
-            .0
+        forth::measure_with(&image, Technique::AcrossBb, engine, Some(&profile)).expect("runs").0
     };
     let a = with_pred(Box::new(IdealBtb::new()));
     let b = with_pred(Box::new(Btb::new(BtbConfig::new(16, 1).tagless())));

@@ -2,37 +2,46 @@
 //! programs must behave identically under every dispatch technique, and
 //! interpreter errors must be stable.
 
-use proptest::prelude::*;
+use ivm_harness::prop::{self, Source};
+use ivm_harness::prop_assert;
 
 use ivm::cache::CpuSpec;
 use ivm::core::{NullEvents, Technique};
 use ivm::forth;
 
+const BINOPS: [&str; 8] = ["+", "-", "*", "min", "max", "and", "or", "xor"];
+const UNOPS: [&str; 7] = ["negate", "abs", "1+", "1-", "2*", "invert", "dup +"];
+
 /// A random straight-line arithmetic expression in postfix form, always
-/// leaving exactly one value on the stack.
-fn expr_strategy() -> impl Strategy<Value = String> {
-    let leaf = (-99i64..100).prop_map(|n| n.to_string());
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("min"), Just("max"),
-                Just("and"), Just("or"), Just("xor"),
-            ])
-                .prop_map(|(a, b, op)| format!("{a} {b} {op}")),
-            (inner.clone(), prop_oneof![
-                Just("negate"), Just("abs"), Just("1+"), Just("1-"),
-                Just("2*"), Just("invert"), Just("dup +"),
-            ])
-                .prop_map(|(a, op)| format!("{a} {op}")),
-        ]
-    })
+/// leaving exactly one value on the stack. `depth` bounds the recursion.
+fn expr(src: &mut Source, depth: u32) -> String {
+    fn leaf(src: &mut Source) -> String {
+        src.int_in(-99i64..100).to_string()
+    }
+    if depth == 0 {
+        return leaf(src);
+    }
+    match src.weighted(&[2, 1, 1]) {
+        0 => leaf(src),
+        1 => {
+            let a = expr(src, depth - 1);
+            let b = expr(src, depth - 1);
+            let op = src.pick(&BINOPS);
+            format!("{a} {b} {op}")
+        }
+        _ => {
+            let a = expr(src, depth - 1);
+            let op = src.pick(&UNOPS);
+            format!("{a} {op}")
+        }
+    }
 }
 
 /// Random loop bounds and strides for counted loops.
-fn loop_strategy() -> impl Strategy<Value = String> {
-    (1i64..20, 1i64..8).prop_map(|(n, k)| {
-        format!("0 {n} 0 do i {k} * + loop .")
-    })
+fn counted_loop(src: &mut Source) -> String {
+    let n = src.int_in(1i64..20);
+    let k = src.int_in(1i64..8);
+    format!("0 {n} 0 do i {k} * + loop .")
 }
 
 fn run_all_techniques(source: &str) -> Vec<String> {
@@ -48,46 +57,57 @@ fn run_all_techniques(source: &str) -> Vec<String> {
     outputs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Code layout must never change program output.
-    #[test]
-    fn expressions_agree_across_techniques(e in expr_strategy()) {
+/// Code layout must never change program output.
+#[test]
+fn expressions_agree_across_techniques() {
+    prop::check("expressions_agree_across_techniques", prop::Config::from_env().cases(32), |src| {
+        let e = expr(src, 4);
         let source = format!(": main {e} . ;");
         let outputs = run_all_techniques(&source);
         prop_assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
-    }
+        Ok(())
+    });
+}
 
-    /// Loops (block-heavy control flow) agree too, and match the directly
-    /// computed sum.
-    #[test]
-    fn loops_agree_and_are_correct(l in loop_strategy()) {
+/// Loops (block-heavy control flow) agree too, and match the directly
+/// computed sum.
+#[test]
+fn loops_agree_and_are_correct() {
+    prop::check("loops_agree_and_are_correct", prop::Config::from_env().cases(32), |src| {
+        let l = counted_loop(src);
         let source = format!(": main {l} ;");
         let image = forth::compile(&source).expect("compiles");
         let direct = forth::run(&image, &mut NullEvents, 1_000_000).expect("runs");
         let outputs = run_all_techniques(&source);
         prop_assert!(outputs.iter().all(|t| *t == direct.text), "{outputs:?} vs {}", direct.text);
-    }
+        Ok(())
+    });
+}
 
-    /// Nested definitions with calls agree.
-    #[test]
-    fn calls_agree_across_techniques(a in expr_strategy(), n in 1i64..12) {
-        let source = format!(
-            ": helper {a} ;\n: main 0 {n} 0 do helper 16383 and + loop . ;"
-        );
+/// Nested definitions with calls agree.
+#[test]
+fn calls_agree_across_techniques() {
+    prop::check("calls_agree_across_techniques", prop::Config::from_env().cases(32), |src| {
+        let a = expr(src, 4);
+        let n = src.int_in(1i64..12);
+        let source = format!(": helper {a} ;\n: main 0 {n} 0 do helper 16383 and + loop . ;");
         let outputs = run_all_techniques(&source);
         prop_assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
-    }
+        Ok(())
+    });
+}
 
-    /// The interpreter rejects stack underflow identically regardless of
-    /// how deep the expression goes before underflowing.
-    #[test]
-    fn underflow_is_detected(k in 1usize..6) {
+/// The interpreter rejects stack underflow identically regardless of
+/// how deep the expression goes before underflowing.
+#[test]
+fn underflow_is_detected() {
+    prop::check("underflow_is_detected", prop::Config::from_env().cases(32), |src| {
+        let k = src.int_in(1usize..6);
         let drops = "drop ".repeat(k);
         let source = format!(": main 1 2 {drops} drop drop . ;");
         let image = forth::compile(&source).expect("compiles");
         let r = forth::run(&image, &mut NullEvents, 10_000);
         prop_assert!(matches!(r, Err(forth::VmError::StackUnderflow(_))), "{r:?}");
-    }
+        Ok(())
+    });
 }

@@ -1,7 +1,8 @@
 //! Mini-JVM robustness: random straight-line bytecode must run to
 //! completion or produce a structured error — never panic or hang.
 
-use proptest::prelude::*;
+use ivm_harness::prop::{self, Source};
+use ivm_harness::prop_assert;
 
 use ivm::core::NullEvents;
 use ivm::java::{self, Asm};
@@ -27,26 +28,30 @@ enum Emit {
     PutStatic,
 }
 
-fn emit_strategy() -> impl Strategy<Value = Emit> {
-    prop_oneof![
-        any::<i16>().prop_map(Emit::Ldc),
-        (0u8..6).prop_map(Emit::Iload),
-        (0u8..6).prop_map(Emit::Istore),
-        ((0u8..6), any::<i8>()).prop_map(|(i, d)| Emit::Iinc(i, d)),
-        Just(Emit::Pop),
-        Just(Emit::Dup),
-        Just(Emit::Swap),
-        Just(Emit::Iadd),
-        Just(Emit::Isub),
-        Just(Emit::Imul),
-        Just(Emit::Idiv),
-        Just(Emit::Newarray),
-        Just(Emit::Iaload),
-        Just(Emit::Iastore),
-        Just(Emit::Arraylength),
-        Just(Emit::GetStatic),
-        Just(Emit::PutStatic),
-    ]
+fn emit(src: &mut Source) -> Emit {
+    match src.weighted(&[1; 17]) {
+        0 => Emit::Ldc(src.full::<i16>()),
+        1 => Emit::Iload(src.int_in(0u8..6)),
+        2 => Emit::Istore(src.int_in(0u8..6)),
+        3 => Emit::Iinc(src.int_in(0u8..6), src.full::<i8>()),
+        4 => Emit::Pop,
+        5 => Emit::Dup,
+        6 => Emit::Swap,
+        7 => Emit::Iadd,
+        8 => Emit::Isub,
+        9 => Emit::Imul,
+        10 => Emit::Idiv,
+        11 => Emit::Newarray,
+        12 => Emit::Iaload,
+        13 => Emit::Iastore,
+        14 => Emit::Arraylength,
+        15 => Emit::GetStatic,
+        _ => Emit::PutStatic,
+    }
+}
+
+fn emits(src: &mut Source) -> Vec<Emit> {
+    src.vec_of(0..40, emit)
 }
 
 fn build(emits: &[Emit]) -> java::JavaImage {
@@ -79,21 +84,23 @@ fn build(emits: &[Emit]) -> java::JavaImage {
     a.link()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Random straight-line bytecode never panics the VM.
-    #[test]
-    fn random_bytecode_runs_or_errors(emits in proptest::collection::vec(emit_strategy(), 0..40)) {
-        let image = build(&emits);
+/// Random straight-line bytecode never panics the VM.
+#[test]
+fn random_bytecode_runs_or_errors() {
+    prop::check("random_bytecode_runs_or_errors", prop::Config::from_env().cases(96), |src| {
+        let image = build(&emits(src));
         let _ = java::run(&image, &mut NullEvents, 100_000);
-    }
+        Ok(())
+    });
+}
 
-    /// The disassembler handles anything the assembler produces.
-    #[test]
-    fn disassembler_total(emits in proptest::collection::vec(emit_strategy(), 0..40)) {
-        let image = build(&emits);
+/// The disassembler handles anything the assembler produces.
+#[test]
+fn disassembler_total() {
+    prop::check("disassembler_total", prop::Config::from_env().cases(96), |src| {
+        let image = build(&emits(src));
         let listing = java::disassemble(&image);
         prop_assert!(listing.lines().count() >= image.program.len());
-    }
+        Ok(())
+    });
 }

@@ -6,14 +6,15 @@
 //! translators (block/region construction, sharing, quick gaps, side
 //! entries) far beyond what the hand-written benchmarks reach.
 
-use proptest::prelude::*;
+use ivm_harness::prop::{self, Source};
+use ivm_harness::prop_assert;
 
 use ivm_bpred::IdealBtb;
 use ivm_cache::{CycleCosts, PerfectIcache};
 use ivm_core::{
     translate, CoverAlgorithm, Engine, InstKind, Measurement, NativeSpec, OpId, Profile,
-    ProfileCollector, ProgramCode, ReplicaSelection, RunResult, Runner, SuperSelection,
-    Technique, VmEvents, VmSpec,
+    ProfileCollector, ProgramCode, ReplicaSelection, RunResult, Runner, SuperSelection, Technique,
+    VmEvents, VmSpec,
 };
 
 /// A tiny VM with every instruction kind, including a quickable one.
@@ -45,7 +46,8 @@ fn test_vm() -> TestVm {
     TestVm { spec: b.build(), plain, cond, jump, call, ret, quickable, quick }
 }
 
-/// Instruction template drawn by proptest; resolved into a program later.
+/// Instruction template drawn by the generator; resolved into a program
+/// later.
 #[derive(Debug, Clone, Copy)]
 enum Templ {
     Plain(u8),
@@ -56,29 +58,37 @@ enum Templ {
     Ret,
 }
 
-fn templ_strategy() -> impl Strategy<Value = Templ> {
-    prop_oneof![
-        5 => any::<u8>().prop_map(Templ::Plain),
-        1 => Just(Templ::Quickable),
-        2 => any::<u8>().prop_map(Templ::Cond),
-        1 => any::<u8>().prop_map(Templ::Jump),
-        1 => any::<u8>().prop_map(Templ::Call),
-        1 => Just(Templ::Ret),
-    ]
+fn templ(src: &mut Source) -> Templ {
+    match src.weighted(&[5, 1, 2, 1, 1, 1]) {
+        0 => Templ::Plain(src.full::<u8>()),
+        1 => Templ::Quickable,
+        2 => Templ::Cond(src.full::<u8>()),
+        3 => Templ::Jump(src.full::<u8>()),
+        4 => Templ::Call(src.full::<u8>()),
+        _ => Templ::Ret,
+    }
 }
 
-/// Like [`templ_strategy`] but only fully-relocatable, non-quickable
+/// Like [`templ`] but only fully-relocatable, non-quickable
 /// instructions: non-relocatable interiors execute dispatch stubs in
 /// dynamic code (paper §5.2), so dispatch-count monotonicity only holds for
 /// relocatable programs.
-fn relocatable_templ_strategy() -> impl Strategy<Value = Templ> {
-    prop_oneof![
-        5 => (0u8..3).prop_map(Templ::Plain),
-        2 => any::<u8>().prop_map(Templ::Cond),
-        1 => any::<u8>().prop_map(Templ::Jump),
-        1 => any::<u8>().prop_map(Templ::Call),
-        1 => Just(Templ::Ret),
-    ]
+fn relocatable_templ(src: &mut Source) -> Templ {
+    match src.weighted(&[5, 2, 1, 1, 1]) {
+        0 => Templ::Plain(src.int_in(0u8..3)),
+        1 => Templ::Cond(src.full::<u8>()),
+        2 => Templ::Jump(src.full::<u8>()),
+        3 => Templ::Call(src.full::<u8>()),
+        _ => Templ::Ret,
+    }
+}
+
+/// The shared input shape of every property here: a template vector and
+/// the 16-decision tape that steers the random walk.
+fn inputs(src: &mut Source, element: impl FnMut(&mut Source) -> Templ) -> (Vec<Templ>, Vec<bool>) {
+    let templ = src.vec_of(4..50, element);
+    let decisions = src.vec_exact(16, Source::bool);
+    (templ, decisions)
 }
 
 fn build_program(vm: &TestVm, templ: &[Templ]) -> ProgramCode {
@@ -119,7 +129,12 @@ fn build_program(vm: &TestVm, templ: &[Templ]) -> ProgramCode {
 
 /// Deterministic random walk over the program, reporting to `events`.
 /// Returns the number of steps taken.
-fn walk(vm: &TestVm, program: &ProgramCode, decisions: &[bool], events: &mut dyn VmEvents) -> usize {
+fn walk(
+    vm: &TestVm,
+    program: &ProgramCode,
+    decisions: &[bool],
+    events: &mut dyn VmEvents,
+) -> usize {
     let n = program.len();
     let mut quickened = vec![false; n];
     let mut stack: Vec<usize> = Vec::new();
@@ -200,6 +215,12 @@ fn all_techniques() -> Vec<Technique> {
     ]
 }
 
+fn profile_of(vm: &TestVm, program: &ProgramCode, decisions: &[bool]) -> Profile {
+    let mut collector = ProfileCollector::new(program);
+    walk(vm, program, decisions, &mut collector);
+    collector.into_profile()
+}
+
 fn run_technique(
     vm: &TestVm,
     program: &ProgramCode,
@@ -219,109 +240,206 @@ fn run_technique(
     m.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every technique translates and executes every program shape.
-    #[test]
-    fn all_techniques_survive_random_programs(
-        templ in proptest::collection::vec(templ_strategy(), 4..50),
-        decisions in proptest::collection::vec(any::<bool>(), 16),
-    ) {
-        let vm = test_vm();
-        let program = build_program(&vm, &templ);
-        let mut collector = ProfileCollector::new(&program);
-        walk(&vm, &program, &decisions, &mut collector);
-        let profile = collector.into_profile();
-        for tech in all_techniques() {
-            let r = run_technique(&vm, &program, &decisions, &profile, tech);
-            prop_assert!(r.cycles >= 0.0, "{tech}: negative cycles");
-        }
+/// The body shared by `all_techniques_survive_random_programs` and the
+/// pinned regression cases below: every technique translates, validates
+/// and executes the program.
+fn assert_all_techniques_survive(templ: &[Templ], decisions: &[bool]) -> Result<(), String> {
+    let vm = test_vm();
+    let program = build_program(&vm, templ);
+    let profile = profile_of(&vm, &program, decisions);
+    for tech in all_techniques() {
+        let r = run_technique(&vm, &program, decisions, &profile, tech);
+        prop_assert!(r.cycles >= 0.0, "{tech}: negative cycles on {templ:?}");
     }
+    Ok(())
+}
 
-    /// Paper §7.3: plain, static replication and dynamic replication retire
-    /// exactly the same instructions and indirect branches.
-    #[test]
-    fn replication_preserves_instruction_counts(
-        templ in proptest::collection::vec(templ_strategy(), 4..50),
-        decisions in proptest::collection::vec(any::<bool>(), 16),
-    ) {
+/// Every technique translates and executes every program shape.
+#[test]
+fn all_techniques_survive_random_programs() {
+    prop::check(
+        "all_techniques_survive_random_programs",
+        prop::Config::from_env().cases(48),
+        |src| {
+            let (templ, decisions) = inputs(src, templ);
+            assert_all_techniques_survive(&templ, &decisions)
+        },
+    );
+}
+
+/// Paper §7.3: plain, static replication and dynamic replication retire
+/// exactly the same instructions and indirect branches.
+#[test]
+fn replication_preserves_instruction_counts() {
+    prop::check(
+        "replication_preserves_instruction_counts",
+        prop::Config::from_env().cases(48),
+        |src| {
+            let (templ, decisions) = inputs(src, templ);
+            assert_replication_preserves_counts(&templ, &decisions)
+        },
+    );
+}
+
+fn assert_replication_preserves_counts(templ: &[Templ], decisions: &[bool]) -> Result<(), String> {
+    use ivm_harness::prop_assert_eq;
+    let vm = test_vm();
+    let program = build_program(&vm, templ);
+    let profile = profile_of(&vm, &program, decisions);
+
+    let plain = run_technique(&vm, &program, decisions, &profile, Technique::Threaded);
+    let srepl = run_technique(
+        &vm,
+        &program,
+        decisions,
+        &profile,
+        Technique::StaticRepl { budget: 30, selection: ReplicaSelection::RoundRobin },
+    );
+    let drepl = run_technique(&vm, &program, decisions, &profile, Technique::DynamicRepl);
+
+    prop_assert_eq!(plain.counters.instructions, srepl.counters.instructions);
+    prop_assert_eq!(plain.counters.indirect_branches, srepl.counters.indirect_branches);
+    prop_assert_eq!(plain.counters.instructions, drepl.counters.instructions);
+    prop_assert_eq!(plain.counters.indirect_branches, drepl.counters.indirect_branches);
+    prop_assert_eq!(plain.counters.dispatches, drepl.counters.dispatches);
+    Ok(())
+}
+
+/// Dynamic super and dynamic both differ only in sharing: identical
+/// instruction counts, and sharing never *increases* code size.
+#[test]
+fn sharing_only_affects_code_size() {
+    prop::check("sharing_only_affects_code_size", prop::Config::from_env().cases(48), |src| {
+        let (templ, decisions) = inputs(src, templ);
+        assert_sharing_only_affects_code_size(&templ, &decisions)
+    });
+}
+
+fn assert_sharing_only_affects_code_size(
+    templ: &[Templ],
+    decisions: &[bool],
+) -> Result<(), String> {
+    use ivm_harness::prop_assert_eq;
+    let vm = test_vm();
+    let program = build_program(&vm, templ);
+    let profile = profile_of(&vm, &program, decisions);
+
+    let ds = run_technique(&vm, &program, decisions, &profile, Technique::DynamicSuper);
+    let db = run_technique(&vm, &program, decisions, &profile, Technique::DynamicBoth);
+    prop_assert_eq!(ds.counters.instructions, db.counters.instructions);
+    prop_assert_eq!(ds.counters.indirect_branches, db.counters.indirect_branches);
+    prop_assert!(ds.counters.code_bytes <= db.counters.code_bytes);
+    Ok(())
+}
+
+/// Superinstructions and fall-through merging only remove dispatches
+/// (for relocatable code — stubs for non-relocatable interiors may add
+/// them, paper §5.2).
+#[test]
+fn dispatch_counts_are_monotone() {
+    prop::check("dispatch_counts_are_monotone", prop::Config::from_env().cases(48), |src| {
+        let (templ, decisions) = inputs(src, relocatable_templ);
         let vm = test_vm();
         let program = build_program(&vm, &templ);
-        let mut collector = ProfileCollector::new(&program);
-        walk(&vm, &program, &decisions, &mut collector);
-        let profile = collector.into_profile();
-
-        let plain = run_technique(&vm, &program, &decisions, &profile, Technique::Threaded);
-        let srepl = run_technique(&vm, &program, &decisions, &profile,
-            Technique::StaticRepl { budget: 30, selection: ReplicaSelection::RoundRobin });
-        let drepl = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicRepl);
-
-        prop_assert_eq!(plain.counters.instructions, srepl.counters.instructions);
-        prop_assert_eq!(plain.counters.indirect_branches, srepl.counters.indirect_branches);
-        prop_assert_eq!(plain.counters.instructions, drepl.counters.instructions);
-        prop_assert_eq!(plain.counters.indirect_branches, drepl.counters.indirect_branches);
-        prop_assert_eq!(plain.counters.dispatches, drepl.counters.dispatches);
-    }
-
-    /// Dynamic super and dynamic both differ only in sharing: identical
-    /// instruction counts, and sharing never *increases* code size.
-    #[test]
-    fn sharing_only_affects_code_size(
-        templ in proptest::collection::vec(templ_strategy(), 4..50),
-        decisions in proptest::collection::vec(any::<bool>(), 16),
-    ) {
-        let vm = test_vm();
-        let program = build_program(&vm, &templ);
-        let mut collector = ProfileCollector::new(&program);
-        walk(&vm, &program, &decisions, &mut collector);
-        let profile = collector.into_profile();
-
-        let ds = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicSuper);
-        let db = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicBoth);
-        prop_assert_eq!(ds.counters.instructions, db.counters.instructions);
-        prop_assert_eq!(ds.counters.indirect_branches, db.counters.indirect_branches);
-        prop_assert!(ds.counters.code_bytes <= db.counters.code_bytes);
-    }
-
-    /// Superinstructions and fall-through merging only remove dispatches
-    /// (for relocatable code — stubs for non-relocatable interiors may add
-    /// them, paper §5.2).
-    #[test]
-    fn dispatch_counts_are_monotone(
-        templ in proptest::collection::vec(relocatable_templ_strategy(), 4..50),
-        decisions in proptest::collection::vec(any::<bool>(), 16),
-    ) {
-        let vm = test_vm();
-        let program = build_program(&vm, &templ);
-        let mut collector = ProfileCollector::new(&program);
-        walk(&vm, &program, &decisions, &mut collector);
-        let profile = collector.into_profile();
+        let profile = profile_of(&vm, &program, &decisions);
 
         let plain = run_technique(&vm, &program, &decisions, &profile, Technique::Threaded);
         let ds = run_technique(&vm, &program, &decisions, &profile, Technique::DynamicSuper);
         let across = run_technique(&vm, &program, &decisions, &profile, Technique::AcrossBb);
         prop_assert!(ds.counters.dispatches <= plain.counters.dispatches);
         prop_assert!(across.counters.dispatches <= ds.counters.dispatches);
-    }
+        Ok(())
+    });
+}
 
-    /// The optimal parser never produces more units (dispatches) than
-    /// greedy under identical superinstruction tables.
-    #[test]
-    fn optimal_never_worse_than_greedy(
-        templ in proptest::collection::vec(templ_strategy(), 4..50),
-        decisions in proptest::collection::vec(any::<bool>(), 16),
-    ) {
-        let vm = test_vm();
-        let program = build_program(&vm, &templ);
-        let mut collector = ProfileCollector::new(&program);
-        walk(&vm, &program, &decisions, &mut collector);
-        let profile = collector.into_profile();
+/// The optimal parser never produces more units (dispatches) than
+/// greedy under identical superinstruction tables.
+#[test]
+fn optimal_never_worse_than_greedy() {
+    prop::check("optimal_never_worse_than_greedy", prop::Config::from_env().cases(48), |src| {
+        let (templ, decisions) = inputs(src, templ);
+        assert_optimal_never_worse(&templ, &decisions)
+    });
+}
 
-        let g = run_technique(&vm, &program, &decisions, &profile,
-            Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Greedy });
-        let o = run_technique(&vm, &program, &decisions, &profile,
-            Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Optimal });
-        prop_assert!(o.counters.dispatches <= g.counters.dispatches);
-    }
+fn assert_optimal_never_worse(templ: &[Templ], decisions: &[bool]) -> Result<(), String> {
+    let vm = test_vm();
+    let program = build_program(&vm, templ);
+    let profile = profile_of(&vm, &program, decisions);
+
+    let g = run_technique(
+        &vm,
+        &program,
+        decisions,
+        &profile,
+        Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Greedy },
+    );
+    let o = run_technique(
+        &vm,
+        &program,
+        decisions,
+        &profile,
+        Technique::StaticSuper { budget: 20, algo: CoverAlgorithm::Optimal },
+    );
+    prop_assert!(o.counters.dispatches <= g.counters.dispatches);
+    Ok(())
+}
+
+/// Runs one concrete input through every invariant above that applies to
+/// arbitrary (possibly non-relocatable) templates.
+fn assert_all_invariants(templ: &[Templ], decisions: &[bool]) {
+    assert_all_techniques_survive(templ, decisions).unwrap();
+    assert_replication_preserves_counts(templ, decisions).unwrap();
+    assert_sharing_only_affects_code_size(templ, decisions).unwrap();
+    assert_optimal_never_worse(templ, decisions).unwrap();
+}
+
+/// Historical proptest counterexample (formerly
+/// `tests/random_programs.proptest-regressions`, hash `d112a630…`): a
+/// quickable instruction immediately followed by a backward jump onto the
+/// quickened site. Exercises quick-gap handling in every translator.
+#[test]
+fn regression_quickable_then_jump_to_start() {
+    use Templ::{Jump, Plain, Quickable};
+    let templ = [Quickable, Plain(83), Jump(0), Plain(0)];
+    let decisions = [false; 16];
+    assert_all_invariants(&templ, &decisions);
+}
+
+/// Historical proptest counterexample (hash `bc21da93…`): a call-heavy
+/// program whose call targets double as fall-through successors,
+/// exercising side entries into merged regions.
+#[test]
+fn regression_call_targets_with_side_entries() {
+    use Templ::{Call, Cond, Jump, Plain};
+    let templ = [
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Plain(0),
+        Cond(11),
+        Plain(0),
+        Call(22),
+        Plain(6),
+        Jump(90),
+        Cond(82),
+        Call(165),
+        Plain(124),
+        Plain(251),
+        Plain(201),
+        Call(40),
+        Call(3),
+        Cond(166),
+        Call(106),
+    ];
+    let decisions = [
+        false, false, true, true, false, true, true, false, true, true, false, true, false, false,
+        false, true,
+    ];
+    assert_all_invariants(&templ, &decisions);
 }
