@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin ablations`
 
-use ivm_bench::{forth_benches, forth_training, print_table, smoke, Row};
+use ivm_bench::{forth_benches, forth_training, smoke, Report, Row};
 use ivm_bpred::{
     Btb, BtbConfig, CascadedPredictor, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
     TwoLevelPredictor,
@@ -25,7 +25,7 @@ fn engine_with(pred: Box<dyn IndirectPredictor>, cpu: &CpuSpec) -> Engine {
     Engine::new(pred, cpu.fetch_cache(), cpu.costs)
 }
 
-fn replica_selection(training: &Profile) {
+fn replica_selection(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
     // A single stream can get lucky on an individual benchmark, so the
     // random arm is averaged over several seeds.
@@ -65,7 +65,7 @@ fn replica_selection(training: &Profile) {
             ],
         });
     }
-    print_table(
+    out.table(
         "§5.1 replica selection: mispredictions, round-robin vs random \
          (random averaged over 5 seeds; 3rd col: round-robin speed advantage)",
         &["rr-mispred", "rnd-mispred", "rr-adv"],
@@ -74,7 +74,7 @@ fn replica_selection(training: &Profile) {
     );
 }
 
-fn cover_algorithms(training: &Profile) {
+fn cover_algorithms(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
     let mut rows = Vec::new();
     for b in forth_benches() {
@@ -103,7 +103,7 @@ fn cover_algorithms(training: &Profile) {
             ],
         });
     }
-    print_table(
+    out.table(
         "§5.1 block parsing: dispatches, greedy vs optimal \
          (3rd col: optimal speedup over greedy — paper: ~none)",
         &["greedy", "optimal", "opt-adv"],
@@ -112,7 +112,7 @@ fn cover_algorithms(training: &Profile) {
     );
 }
 
-fn predictor_family(training: &Profile) {
+fn predictor_family(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
     let mut rows = Vec::new();
     type MakePredictor = fn() -> Box<dyn IndirectPredictor>;
@@ -138,7 +138,7 @@ fn predictor_family(training: &Profile) {
             });
         }
     }
-    print_table(
+    out.table(
         "§3/§8 predictor families on plain threaded code \
          (2-bit slightly better than BTB; two-level/cascaded much better)",
         &["mispred%", "cycles"],
@@ -147,7 +147,7 @@ fn predictor_family(training: &Profile) {
     );
 }
 
-fn btb_size_sweep(training: &Profile) {
+fn btb_size_sweep(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
     let b = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
     let sizes: &[usize] =
@@ -168,7 +168,7 @@ fn btb_size_sweep(training: &Profile) {
     }
     let cols: Vec<String> = sizes.iter().map(|s| format!("{s}e")).collect();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    print_table(
+    out.table(
         "§7.4 BTB size sweep (bench-gc mispredictions): dynamic replication \
          needs capacity for one entry per instance",
         &col_refs,
@@ -177,7 +177,7 @@ fn btb_size_sweep(training: &Profile) {
     );
 }
 
-fn tos_caching(training: &Profile) {
+fn tos_caching(out: &mut Report, training: &Profile) {
     // Paper §7.2.2, reason 3: Gforth caches the top of stack in a register;
     // the JVM does not. Translate the same programs against a spec without
     // TOS caching and compare the optimization headroom.
@@ -209,7 +209,7 @@ fn tos_caching(training: &Profile) {
             values: vec![gain(&ivm_forth::ops().spec), gain(&no_tos)],
         });
     }
-    print_table(
+    out.table(
         "§7.2.2 TOS caching: across-bb speedup with and without top-of-stack \
          register caching (less caching = more work per dispatch = smaller gain)",
         &["cached", "uncached"],
@@ -219,10 +219,12 @@ fn tos_caching(training: &Profile) {
 }
 
 fn main() {
+    let mut report = Report::new("ablations");
     let training = forth_training();
-    replica_selection(&training);
-    cover_algorithms(&training);
-    predictor_family(&training);
-    btb_size_sweep(&training);
-    tos_caching(&training);
+    replica_selection(&mut report, &training);
+    cover_algorithms(&mut report, &training);
+    predictor_family(&mut report, &training);
+    btb_size_sweep(&mut report, &training);
+    tos_caching(&mut report, &training);
+    report.finish();
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure10_13 -- [bench-gc|brew|mpeg|compress|<any suite name>]`
 //! (default: all four of the paper's figures)
 
-use ivm_bench::{forth_training, java_benches, java_trainings, print_table, smoke, Row};
+use ivm_bench::{forth_training, java_benches, java_trainings, smoke, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{RunResult, Technique};
 
@@ -25,6 +25,7 @@ fn metrics_row(r: &RunResult, costs: &ivm_cache::CycleCosts) -> Vec<f64> {
 }
 
 fn report(
+    out: &mut Report,
     figure: &str,
     bench: &str,
     results: &[(Technique, RunResult)],
@@ -35,7 +36,7 @@ fn report(
         .iter()
         .map(|(t, r)| Row { label: t.paper_name().to_owned(), values: metrics_row(r, costs) })
         .collect();
-    print_table(&format!("{figure}: performance counters for {bench} (raw)"), &columns, &raw, 0);
+    out.table(&format!("{figure}: performance counters for {bench} (raw)"), &columns, &raw, 0);
 
     // The paper's figures are normalised bar charts: print each metric
     // relative to its maximum across variants.
@@ -50,7 +51,7 @@ fn report(
             values: r.values.iter().zip(&maxima).map(|(v, m)| v / m).collect(),
         })
         .collect();
-    print_table(
+    out.table(
         &format!("{figure}: performance counters for {bench} (normalised to max, as plotted)"),
         &columns,
         &normalised,
@@ -58,7 +59,7 @@ fn report(
     );
 }
 
-fn run_forth(figure: &str, name: &str) {
+fn run_forth(out: &mut Report, figure: &str, name: &str) {
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
     let b = ivm_forth::programs::find(name).expect("known forth benchmark");
@@ -71,10 +72,10 @@ fn run_forth(figure: &str, name: &str) {
             (t, r)
         })
         .collect();
-    report(figure, &format!("{name} (Gforth)"), &results, &cpu.costs);
+    report(out, figure, &format!("{name} (Gforth)"), &results, &cpu.costs);
 }
 
-fn run_java(figure: &str, name: &str) {
+fn run_java(out: &mut Report, figure: &str, name: &str) {
     let cpu = CpuSpec::pentium4_northwood();
     let benches = java_benches();
     let idx = benches.iter().position(|b| b.name == name).expect("known java benchmark");
@@ -89,24 +90,24 @@ fn run_java(figure: &str, name: &str) {
             (t, r)
         })
         .collect();
-    report(figure, &format!("{name} (Java)"), &results, &cpu.costs);
+    report(out, figure, &format!("{name} (Java)"), &results, &cpu.costs);
 }
 
-fn run_one(name: &str) {
+fn run_one(out: &mut Report, name: &str) {
     if ivm_forth::programs::find(name).is_some() {
         let figure = match name {
             "bench-gc" => "Figure 10",
             "brew" => "Figure 11",
             _ => "Counter metrics",
         };
-        run_forth(figure, name);
+        run_forth(out, figure, name);
     } else if ivm_java::programs::find(name).is_some() {
         let figure = match name {
             "mpeg" => "Figure 12",
             "compress" => "Figure 13",
             _ => "Counter metrics",
         };
-        run_java(figure, name);
+        run_java(out, figure, name);
     } else {
         eprintln!("unknown benchmark `{name}`");
         std::process::exit(1);
@@ -114,17 +115,20 @@ fn run_one(name: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = Report::new("figure10_13");
+    let args: Vec<String> =
+        std::env::args().skip(1).filter(|a| a != "--json" && !a.starts_with("--")).collect();
     if args.is_empty() {
         // The paper's four figures; in smoke mode one per VM suffices.
         let defaults: &[&str] =
             if smoke() { &["micro", "mpeg"] } else { &["bench-gc", "brew", "mpeg", "compress"] };
         for name in defaults {
-            run_one(name);
+            run_one(&mut out, name);
         }
     } else {
         for name in &args {
-            run_one(name);
+            run_one(&mut out, name);
         }
     }
+    out.finish();
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure14_16 -- [forth|java]`
 //! (default: both)
 
-use ivm_bench::{forth_training, java_benches, java_trainings, print_table, smoke, Row};
+use ivm_bench::{forth_training, java_benches, java_trainings, smoke, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Profile, ReplicaSelection, Technique};
 
@@ -57,7 +57,7 @@ fn percent_columns() -> Vec<String> {
     percents().iter().map(|p| format!("{p}%sup")).collect()
 }
 
-fn forth_sweep() {
+fn forth_sweep(out: &mut Report) {
     let cpu = CpuSpec::celeron800();
     let training = forth_training();
     let bench = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
@@ -74,7 +74,7 @@ fn forth_sweep() {
     });
     let cols = percent_columns();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    print_table(
+    out.table(
         &format!("Figure 14: cycles for bench-gc (Gforth) on {}, replica/super split", cpu.name),
         &col_refs,
         &cycles,
@@ -82,7 +82,7 @@ fn forth_sweep() {
     );
 }
 
-fn java_sweep() {
+fn java_sweep(out: &mut Report) {
     let cpu = CpuSpec::pentium4_northwood();
     let benches = java_benches();
     let idx = benches.iter().position(|b| b.name == "mpeg").expect("mpeg exists");
@@ -97,13 +97,13 @@ fn java_sweep() {
     });
     let cols = percent_columns();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    print_table(
+    out.table(
         &format!("Figure 15: cycles for mpegaudio (Java) on {}, replica/super split", cpu.name),
         &col_refs,
         &cycles,
         0,
     );
-    print_table(
+    out.table(
         "Figure 16: indirect branch mispredictions for the Figure 15 sweep",
         &col_refs,
         &mispreds,
@@ -112,13 +112,15 @@ fn java_sweep() {
 }
 
 fn main() {
+    let mut out = Report::new("figure14_16");
     let arg = std::env::args().nth(1);
     match arg.as_deref() {
-        Some("forth") => forth_sweep(),
-        Some("java") => java_sweep(),
+        Some("forth") => forth_sweep(&mut out),
+        Some("java") => java_sweep(&mut out),
         _ => {
-            forth_sweep();
-            java_sweep();
+            forth_sweep(&mut out);
+            java_sweep(&mut out);
         }
     }
+    out.finish();
 }

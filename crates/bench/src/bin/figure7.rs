@@ -2,11 +2,12 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin figure7`
 
-use ivm_bench::{forth_names, forth_suite, forth_training, print_table, speedup_rows, Row};
+use ivm_bench::{forth_names, forth_suite, forth_training, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
+    let mut report = Report::new("figure7");
     let cpu = CpuSpec::celeron800();
     let training = forth_training();
     let baselines = forth_suite(&cpu, Technique::Threaded, &training);
@@ -23,7 +24,7 @@ fn main() {
     rows.extend(
         speedup_rows(&baselines, &per_technique).into_iter().filter(|r| r.label != "plain"),
     );
-    print_table(
+    report.table(
         &format!(
             "Figure 7: speedups of Gforth interpreter optimizations on {} (training: brainless)",
             cpu.name
@@ -32,4 +33,5 @@ fn main() {
         &rows,
         2,
     );
+    report.finish();
 }

@@ -2,11 +2,12 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin figure9`
 
-use ivm_bench::{java_names, java_suite, java_trainings, print_table, speedup_rows, Row};
+use ivm_bench::{java_names, java_suite, java_trainings, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
+    let mut report = Report::new("figure9");
     let cpu = CpuSpec::pentium4_northwood();
     let trainings = java_trainings();
     let baselines = java_suite(&cpu, Technique::Threaded, &trainings);
@@ -23,7 +24,7 @@ fn main() {
     rows.extend(
         speedup_rows(&baselines, &per_technique).into_iter().filter(|r| r.label != "plain"),
     );
-    print_table(
+    report.table(
         &format!(
             "Figure 9: speedups of Java interpreter optimizations on {} \
              (training: cross-validated over the other benchmarks)",
@@ -33,4 +34,5 @@ fn main() {
         &rows,
         2,
     );
+    report.finish();
 }

@@ -8,11 +8,12 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin related_work`
 
-use ivm_bench::{forth_names, forth_suite, forth_training, print_table, speedup_rows, Row};
+use ivm_bench::{forth_names, forth_suite, forth_training, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
+    let mut report = Report::new("related_work");
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
     let baselines = forth_suite(&cpu, Technique::Threaded, &training);
@@ -33,7 +34,7 @@ fn main() {
 
     let mut rows = vec![Row { label: "plain".to_owned(), values: vec![1.0; baselines.len()] }];
     rows.extend(speedup_rows(&baselines, &per_technique));
-    print_table(
+    report.table(
         &format!("§8 related work: speedups over plain threaded code on {}", cpu.name),
         &forth_names(),
         &rows,
@@ -58,7 +59,7 @@ fn main() {
             ],
         })
         .collect();
-    print_table(
+    report.table(
         "Indirect branches: plain vs subroutine threading vs across bb \
          (subroutine threading keeps them only for taken VM control flow)",
         &["plain ib", "subr ib", "across ib", "subr mp", "across mp"],
@@ -71,4 +72,5 @@ fn main() {
          instruction instead of merged fall-through, and loses the\n\
          superinstruction work reduction — the trade the paper describes."
     );
+    report.finish();
 }

@@ -22,7 +22,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin scaling`
 
-use ivm_bench::{print_table, smoke, Row};
+use ivm_bench::{smoke, Report, Row};
 use ivm_bpred::{Btb, BtbConfig};
 use ivm_cache::{CpuSpec, PerfectIcache};
 use ivm_core::{Engine, ReplicaSelection, Technique};
@@ -68,7 +68,7 @@ fn static_repl() -> Technique {
     Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin }
 }
 
-fn prediction_only() {
+fn prediction_only(out: &mut Report) {
     let cpu = CpuSpec::pentium4_northwood();
     let mut rows = Vec::new();
     for &words in sizes() {
@@ -88,7 +88,7 @@ fn prediction_only() {
         }
         rows.push(Row { label: format!("{words} words"), values });
     }
-    print_table(
+    out.table(
         "Prediction-only regime: misprediction rate (%) vs program size \
          (4096-entry BTB, perfect I-cache)",
         &["instances", "plain", "srepl-400", "dyn repl"],
@@ -97,7 +97,7 @@ fn prediction_only() {
     );
 }
 
-fn celeron_regime() {
+fn celeron_regime(out: &mut Report) {
     let cpu = CpuSpec::celeron800();
     let mut rows = Vec::new();
     for &words in sizes() {
@@ -113,7 +113,7 @@ fn celeron_regime() {
         }
         rows.push(Row { label: format!("{words} words"), values });
     }
-    print_table(
+    out.table(
         "Celeron regime: speedup over plain vs program size (16 KB I-cache) — \
          code growth eventually hurts, sharing (dynamic super) survives",
         &["srepl-400", "dyn repl", "dyn super"],
@@ -123,6 +123,8 @@ fn celeron_regime() {
 }
 
 fn main() {
-    prediction_only();
-    celeron_regime();
+    let mut report = Report::new("scaling");
+    prediction_only(&mut report);
+    celeron_regime(&mut report);
+    report.finish();
 }

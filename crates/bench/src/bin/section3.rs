@@ -8,12 +8,58 @@
 //! vs ~6% in the JVM (§7.2.2).
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin section3`
+//!
+//! With JSON output enabled (`IVM_JSON=1` or `--json`), the report also
+//! carries an `attribution` section: the first benchmark re-run under
+//! switch/threaded/dynamic-replication dispatch with a
+//! [`DispatchAttribution`] observer attached, breaking the mispredictions
+//! down per opcode, per instance and per Celeron BTB set, plus a JSONL
+//! trace of the last dispatches per technique.
 
-use ivm_bench::{forth_benches, forth_training, java_benches, java_trainings, print_table, Row};
+use ivm_bench::{forth_benches, forth_training, java_benches, java_trainings, Report, Row};
+use ivm_bpred::BtbConfig;
 use ivm_cache::CpuSpec;
-use ivm_core::Technique;
+use ivm_core::{Engine, Measurement, Profile, Runner, SuperSelection, Technique};
+use ivm_obs::{DispatchAttribution, Json};
+
+/// Re-runs `bench` under `tech` with an attribution observer attached and
+/// returns the JSON breakdown (and writes the dispatch-trace JSONL next to
+/// the report).
+fn attribution_for(
+    bench: &ivm_forth::programs::Benchmark,
+    tech: Technique,
+    cpu: &CpuSpec,
+    training: &Profile,
+) -> Json {
+    let sink =
+        DispatchAttribution::new().with_btb_sets(BtbConfig::celeron()).with_ring(256).shared();
+    let image = bench.image();
+    let translation = ivm_core::translate(
+        &ivm_forth::ops().spec,
+        &image.program,
+        tech,
+        Some(training),
+        SuperSelection::gforth(),
+    );
+    let engine = Engine::for_cpu(cpu).with_observer(sink.clone());
+    let mut m = Measurement::new(translation, Runner::new(engine));
+    ivm_forth::run(&image, &mut m, ivm_forth::DEFAULT_FUEL)
+        .unwrap_or_else(|e| panic!("{}/{tech}: {e}", bench.name));
+    let attrib = sink.borrow();
+    let breakdown = attrib.to_json(Some(m.translation()));
+    if let Some(ring) = attrib.ring() {
+        let slug = tech.paper_name().replace([' ', '/'], "_");
+        let path = ivm_obs::results_json_dir().join(format!("section3_{slug}.trace.jsonl"));
+        match ring.write_jsonl(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    Json::obj().with("technique", tech.paper_name()).with("dispatch", breakdown)
+}
 
 fn main() {
+    let mut report = Report::new("section3");
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
 
@@ -38,13 +84,13 @@ fn main() {
             values: vec![100.0 * plain.counters.indirect_branch_ratio()],
         });
     }
-    print_table(
+    report.table(
         "BTB misprediction rates (%), Forth suite (paper: switch 81-98%, threaded 57-63%)",
         &["switch", "threaded"],
         &rows,
         1,
     );
-    print_table(
+    report.table(
         "Indirect branches as % of retired instructions, Forth plain (paper: up to 16.5%)",
         &["ind.br.%"],
         &ratio_rows,
@@ -65,10 +111,25 @@ fn main() {
             ],
         });
     }
-    print_table(
+    report.table(
         "Java plain interpreter (paper: ~6.1% of instructions are indirect branches)",
         &["mispred%", "ind.br.%"],
         &jrows,
         1,
     );
+
+    // JSON-only: attribute the first benchmark's mispredictions per
+    // opcode/instance/BTB-set under the three §3 dispatch regimes. Stdout
+    // stays byte-identical with and without it.
+    if report.enabled() {
+        let b = forth_benches()[0];
+        let techniques = [Technique::Switch, Technique::Threaded, Technique::DynamicRepl];
+        let breakdowns: Vec<Json> =
+            techniques.into_iter().map(|t| attribution_for(&b, t, &cpu, &training)).collect();
+        report.section(
+            "attribution",
+            Json::obj().with("benchmark", b.name).with("techniques", Json::Arr(breakdowns)),
+        );
+    }
+    report.finish();
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin simulator_study -- [benchmark]`
 
-use ivm_bench::{forth_training, print_table, smoke, Row};
+use ivm_bench::{forth_training, smoke, Report, Row};
 use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
 use ivm_cache::{CycleCosts, Icache, IcacheConfig, PerfectIcache};
 use ivm_core::{Engine, Technique};
@@ -18,8 +18,10 @@ fn techniques() -> Vec<Technique> {
 }
 
 fn main() {
+    let mut report = Report::new("simulator_study");
     let default = if smoke() { "micro" } else { "bench-gc" };
-    let name = std::env::args().nth(1).unwrap_or_else(|| default.into());
+    let name =
+        std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| default.into());
     let bench =
         ivm_forth::programs::find(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let training = forth_training();
@@ -63,7 +65,7 @@ fn main() {
             Box::leak(s.to_owned().into_boxed_str()) as &str
         })
         .collect();
-    print_table(
+    report.table(
         &format!("Misprediction rate (%) of {name} across BTB geometries (perfect I-cache)"),
         &cols,
         &rows,
@@ -93,7 +95,7 @@ fn main() {
         }
         rows.push(Row { label: format!("{kb} KB I-cache"), values });
     }
-    print_table(
+    report.table(
         &format!("I-cache misses of {name} across cache sizes (ideal BTB)"),
         &cols,
         &rows,
@@ -104,4 +106,5 @@ fn main() {
          working set; prediction gains survive at every realistic BTB size\n\
          (the paper's §6 rationale for reporting real-hardware numbers)."
     );
+    report.finish();
 }

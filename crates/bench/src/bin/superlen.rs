@@ -8,12 +8,13 @@
 //! Run with: `cargo run --release -p ivm-bench --bin superlen`
 
 use ivm_bench::{
-    forth_benches, forth_names, forth_training, java_benches, java_trainings, print_table, Row,
+    forth_benches, forth_names, forth_training, java_benches, java_trainings, Report, Row,
 };
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
+    let mut report = Report::new("superlen");
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
     let techniques = [
@@ -34,7 +35,7 @@ fn main() {
         }
         rows.push(Row { label: tech.paper_name().to_owned(), values });
     }
-    print_table(
+    report.table(
         "Average executed components per dispatch, Forth suite \
          (paper §7.3: static ≈1.5, dynamic ≈3, across-bb barely longer)",
         &forth_names(),
@@ -55,11 +56,12 @@ fn main() {
         rows.push(Row { label: tech.paper_name().to_owned(), values });
     }
     let names = ivm_bench::java_names();
-    print_table(
+    report.table(
         "Average executed components per dispatch, Java suite \
          (paper §7.3: longer blocks than Forth, across-bb helps more)",
         &names,
         &rows,
         2,
     );
+    report.finish();
 }

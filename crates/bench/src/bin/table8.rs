@@ -7,11 +7,12 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin table8`
 
-use ivm_bench::{java_benches, java_trainings, print_table, Row};
+use ivm_bench::{java_benches, java_trainings, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
 fn main() {
+    let mut report = Report::new("table8");
     let cpu = CpuSpec::pentium4_northwood();
     let trainings = java_trainings();
     let techniques = [
@@ -37,7 +38,7 @@ fn main() {
         rows.push(Row { label: b.name.to_owned(), values });
     }
 
-    print_table(
+    report.table(
         "Table VIII: peak dynamic code memory (KB) on the Java benchmarks",
         &["JIT (model)", "dyn super", "across bb", "w/static acr"],
         &rows,
@@ -48,4 +49,5 @@ fn main() {
          reuse); across-bb variants create code for every method and are the\n\
          largest; the JIT sits in between."
     );
+    report.finish();
 }

@@ -14,11 +14,11 @@
 //! Run with: `cargo run --release -p ivm-bench --bin table9_10`
 
 use ivm_bench::native_model::NativeCompiler;
-use ivm_bench::{forth_training, java_benches, java_trainings, print_table, Row};
+use ivm_bench::{forth_training, java_benches, java_trainings, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
-fn table9() {
+fn table9(out: &mut Report) {
     let cpu = CpuSpec::athlon1200();
     let training = forth_training();
     let compilers = [NativeCompiler::big_forth(), NativeCompiler::i_forth()];
@@ -36,7 +36,7 @@ fn table9() {
         values.extend(compilers.iter().map(|c| c.speedup_over(&plain, &cpu.costs)));
         rows.push(Row { label: name.to_owned(), values });
     }
-    print_table(
+    out.table(
         &format!("Table IX: Gforth speedups over plain on {} (native columns modelled)", cpu.name),
         &["across bb", "bigForth", "iForth"],
         &rows,
@@ -44,7 +44,7 @@ fn table9() {
     );
 }
 
-fn table10() {
+fn table10(out: &mut Report) {
     let cpu = CpuSpec::pentium4_northwood();
     let trainings = java_trainings();
     let compilers = [
@@ -75,7 +75,7 @@ fn table10() {
         label: "average".to_owned(),
         values: sums.into_iter().map(|s| s / n).collect(),
     });
-    print_table(
+    out.table(
         "Table X: JVM speedups over plain (native/JIT columns modelled)",
         &["w/static acr", "kaffe JIT", "HS interp", "HS mixed"],
         &rows,
@@ -84,6 +84,8 @@ fn table10() {
 }
 
 fn main() {
-    table9();
-    table10();
+    let mut report = Report::new("table9_10");
+    table9(&mut report);
+    table10(&mut report);
+    report.finish();
 }

@@ -9,6 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod native_model;
+pub mod report;
+
+pub use report::{json_enabled, Report};
 
 use ivm_cache::CpuSpec;
 use ivm_core::{Profile, RunResult, Technique};
@@ -189,6 +192,7 @@ mod tests {
             technique: Technique::Threaded,
             counters: Default::default(),
             cycles,
+            icache_set_misses: Vec::new(),
         };
         let base = vec![mk(100.0), mk(200.0)];
         let rows = speedup_rows(&base, &[(Technique::DynamicRepl, vec![mk(50.0), mk(100.0)])]);

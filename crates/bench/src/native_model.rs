@@ -91,6 +91,7 @@ mod tests {
                 ..Default::default()
             },
             cycles: 2_000_000.0,
+            icache_set_misses: Vec::new(),
         }
     }
 

@@ -1,10 +1,13 @@
 //! Smoke test: every bin target in `src/bin/` must run end to end on the
-//! reduced `IVM_SMOKE` workload, exit successfully, and print at least
-//! one parseable table row. This is what keeps the 15 report harnesses
-//! honest between full `results/` regenerations.
+//! reduced `IVM_SMOKE` workload, exit successfully, print at least one
+//! parseable table row, and (with `IVM_JSON=1`) write a JSON report that
+//! parses and carries a matching run manifest. This is what keeps the 15
+//! report harnesses honest between full `results/` regenerations.
 
 use std::process::Command;
 use std::thread;
+
+use ivm_obs::Json;
 
 /// Every bin target of this crate, resolved at compile time so the test
 /// fails to build if a binary is renamed without updating the list.
@@ -38,11 +41,16 @@ fn has_numeric_row(stdout: &str) -> bool {
     })
 }
 
-/// Runs one binary with `IVM_SMOKE=1` and returns an error description
-/// on any failure.
+/// Runs one binary with `IVM_SMOKE=1 IVM_JSON=1` (JSON redirected to a
+/// per-binary temp dir) and returns an error description on any failure.
 fn run_smoke(name: &str, path: &str) -> Result<(), String> {
+    let json_dir =
+        std::env::temp_dir().join(format!("ivm-bin-smoke-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&json_dir);
     let out = Command::new(path)
         .env("IVM_SMOKE", "1")
+        .env("IVM_JSON", "1")
+        .env("IVM_JSON_DIR", &json_dir)
         .output()
         .map_err(|e| format!("{name}: failed to spawn: {e}"))?;
     if !out.status.success() {
@@ -55,6 +63,29 @@ fn run_smoke(name: &str, path: &str) -> Result<(), String> {
     let stdout = String::from_utf8_lossy(&out.stdout);
     if !has_numeric_row(&stdout) {
         return Err(format!("{name}: no parseable numeric table row in output:\n{stdout}"));
+    }
+    let result = check_json_report(name, &json_dir);
+    let _ = std::fs::remove_dir_all(&json_dir);
+    result
+}
+
+/// The JSON report must exist, parse, and carry a manifest naming this
+/// binary with smoke mode recorded.
+fn check_json_report(name: &str, json_dir: &std::path::Path) -> Result<(), String> {
+    let path = json_dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{name}: missing JSON report {}: {e}", path.display()))?;
+    let doc = ivm_obs::parse(&text).map_err(|e| format!("{name}: invalid JSON report: {e}"))?;
+    let manifest =
+        doc.get("manifest").ok_or_else(|| format!("{name}: JSON report has no manifest"))?;
+    if manifest.get("report").and_then(Json::as_str) != Some(name) {
+        return Err(format!("{name}: manifest names {:?}", manifest.get("report")));
+    }
+    if manifest.get("smoke") != Some(&Json::Bool(true)) {
+        return Err(format!("{name}: manifest does not record smoke mode"));
+    }
+    if doc.get("tables").and_then(Json::as_arr).is_none() {
+        return Err(format!("{name}: JSON report has no tables array"));
     }
     Ok(())
 }

@@ -93,6 +93,13 @@ impl BtbConfig {
     pub fn tagged(&self) -> bool {
         self.tagged
     }
+
+    /// The set a branch at `branch` maps to under this geometry — exposed
+    /// so attribution sinks can bucket dispatch branches by BTB set without
+    /// duplicating the indexing function.
+    pub fn set_index(&self, branch: Addr) -> usize {
+        ((branch >> self.index_shift) as usize) & (self.sets() - 1)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -148,7 +155,12 @@ impl Btb {
     }
 
     fn set_index(&self, branch: Addr) -> usize {
-        ((branch >> self.config.index_shift) as usize) & (self.config.sets() - 1)
+        self.config.set_index(branch)
+    }
+
+    /// Valid entries per set, for occupancy heatmaps.
+    pub fn per_set_occupancy(&self) -> Vec<u32> {
+        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count() as u32).collect()
     }
 
     fn tag(&self, branch: Addr) -> Addr {
@@ -227,6 +239,37 @@ mod tests {
         assert_eq!(cfg.sets(), 1024);
         assert!(cfg.tagged());
         assert!(!cfg.tagless().tagged());
+    }
+
+    #[test]
+    fn public_set_index_matches_btb_placement() {
+        let cfg = BtbConfig::new(8, 2).with_index_shift(4);
+        assert_eq!(cfg.sets(), 4);
+        assert_eq!(cfg.set_index(0x00), 0);
+        assert_eq!(cfg.set_index(0x10), 1);
+        assert_eq!(cfg.set_index(0x43), 0); // 0x43 >> 4 = 4, wraps to set 0
+                                            // Aliasing branches (same public set index) conflict in a
+                                            // direct-mapped tagless BTB, confirming the index is the real one.
+        let a = 0x00u64;
+        let b = 0x40u64;
+        let cfg = BtbConfig::new(4, 1).tagless().with_index_shift(4);
+        assert_eq!(cfg.set_index(a), cfg.set_index(b));
+        let mut btb = Btb::new(cfg);
+        btb.predict_and_update(a, 111);
+        btb.predict_and_update(b, 222);
+        assert!(!btb.predict_and_update(a, 111), "alias must have evicted a");
+    }
+
+    #[test]
+    fn per_set_occupancy_tracks_valid_ways() {
+        let cfg = BtbConfig::new(4, 2); // 2 sets x 2 ways
+        let mut btb = Btb::new(cfg);
+        assert_eq!(btb.per_set_occupancy(), vec![0, 0]);
+        btb.predict_and_update(0, 1); // set 0
+        btb.predict_and_update(1, 1); // set 1
+        btb.predict_and_update(2, 1); // set 0 again, second way
+        assert_eq!(btb.per_set_occupancy(), vec![2, 1]);
+        assert_eq!(btb.occupancy(), 3);
     }
 
     #[test]

@@ -105,6 +105,15 @@ mod tests {
     }
 
     #[test]
+    fn misprediction_rate_is_zero_not_nan_when_unused() {
+        let p = PredictorStats::new(IdealBtb::new());
+        assert_eq!(p.executed(), 0);
+        let rate = p.misprediction_rate();
+        assert!(!rate.is_nan(), "an unused predictor must not report NaN");
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
     fn clear_counts_keeps_predictor_state() {
         let mut p = PredictorStats::new(IdealBtb::new());
         p.predict_and_update(1, 10);

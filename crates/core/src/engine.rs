@@ -8,6 +8,25 @@ use crate::slots::{AltCode, DispatchPoint};
 use crate::technique::Technique;
 use crate::translate::Translation;
 
+/// Observes every simulated indirect dispatch with full context.
+///
+/// `from` is the instance whose code owns the dispatch branch (for
+/// pre-dispatch stubs such as switch dispatch it equals `to`, the instance
+/// being entered), `branch`/`target` are the simulated native addresses fed
+/// to the predictor, and `mispredicted` is the predictor's verdict. An
+/// observer sees exactly the dispatches counted in
+/// [`ivm_cache::PerfCounters::dispatches`], in execution order —
+/// attribution sinks (see the `ivm-obs` crate) build per-opcode and
+/// per-BTB-set breakdowns from this stream.
+pub trait DispatchObserver {
+    /// Called once per executed indirect dispatch.
+    fn dispatch(&mut self, from: usize, to: usize, branch: Addr, target: Addr, mispredicted: bool);
+}
+
+/// A shareable [`DispatchObserver`] handle: the caller keeps one clone to
+/// read results after the run, the [`Engine`] holds the other.
+pub type SharedObserver = std::rc::Rc<std::cell::RefCell<dyn DispatchObserver>>;
+
 /// Simulated microarchitectural state fed by an interpreter run.
 pub struct Engine {
     predictor: Box<dyn IndirectPredictor>,
@@ -16,6 +35,7 @@ pub struct Engine {
     costs: CycleCosts,
     cpu_name: String,
     branch_stats: Option<std::collections::HashMap<Addr, (u64, u64)>>,
+    observer: Option<SharedObserver>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -37,6 +57,7 @@ impl Engine {
             costs: cpu.costs,
             cpu_name: cpu.name.to_owned(),
             branch_stats: None,
+            observer: None,
         }
     }
 
@@ -54,6 +75,7 @@ impl Engine {
             costs,
             cpu_name: "custom".into(),
             branch_stats: None,
+            observer: None,
         }
     }
 
@@ -82,6 +104,15 @@ impl Engine {
         self
     }
 
+    /// Attaches a [`DispatchObserver`]; keep a clone of the handle to read
+    /// the observer's state after the run. Costs one dynamic call per
+    /// dispatch, so it is off by default.
+    #[must_use]
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// The `n` branches with the most mispredictions, as
     /// `(branch, executions, mispredictions)` sorted worst-first. Empty
     /// unless [`Engine::with_branch_stats`] was enabled.
@@ -106,7 +137,7 @@ impl Engine {
         }
     }
 
-    fn indirect(&mut self, branch: Addr, target: Addr) {
+    fn indirect(&mut self, from: usize, to: usize, branch: Addr, target: Addr) {
         self.counters.indirect_branches += 1;
         let hit = self.predictor.predict_and_update(branch, target);
         if !hit {
@@ -116,6 +147,9 @@ impl Engine {
             let entry = stats.entry(branch).or_insert((0, 0));
             entry.0 += 1;
             entry.1 += u64::from(!hit);
+        }
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().dispatch(from, to, branch, target, !hit);
         }
     }
 }
@@ -131,6 +165,9 @@ pub struct RunResult {
     pub counters: PerfCounters,
     /// Simulated cycles under the machine's cost model.
     pub cycles: f64,
+    /// Misses per I-cache set (empty for fetch paths without per-set
+    /// counters, e.g. the perfect I-cache).
+    pub icache_set_misses: Vec<u64>,
 }
 
 impl RunResult {
@@ -197,7 +234,9 @@ impl Runner {
                 self.engine.retire(pre.instrs);
                 self.engine.fetch_code(pre.fetch.0, pre.fetch.1);
                 self.engine.counters.dispatches += 1;
-                self.engine.indirect(pre.branch, pre.target);
+                // A pre-dispatch stub is accounted to the instance it
+                // enters, so `from == to == i`.
+                self.engine.indirect(i, i, pre.branch, pre.target);
             }
         }
         let v = self.view(t, i);
@@ -249,7 +288,7 @@ impl Runner {
             self.engine.retire(dp.instrs);
             self.engine.fetch_code(dp.fetch.0, dp.fetch.1);
             self.engine.counters.dispatches += 1;
-            self.engine.indirect(dp.branch, target);
+            self.engine.indirect(from, to, dp.branch, target);
         }
         self.enter(t, to);
     }
@@ -263,6 +302,7 @@ impl Runner {
             technique: t.technique(),
             counters: self.engine.counters,
             cycles,
+            icache_set_misses: self.engine.fetch.set_misses(),
         }
     }
 }
@@ -284,14 +324,14 @@ mod tests {
     #[test]
     fn branch_stats_are_opt_in() {
         let mut e = engine();
-        e.indirect(1, 10);
+        e.indirect(0, 0, 1, 10);
         assert!(e.top_mispredicted(5).is_empty(), "off by default");
 
         let mut e = engine().with_branch_stats();
         // Branch 1 alternates (always misses); branch 2 is monomorphic.
         for i in 0..10u64 {
-            e.indirect(1, i % 2);
-            e.indirect(2, 42);
+            e.indirect(0, 1, 1, i % 2);
+            e.indirect(1, 0, 2, 42);
         }
         let top = e.top_mispredicted(2);
         assert_eq!(top[0].0, 1);
@@ -299,6 +339,29 @@ mod tests {
         assert_eq!(top[0].2, 10);
         assert_eq!(top[1].0, 2);
         assert_eq!(top[1].2, 1); // only the cold miss
+    }
+
+    #[test]
+    fn observer_sees_every_dispatch_with_verdict() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Log(Vec<(usize, usize, Addr, Addr, bool)>);
+        impl DispatchObserver for Log {
+            fn dispatch(&mut self, f: usize, t: usize, b: Addr, tg: Addr, m: bool) {
+                self.0.push((f, t, b, tg, m));
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Log::default()));
+        let mut e = engine().with_observer(log.clone());
+        e.indirect(0, 1, 100, 7); // cold: miss
+        e.indirect(0, 1, 100, 7); // warm, monomorphic: hit
+        e.indirect(0, 2, 100, 8); // target changed: miss
+        let seen = log.borrow();
+        assert_eq!(seen.0, vec![(0, 1, 100, 7, true), (0, 1, 100, 7, false), (0, 2, 100, 8, true)]);
+        assert_eq!(e.counters().indirect_mispredicted, 2, "counters agree with observer");
     }
 
     #[test]

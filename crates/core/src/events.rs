@@ -102,15 +102,18 @@ impl VmEvents for Measurement {
 }
 
 /// Fans events out to two sinks (e.g. measure and profile simultaneously).
+///
+/// Both sinks may be unsized (`dyn VmEvents`), so callers can tee into a
+/// trait object supplied across a crate boundary.
 #[derive(Debug)]
-pub struct Tee<'a, A, B> {
+pub struct Tee<'a, A: ?Sized, B: ?Sized> {
     /// First sink.
     pub a: &'a mut A,
     /// Second sink.
     pub b: &'a mut B,
 }
 
-impl<A: VmEvents, B: VmEvents> VmEvents for Tee<'_, A, B> {
+impl<A: VmEvents + ?Sized, B: VmEvents + ?Sized> VmEvents for Tee<'_, A, B> {
     fn begin(&mut self, entry: usize) {
         self.a.begin(entry);
         self.b.begin(entry);

@@ -67,7 +67,7 @@ mod technique;
 mod trace;
 mod translate;
 
-pub use engine::{Engine, RunResult, Runner};
+pub use engine::{DispatchObserver, Engine, RunResult, Runner, SharedObserver};
 pub use events::{Measurement, NullEvents, Tee, VmEvents};
 pub use layout::{CodeSpace, Routine, RoutineTable, DYNAMIC_BASE, STATIC_BASE};
 pub use native::{

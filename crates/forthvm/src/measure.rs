@@ -4,7 +4,7 @@
 use ivm_cache::CpuSpec;
 use ivm_core::{
     translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult, Runner,
-    SuperSelection, Technique,
+    SuperSelection, Technique, Tee, VmEvents,
 };
 
 use crate::compiler::Image;
@@ -65,12 +65,34 @@ pub fn measure_with(
     engine: Engine,
     training: Option<&Profile>,
 ) -> Result<(RunResult, Output), VmError> {
+    measure_observed(image, technique, engine, training, &mut ivm_core::NullEvents)
+}
+
+/// Like [`measure_with`], but tees the run's [`VmEvents`] stream into
+/// `extra` as well — the hook the observability layer uses to attach
+/// event counters or trace sinks without the VM crate depending on it.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_observed(
+    image: &Image,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+    extra: &mut dyn VmEvents,
+) -> Result<(RunResult, Output), VmError> {
     let o = ops();
     let translation =
         translate(&o.spec, &image.program, technique, training, SuperSelection::gforth());
     let runner = Runner::new(engine);
     let mut measurement = Measurement::new(translation, runner);
-    let output = run(image, &mut measurement, DEFAULT_FUEL)?;
+    let mut tee = Tee { a: &mut measurement, b: extra };
+    let output = run(image, &mut tee, DEFAULT_FUEL)?;
     Ok((measurement.finish(), output))
 }
 
@@ -121,6 +143,43 @@ mod tests {
         assert_eq!(output.text, "0 1 2 3 4 5 6 7 8 9 ");
         assert!(result.counters.instructions > 0);
         assert!(result.counters.dispatches as usize >= output.steps as usize - 1);
+    }
+
+    #[test]
+    fn measure_observed_tees_the_event_stream() {
+        #[derive(Default)]
+        struct Count {
+            begins: u64,
+            transfers: u64,
+        }
+        impl ivm_core::VmEvents for Count {
+            fn begin(&mut self, _entry: usize) {
+                self.begins += 1;
+            }
+            fn transfer(&mut self, _from: usize, _to: usize, _taken: bool) {
+                self.transfers += 1;
+            }
+            fn quicken(&mut self, _instance: usize, _quick_op: ivm_core::OpId) {}
+        }
+
+        let image = compile(": main 10 0 do i . loop ;").unwrap();
+        let prof = profile(&image).unwrap();
+        let cpu = CpuSpec::celeron800();
+        let mut count = Count::default();
+        let (observed, out) = measure_observed(
+            &image,
+            Technique::Threaded,
+            Engine::for_cpu(&cpu),
+            Some(&prof),
+            &mut count,
+        )
+        .unwrap();
+        assert_eq!(out.text, "0 1 2 3 4 5 6 7 8 9 ");
+        assert!(count.begins >= 1);
+        assert_eq!(count.transfers + count.begins, out.steps, "one event per VM step");
+        // The extra sink must not perturb the measurement itself.
+        let (plain, _) = measure(&image, Technique::Threaded, &cpu, Some(&prof)).unwrap();
+        assert_eq!(observed.counters, plain.counters);
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //!   variable shrinks a whole suite for smoke runs.
 //! * `IVM_BENCH_WARMUP_MS` — warmup duration per benchmark (default 200).
 //! * `IVM_BENCH_SAMPLE_MS` — target duration of one sample (default 10).
-//! * `IVM_BENCH_JSON=1` or `--json` — emit a JSON summary after the runs.
+//! * `IVM_BENCH_JSON=1` or `--json` — emit a JSON summary on stdout after
+//!   the runs.
 //! * The first free CLI argument is a substring filter on
 //!   `group/benchmark` ids (`cargo bench -p ivm-bench -- translate`).
 //!   Cargo's own `--bench` flag is ignored.
+//!
+//! In addition, [`Bencher::finish`] always writes the JSON summary to
+//! `BENCH_<suite>.json` at the workspace root (set `IVM_BENCH_WRITE=0` to
+//! suppress), so the perf trajectory of a branch is machine-readable
+//! without re-running anything. The document embeds a small manifest
+//! (workspace version, smoke flag, sample settings, filter) so two files
+//! can be diffed meaningfully.
 
 use std::fmt::Display;
 use std::hint::black_box;
@@ -90,14 +98,24 @@ impl Bencher {
         Group { bencher: self, name: name.to_owned(), samples: None }
     }
 
-    /// Prints the JSON summary if requested. Called automatically by
-    /// nothing — bench targets call it at the end of `main`.
-    pub fn finish(self) {
-        if !self.json {
-            return;
-        }
+    /// Serialises the summary document: suite name, a manifest of the
+    /// settings in effect, and one median/MAD entry per benchmark.
+    fn to_json(&self) -> String {
         let mut out = String::from("{");
-        out.push_str(&format!("\"suite\":\"{}\",\"results\":[", escape(&self.suite)));
+        out.push_str(&format!("\"suite\":\"{}\",", escape(&self.suite)));
+        out.push_str(&format!(
+            "\"manifest\":{{\"version\":\"{}\",\"smoke\":{},\"samples\":{},\"warmup_ms\":{},\"sample_ms\":{},\"filter\":{}}},",
+            escape(env!("CARGO_PKG_VERSION")),
+            std::env::var("IVM_SMOKE").is_ok_and(|v| v != "0"),
+            self.samples,
+            self.warmup.as_millis(),
+            self.sample_target.as_millis(),
+            match &self.filter {
+                Some(f) => format!("\"{}\"", escape(f)),
+                None => "null".to_owned(),
+            }
+        ));
+        out.push_str("\"results\":[");
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -112,7 +130,24 @@ impl Bencher {
             ));
         }
         out.push_str("]}");
-        println!("{out}");
+        out
+    }
+
+    /// Prints the JSON summary if requested and writes `BENCH_<suite>.json`
+    /// at the workspace root. Called automatically by nothing — bench
+    /// targets call it at the end of `main`.
+    pub fn finish(self) {
+        let doc = self.to_json();
+        if self.json {
+            println!("{doc}");
+        }
+        let writing = std::env::var("IVM_BENCH_WRITE").map_or(true, |v| v != "0");
+        if writing && !self.results.is_empty() {
+            let path = workspace_root().join(format!("BENCH_{}.json", self.suite));
+            if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
     }
 
     fn run<R>(&mut self, id: String, samples: usize, mut f: impl FnMut() -> R) {
@@ -205,6 +240,29 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Walks up from `CARGO_MANIFEST_DIR` (or the current directory) to the
+/// manifest containing `[workspace]`. Falls back to the start directory —
+/// the harness stays dependency-free, so this is deliberately duplicated
+/// from `ivm-obs` rather than imported (that would create a cycle through
+/// the crates the harness tests).
+fn workspace_root() -> std::path::PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -261,5 +319,33 @@ mod tests {
         assert_eq!(r.id, "g/id");
         assert_eq!(r.samples, 2);
         assert!(r.median_ns >= 0.0 && r.iters >= 1);
+    }
+
+    #[test]
+    fn json_document_embeds_manifest_and_entries() {
+        let mut b = Bencher {
+            suite: "self-test".into(),
+            samples: 3,
+            samples_from_env: false,
+            warmup: Duration::from_millis(1),
+            sample_target: Duration::from_micros(200),
+            json: false,
+            filter: Some("g".into()),
+            results: Vec::new(),
+        };
+        b.group("g").bench("id", || std::hint::black_box(2 * 2));
+        let doc = b.to_json();
+        assert!(doc.starts_with("{\"suite\":\"self-test\","), "{doc}");
+        assert!(doc.contains("\"manifest\":{\"version\":\""), "{doc}");
+        assert!(doc.contains("\"filter\":\"g\""), "{doc}");
+        assert!(doc.contains("\"median_ns\":"), "{doc}");
+        assert!(doc.ends_with("]}"), "{doc}");
+    }
+
+    #[test]
+    fn workspace_root_has_a_workspace_manifest() {
+        let root = workspace_root();
+        let text = std::fs::read_to_string(root.join("Cargo.toml")).expect("manifest readable");
+        assert!(text.contains("[workspace]"));
     }
 }

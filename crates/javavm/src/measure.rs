@@ -3,7 +3,7 @@
 use ivm_cache::CpuSpec;
 use ivm_core::{
     translate, Engine, ExecutionTrace, Measurement, Profile, ProfileCollector, RunResult, Runner,
-    SuperSelection, Technique,
+    SuperSelection, Technique, Tee, VmEvents,
 };
 
 use crate::asm::JavaImage;
@@ -65,12 +65,34 @@ pub fn measure_with(
     engine: Engine,
     training: Option<&Profile>,
 ) -> Result<(RunResult, JavaOutput), JavaError> {
+    measure_observed(image, technique, engine, training, &mut ivm_core::NullEvents)
+}
+
+/// Like [`measure_with`], but tees the run's [`VmEvents`] stream into
+/// `extra` as well — the hook the observability layer uses to attach
+/// event counters or trace sinks without the VM crate depending on it.
+///
+/// # Errors
+///
+/// Propagates any [`JavaError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_observed(
+    image: &JavaImage,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+    extra: &mut dyn VmEvents,
+) -> Result<(RunResult, JavaOutput), JavaError> {
     let o = ops();
     let translation =
         translate(&o.spec, &image.program, technique, training, SuperSelection::jvm());
     let runner = Runner::new(engine);
     let mut measurement = Measurement::new(translation, runner);
-    let output = run(image, &mut measurement, DEFAULT_FUEL)?;
+    let mut tee = Tee { a: &mut measurement, b: extra };
+    let output = run(image, &mut tee, DEFAULT_FUEL)?;
     Ok((measurement.finish(), output))
 }
 
@@ -153,6 +175,42 @@ mod tests {
             let replayed = measure_trace(&image, &trace, tech, &cpu, Some(&prof));
             assert_eq!(direct.counters, replayed.counters, "{tech}");
         }
+    }
+
+    #[test]
+    fn measure_observed_tees_the_event_stream() {
+        #[derive(Default)]
+        struct Count {
+            quickenings: u64,
+            transfers: u64,
+        }
+        impl ivm_core::VmEvents for Count {
+            fn begin(&mut self, _entry: usize) {}
+            fn transfer(&mut self, _from: usize, _to: usize, _taken: bool) {
+                self.transfers += 1;
+            }
+            fn quicken(&mut self, _instance: usize, _quick_op: ivm_core::OpId) {
+                self.quickenings += 1;
+            }
+        }
+
+        let image = fib_image();
+        let prof = profile(&image).unwrap();
+        let cpu = CpuSpec::pentium4_northwood();
+        let mut count = Count::default();
+        let (observed, out) = measure_observed(
+            &image,
+            Technique::Threaded,
+            Engine::for_cpu(&cpu),
+            Some(&prof),
+            &mut count,
+        )
+        .unwrap();
+        assert_eq!(out.text, "610\n");
+        assert_eq!(count.quickenings, out.quickenings, "quickenings reach the extra sink");
+        assert!(count.transfers > 0);
+        let (plain, _) = measure(&image, Technique::Threaded, &cpu, Some(&prof)).unwrap();
+        assert_eq!(observed.counters, plain.counters, "extra sink must not perturb measurement");
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Misprediction attribution: per instance, per opcode and per BTB set.
+//!
+//! Two sinks share the bookkeeping:
+//!
+//! * [`DispatchAttribution`] plugs into the engine as a
+//!   [`DispatchObserver`] and attributes every dispatch to the VM instance
+//!   owning the dispatch branch — resolvable to opcodes through the run's
+//!   [`Translation`].
+//! * [`AttributedPredictor`] wraps any [`IndirectPredictor`] for
+//!   replay-style experiments that drive predictors directly (no engine),
+//!   attributing per branch address instead of per instance.
+//!
+//! Both can additionally bucket dispatch branches by BTB set under a
+//! [`BtbConfig`] geometry, exposing which sets are overloaded — the
+//! software analogue of the set-level probing used in hardware BTB
+//! reverse-engineering work.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use ivm_bpred::{Addr, BtbConfig, IndirectPredictor};
+use ivm_core::{DispatchObserver, Translation};
+
+use crate::json::Json;
+use crate::ring::DispatchRing;
+
+/// An `(executed, mispredicted)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Dispatches executed.
+    pub executed: u64,
+    /// Dispatches the predictor missed.
+    pub mispredicted: u64,
+}
+
+impl Tally {
+    fn bump(&mut self, miss: bool) {
+        self.executed += 1;
+        self.mispredicted += u64::from(miss);
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj().with("executed", self.executed).with("mispredicted", self.mispredicted)
+    }
+}
+
+/// One opcode's aggregated dispatch tally (see
+/// [`DispatchAttribution::per_opcode`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTally {
+    /// Opcode name from the VM spec.
+    pub name: String,
+    /// Aggregated tally over all instances of this opcode.
+    pub tally: Tally,
+}
+
+/// One BTB set's view: how many distinct branches competed for it and how
+/// its dispatches fared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetConflict {
+    /// Set index under the attribution geometry.
+    pub set: usize,
+    /// Distinct branch addresses observed mapping to this set.
+    pub distinct_branches: usize,
+    /// Aggregated tally over those branches.
+    pub tally: Tally,
+}
+
+/// Per-set bookkeeping shared by both attribution sinks.
+#[derive(Debug, Clone)]
+struct SetStats {
+    cfg: BtbConfig,
+    tallies: Vec<Tally>,
+    branches: Vec<BTreeSet<Addr>>,
+}
+
+impl SetStats {
+    fn new(cfg: BtbConfig) -> Self {
+        Self {
+            cfg,
+            tallies: vec![Tally::default(); cfg.sets()],
+            branches: vec![BTreeSet::new(); cfg.sets()],
+        }
+    }
+
+    fn record(&mut self, branch: Addr, miss: bool) {
+        let set = self.cfg.set_index(branch);
+        self.tallies[set].bump(miss);
+        self.branches[set].insert(branch);
+    }
+
+    fn clear_counts(&mut self) {
+        self.tallies.iter_mut().for_each(|t| *t = Tally::default());
+        self.branches.iter_mut().for_each(BTreeSet::clear);
+    }
+
+    fn conflicts(&self) -> Vec<SetConflict> {
+        self.tallies
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.executed > 0)
+            .map(|(set, &tally)| SetConflict {
+                set,
+                distinct_branches: self.branches[set].len(),
+                tally,
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        let sets = self
+            .conflicts()
+            .into_iter()
+            .map(|c| {
+                Json::obj()
+                    .with("set", c.set)
+                    .with("distinct_branches", c.distinct_branches)
+                    .with("executed", c.tally.executed)
+                    .with("mispredicted", c.tally.mispredicted)
+            })
+            .collect();
+        Json::obj()
+            .with(
+                "geometry",
+                Json::obj()
+                    .with("entries", self.cfg.entries())
+                    .with("assoc", self.cfg.assoc())
+                    .with("sets", self.cfg.sets()),
+            )
+            .with("active_sets", Json::Arr(sets))
+    }
+}
+
+/// The engine-side attribution sink.
+///
+/// Attach to an [`ivm_core::Engine`] via [`DispatchAttribution::shared`] +
+/// [`ivm_core::Engine::with_observer`]; keep the handle to read results
+/// after the run. Every dispatch is tallied against the instance owning
+/// the dispatch branch (`from`), which [`DispatchAttribution::per_opcode`]
+/// resolves to opcode names through the [`Translation`].
+#[derive(Debug, Clone, Default)]
+pub struct DispatchAttribution {
+    per_instance: Vec<Tally>,
+    sets: Option<SetStats>,
+    ring: Option<DispatchRing>,
+}
+
+impl DispatchAttribution {
+    /// A sink with per-instance attribution only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Also bucket dispatch branches by BTB set under `cfg`. The geometry
+    /// is independent of the engine's actual predictor, so a run on an
+    /// ideal BTB can still report where branches *would* collide on, say,
+    /// the Celeron's 128x4 geometry.
+    #[must_use]
+    pub fn with_btb_sets(mut self, cfg: BtbConfig) -> Self {
+        self.sets = Some(SetStats::new(cfg));
+        self
+    }
+
+    /// Also retain the last `capacity` dispatches in a ring buffer for
+    /// JSONL export.
+    #[must_use]
+    pub fn with_ring(mut self, capacity: usize) -> Self {
+        self.ring = Some(DispatchRing::new(capacity));
+        self
+    }
+
+    /// Wraps the sink in the shared handle the engine expects; clone the
+    /// handle before passing it to [`ivm_core::Engine::with_observer`].
+    #[must_use]
+    pub fn shared(self) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Zeroes all tallies and the ring, keeping configuration — call after
+    /// a warmup pass to measure steady state only.
+    pub fn clear_counts(&mut self) {
+        self.per_instance.clear();
+        if let Some(sets) = &mut self.sets {
+            sets.clear_counts();
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.clear();
+        }
+    }
+
+    /// Per-instance tallies, indexed by instance. Instances never
+    /// dispatched from report zeros.
+    pub fn per_instance(&self) -> &[Tally] {
+        &self.per_instance
+    }
+
+    /// Total dispatches observed.
+    pub fn total(&self) -> Tally {
+        let mut t = Tally::default();
+        for i in &self.per_instance {
+            t.executed += i.executed;
+            t.mispredicted += i.mispredicted;
+        }
+        t
+    }
+
+    /// Aggregates instance tallies by current opcode, sorted worst-first
+    /// (most mispredictions, ties by name). Only opcodes that dispatched
+    /// at least once appear.
+    pub fn per_opcode(&self, t: &Translation) -> Vec<OpTally> {
+        let mut by_name: BTreeMap<&str, Tally> = BTreeMap::new();
+        for (i, tally) in self.per_instance.iter().enumerate() {
+            if tally.executed > 0 {
+                let e = by_name.entry(t.op_name(i)).or_default();
+                e.executed += tally.executed;
+                e.mispredicted += tally.mispredicted;
+            }
+        }
+        let mut out: Vec<OpTally> = by_name
+            .into_iter()
+            .map(|(name, tally)| OpTally { name: name.to_owned(), tally })
+            .collect();
+        out.sort_by(|a, b| {
+            b.tally.mispredicted.cmp(&a.tally.mispredicted).then(a.name.cmp(&b.name))
+        });
+        out
+    }
+
+    /// Per-set conflict view (empty without [`with_btb_sets`]).
+    ///
+    /// [`with_btb_sets`]: DispatchAttribution::with_btb_sets
+    pub fn set_conflicts(&self) -> Vec<SetConflict> {
+        self.sets.as_ref().map(SetStats::conflicts).unwrap_or_default()
+    }
+
+    /// The dispatch ring, if enabled.
+    pub fn ring(&self) -> Option<&DispatchRing> {
+        self.ring.as_ref()
+    }
+
+    /// Serialises the attribution breakdown; pass the run's translation to
+    /// include the per-opcode view.
+    pub fn to_json(&self, translation: Option<&Translation>) -> Json {
+        let total = self.total();
+        let mut out = Json::obj().with("total", total.to_json());
+        let instances = self
+            .per_instance
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.executed > 0)
+            .map(|(i, t)| t.to_json().with("instance", i))
+            .collect();
+        out.set("per_instance", Json::Arr(instances));
+        if let Some(t) = translation {
+            let ops = self
+                .per_opcode(t)
+                .into_iter()
+                .map(|o| o.tally.to_json().with("op", o.name))
+                .collect();
+            out.set("per_opcode", Json::Arr(ops));
+        }
+        if let Some(sets) = &self.sets {
+            out.set("btb_sets", sets.to_json());
+        }
+        if let Some(ring) = &self.ring {
+            out.set(
+                "ring",
+                Json::obj()
+                    .with("retained", ring.len())
+                    .with("total_recorded", ring.total_recorded()),
+            );
+        }
+        out
+    }
+}
+
+impl DispatchObserver for DispatchAttribution {
+    fn dispatch(&mut self, from: usize, to: usize, branch: Addr, target: Addr, miss: bool) {
+        if from >= self.per_instance.len() {
+            self.per_instance.resize(from + 1, Tally::default());
+        }
+        self.per_instance[from].bump(miss);
+        if let Some(sets) = &mut self.sets {
+            sets.record(branch, miss);
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.record(from, to, branch, target, miss);
+        }
+    }
+}
+
+/// A predictor wrapper attributing executions and mispredictions per
+/// branch address (and optionally per BTB set), for experiments that feed
+/// predictors directly rather than through an engine — e.g. the paper's
+/// Table I–IV hand traces.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_bpred::{IdealBtb, IndirectPredictor};
+/// use ivm_obs::AttributedPredictor;
+///
+/// let mut p = AttributedPredictor::new(IdealBtb::new());
+/// p.predict_and_update(0x10, 100);
+/// p.predict_and_update(0x10, 200); // target changed: miss
+/// let tally = p.per_branch()[&0x10];
+/// assert_eq!((tally.executed, tally.mispredicted), (2, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttributedPredictor<P> {
+    inner: P,
+    per_branch: BTreeMap<Addr, Tally>,
+    sets: Option<SetStats>,
+}
+
+impl<P: IndirectPredictor> AttributedPredictor<P> {
+    /// Wraps `inner` with per-branch attribution.
+    pub fn new(inner: P) -> Self {
+        Self { inner, per_branch: BTreeMap::new(), sets: None }
+    }
+
+    /// Also bucket branches by BTB set under `cfg`.
+    #[must_use]
+    pub fn with_sets(mut self, cfg: BtbConfig) -> Self {
+        self.sets = Some(SetStats::new(cfg));
+        self
+    }
+
+    /// Per-branch tallies, keyed by branch address.
+    pub fn per_branch(&self) -> &BTreeMap<Addr, Tally> {
+        &self.per_branch
+    }
+
+    /// Per-set conflict view (empty without [`AttributedPredictor::with_sets`]).
+    pub fn set_conflicts(&self) -> Vec<SetConflict> {
+        self.sets.as_ref().map(SetStats::conflicts).unwrap_or_default()
+    }
+
+    /// Zeroes the tallies without touching predictor state.
+    pub fn clear_counts(&mut self) {
+        self.per_branch.clear();
+        if let Some(sets) = &mut self.sets {
+            sets.clear_counts();
+        }
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: IndirectPredictor> IndirectPredictor for AttributedPredictor<P> {
+    fn predict_and_update(&mut self, branch: Addr, target: Addr) -> bool {
+        let hit = self.inner.predict_and_update(branch, target);
+        self.per_branch.entry(branch).or_default().bump(!hit);
+        if let Some(sets) = &mut self.sets {
+            sets.record(branch, !hit);
+        }
+        hit
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.clear_counts();
+    }
+
+    fn describe(&self) -> String {
+        format!("attributed-{}", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_bpred::IdealBtb;
+
+    fn feed(sink: &mut DispatchAttribution, events: &[(usize, usize, Addr, Addr, bool)]) {
+        for &(f, t, b, tg, m) in events {
+            sink.dispatch(f, t, b, tg, m);
+        }
+    }
+
+    #[test]
+    fn per_instance_tallies_grow_on_demand() {
+        let mut sink = DispatchAttribution::new();
+        feed(&mut sink, &[(3, 0, 1, 2, true), (3, 1, 1, 3, false), (0, 3, 9, 1, false)]);
+        assert_eq!(sink.per_instance().len(), 4);
+        assert_eq!(sink.per_instance()[3], Tally { executed: 2, mispredicted: 1 });
+        assert_eq!(sink.per_instance()[1], Tally::default());
+        assert_eq!(sink.total(), Tally { executed: 3, mispredicted: 1 });
+    }
+
+    #[test]
+    fn set_attribution_counts_aliasing_branches() {
+        // 4 sets, direct-mapped: branches 0 and 4 alias in set 0.
+        let cfg = BtbConfig::new(4, 1).tagless();
+        let mut sink = DispatchAttribution::new().with_btb_sets(cfg);
+        feed(
+            &mut sink,
+            &[(0, 1, 0, 10, true), (1, 0, 4, 20, true), (0, 1, 0, 10, true), (2, 3, 1, 30, false)],
+        );
+        let conflicts = sink.set_conflicts();
+        assert_eq!(conflicts.len(), 2);
+        let set0 = &conflicts[0];
+        assert_eq!((set0.set, set0.distinct_branches), (0, 2));
+        assert_eq!(set0.tally, Tally { executed: 3, mispredicted: 3 });
+        let set1 = &conflicts[1];
+        assert_eq!((set1.set, set1.distinct_branches), (1, 1));
+    }
+
+    #[test]
+    fn clear_counts_keeps_configuration() {
+        let cfg = BtbConfig::new(4, 1);
+        let mut sink = DispatchAttribution::new().with_btb_sets(cfg).with_ring(8);
+        feed(&mut sink, &[(0, 1, 0, 10, true)]);
+        sink.clear_counts();
+        assert!(sink.per_instance().is_empty());
+        assert!(sink.set_conflicts().is_empty());
+        assert_eq!(sink.ring().unwrap().total_recorded(), 0);
+        // Still wired up: new events land in the (kept) structures.
+        feed(&mut sink, &[(0, 1, 0, 10, false)]);
+        assert_eq!(sink.set_conflicts().len(), 1);
+        assert_eq!(sink.ring().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn json_includes_all_enabled_sections() {
+        let mut sink = DispatchAttribution::new().with_btb_sets(BtbConfig::new(4, 1)).with_ring(2);
+        feed(&mut sink, &[(0, 1, 0, 10, true)]);
+        let j = sink.to_json(None);
+        assert!(j.get("per_opcode").is_none(), "no translation, no opcode view");
+        assert_eq!(j.get("total").and_then(|t| t.get("executed")), Some(&1u64.into()));
+        assert!(j.get("btb_sets").is_some());
+        assert_eq!(j.get("ring").and_then(|r| r.get("retained")), Some(&1u64.into()));
+        let text = j.to_json();
+        crate::json::parse(&text).expect("attribution JSON parses");
+    }
+
+    #[test]
+    fn attributed_predictor_splits_by_branch_and_set() {
+        let cfg = BtbConfig::new(2, 1).tagless();
+        let mut p = AttributedPredictor::new(IdealBtb::new()).with_sets(cfg);
+        // Branches 0 and 2 share set 0 under the 2-set geometry.
+        p.predict_and_update(0, 100);
+        p.predict_and_update(2, 200);
+        p.predict_and_update(0, 100); // ideal BTB: hit (its table is unbounded)
+        assert_eq!(p.per_branch()[&0], Tally { executed: 2, mispredicted: 1 });
+        assert_eq!(p.per_branch()[&2], Tally { executed: 1, mispredicted: 1 });
+        let conflicts = p.set_conflicts();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].distinct_branches, 2);
+        assert_eq!(conflicts[0].tally.executed, 3);
+        assert!(p.describe().starts_with("attributed-"));
+        p.reset();
+        assert!(p.per_branch().is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Run manifests: the provenance block attached to every JSON report.
+
+use crate::json::Json;
+
+/// Captures how a report was produced: workspace version, smoke mode, seed
+/// and every `IVM_*` environment override in effect.
+///
+/// Deliberately contains no timestamps or hostnames — two runs with the
+/// same inputs produce byte-identical reports, so diffs show only real
+/// changes.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_obs::RunManifest;
+///
+/// let m = RunManifest::capture("figure7");
+/// assert_eq!(m.report, "figure7");
+/// assert!(!m.version.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// The report (binary or suite) name.
+    pub report: String,
+    /// Workspace version (`CARGO_PKG_VERSION` of `ivm-obs`, which is
+    /// workspace-inherited).
+    pub version: String,
+    /// Whether `IVM_SMOKE` reduced workloads were in effect.
+    pub smoke: bool,
+    /// The `IVM_SEED` override, if any.
+    pub seed: Option<u64>,
+    /// Every `IVM_*` environment variable in effect, sorted by name.
+    pub env: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    /// Captures the current process environment for report `report`.
+    pub fn capture(report: &str) -> Self {
+        let mut env: Vec<(String, String)> =
+            std::env::vars().filter(|(k, _)| k.starts_with("IVM_")).collect();
+        env.sort();
+        Self {
+            report: report.to_owned(),
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            smoke: smoke_enabled(),
+            seed: std::env::var("IVM_SEED").ok().and_then(|v| v.trim().parse().ok()),
+            env,
+        }
+    }
+
+    /// Serialises the manifest.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("report", self.report.as_str())
+            .with("version", self.version.as_str())
+            .with("smoke", self.smoke);
+        match self.seed {
+            Some(seed) => j.set("seed", seed),
+            None => j.set("seed", Json::Null),
+        };
+        let env = self.env.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect();
+        j.with("env", Json::Obj(env))
+    }
+}
+
+/// True when `IVM_SMOKE` requests reduced workloads (same convention as the
+/// report binaries: set and not `"0"`).
+pub fn smoke_enabled() -> bool {
+    std::env::var("IVM_SMOKE").is_ok_and(|v| v != "0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn manifest_serialises_with_all_fields() {
+        let m = RunManifest {
+            report: "demo".into(),
+            version: "0.1.0".into(),
+            smoke: true,
+            seed: Some(42),
+            env: vec![("IVM_SMOKE".into(), "1".into())],
+        };
+        let j = parse(&m.to_json().to_json()).unwrap();
+        assert_eq!(j.get("report").and_then(Json::as_str), Some("demo"));
+        assert_eq!(j.get("smoke"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("seed").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(j.get("env").and_then(|e| e.get("IVM_SMOKE")).and_then(Json::as_str), Some("1"));
+    }
+
+    #[test]
+    fn absent_seed_is_null_not_missing() {
+        let m = RunManifest {
+            report: "demo".into(),
+            version: "0.1.0".into(),
+            smoke: false,
+            seed: None,
+            env: Vec::new(),
+        };
+        assert_eq!(m.to_json().get("seed"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn capture_records_the_report_name_and_version() {
+        let m = RunManifest::capture("report-x");
+        assert_eq!(m.report, "report-x");
+        assert_eq!(m.version, env!("CARGO_PKG_VERSION"));
+        assert!(m.env.windows(2).all(|w| w[0].0 <= w[1].0), "env sorted");
+    }
+}

@@ -1,0 +1,229 @@
+//! A named-metrics registry: counters, gauges and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// A fixed-bucket histogram: values are counted into the first bucket whose
+/// upper bound is `>= value`, with one implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, total: 0 }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket counts (the last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("bounds", Json::Arr(self.bounds.iter().map(|&b| Json::Num(b)).collect()))
+            .with("counts", Json::Arr(self.counts.iter().map(|&c| c.into()).collect()))
+            .with("sum", self.sum)
+            .with("count", self.total)
+    }
+}
+
+/// A registry of named metrics, serialisable to JSON. Names are sorted on
+/// output so serialisation is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_obs::Registry;
+///
+/// let mut m = Registry::new();
+/// m.inc("dispatches", 3);
+/// m.set_gauge("mispredict_rate", 0.25);
+/// m.histogram("set_misses", &[1.0, 10.0, 100.0]);
+/// m.observe("set_misses", 7.0);
+/// assert_eq!(m.counter("dispatches"), 3);
+/// assert!(m.to_json().to_json().contains("mispredict_rate"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (created at zero on first use).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Registers (or re-registers, resetting) a histogram with the given
+    /// bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or non-ascending `bounds`.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) {
+        self.histograms.insert(name.to_owned(), Histogram::new(bounds));
+    }
+
+    /// Records an observation into a registered histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no histogram of that name was registered — observing into
+    /// an implicit default would silently bucket wrongly.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram {name:?} was never registered"))
+            .observe(value);
+    }
+
+    /// Read access to a histogram.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialises as `{"counters":{..},"gauges":{..},"histograms":{..}}`,
+    /// omitting empty sections.
+    pub fn to_json(&self) -> Json {
+        let mut out = Json::obj();
+        if !self.counters.is_empty() {
+            let pairs = self.counters.iter().map(|(k, &v)| (k.clone(), v.into())).collect();
+            out.set("counters", Json::Obj(pairs));
+        }
+        if !self.gauges.is_empty() {
+            let pairs = self.gauges.iter().map(|(k, &v)| (k.clone(), Json::Num(v))).collect();
+            out.set("gauges", Json::Obj(pairs));
+        }
+        if !self.histograms.is_empty() {
+            let pairs = self.histograms.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+            out.set("histograms", Json::Obj(pairs));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = Registry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x", 2);
+        m.inc("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 (inclusive upper bound)
+        h.observe(5.0); // bucket 1
+        h.observe(99.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 105.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "never registered")]
+    fn observing_unregistered_histogram_panics() {
+        Registry::new().observe("nope", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn json_output_is_sorted_and_parses() {
+        let mut m = Registry::new();
+        m.inc("z_counter", 1);
+        m.inc("a_counter", 2);
+        m.set_gauge("g", 0.5);
+        m.histogram("h", &[1.0]);
+        m.observe("h", 3.0);
+        let text = m.to_json().to_json();
+        assert!(
+            text.find("a_counter").unwrap() < text.find("z_counter").unwrap(),
+            "counters are name-sorted: {text}"
+        );
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.get("counters").and_then(|c| c.get("a_counter")), Some(&2u64.into()));
+        let h = parsed.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("count"), Some(&1u64.into()));
+    }
+
+    #[test]
+    fn empty_registry_serialises_to_empty_object() {
+        assert!(Registry::new().is_empty());
+        assert_eq!(Registry::new().to_json().to_json(), "{}");
+    }
+}

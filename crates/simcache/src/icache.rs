@@ -56,6 +56,28 @@ pub trait FetchCache {
 
     /// Short human-readable description.
     fn describe(&self) -> String;
+
+    /// Fraction of accesses that missed, `0.0` when nothing was fetched
+    /// yet (never NaN).
+    fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Misses per cache set, for conflict heatmaps. Empty for fetch paths
+    /// without per-set counters.
+    fn set_misses(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Resident lines per cache set, for occupancy heatmaps. Empty for
+    /// fetch paths without per-set state.
+    fn set_occupancy(&self) -> Vec<u32> {
+        Vec::new()
+    }
 }
 
 /// A set-associative instruction cache with true-LRU replacement.
@@ -77,6 +99,8 @@ pub struct Icache {
     line_bits: u32,
     accesses: u64,
     misses: u64,
+    /// `set_misses[i]` counts the misses charged to set `i`.
+    set_misses: Vec<u64>,
     tick: u64,
 }
 
@@ -95,6 +119,7 @@ impl Icache {
             line_bits: config.line_size.trailing_zeros(),
             accesses: 0,
             misses: 0,
+            set_misses: vec![0; sets],
             tick: 0,
         }
     }
@@ -108,12 +133,14 @@ impl Icache {
         self.tick += 1;
         self.accesses += 1;
         let set_count = self.sets.len();
-        let set = &mut self.sets[(line as usize) & (set_count - 1)];
+        let set_idx = (line as usize) & (set_count - 1);
+        let set = &mut self.sets[set_idx];
         if let Some(entry) = set.iter_mut().find(|(tag, _)| *tag == line) {
             entry.1 = self.tick;
             return false;
         }
         self.misses += 1;
+        self.set_misses[set_idx] += 1;
         if set.len() == self.config.assoc {
             let victim = set
                 .iter()
@@ -158,6 +185,7 @@ impl FetchCache for Icache {
         }
         self.accesses = 0;
         self.misses = 0;
+        self.set_misses.iter_mut().for_each(|m| *m = 0);
         self.tick = 0;
     }
 
@@ -168,6 +196,14 @@ impl FetchCache for Icache {
             self.config.line_size,
             self.config.assoc
         )
+    }
+
+    fn set_misses(&self) -> Vec<u64> {
+        self.set_misses.clone()
+    }
+
+    fn set_occupancy(&self) -> Vec<u32> {
+        self.sets.iter().map(|s| s.len() as u32).collect()
     }
 }
 
@@ -279,7 +315,41 @@ mod tests {
         ic.fetch(0, 32);
         ic.reset();
         assert_eq!(ic.misses(), 0);
+        assert_eq!(ic.set_misses(), vec![0, 0]);
         assert_eq!(ic.fetch(0, 32), 1);
+    }
+
+    #[test]
+    fn miss_rate_is_zero_before_any_fetch() {
+        let ic = tiny();
+        assert_eq!(ic.miss_rate(), 0.0, "no accesses must not produce NaN");
+        let mut ic = tiny();
+        ic.fetch(0, 32); // 1 access, 1 miss
+        ic.fetch(0, 32); // hit
+        assert!((ic.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_set_misses_pinpoint_the_conflicting_set() {
+        let mut ic = tiny();
+        // Lines 0, 2, 4 all land in set 0 of the 2-set cache; line 1 in set 1.
+        ic.fetch(0, 1); // line 0: set 0 miss
+        ic.fetch(32, 1); // line 1: set 1 miss
+        ic.fetch(64, 1); // line 2: set 0 miss
+        ic.fetch(128, 1); // line 4: set 0 miss, evicts line 0
+        ic.fetch(0, 1); // line 0 again: set 0 conflict miss
+        assert_eq!(ic.set_misses(), vec![4, 1]);
+        assert_eq!(ic.misses(), 5, "per-set misses sum to the total");
+        assert_eq!(ic.set_occupancy(), vec![2, 1]);
+    }
+
+    #[test]
+    fn default_per_set_views_are_empty_for_perfect_icache() {
+        let mut p = PerfectIcache::default();
+        p.fetch(0, 64);
+        assert!(p.set_misses().is_empty());
+        assert!(p.set_occupancy().is_empty());
+        assert_eq!(p.miss_rate(), 0.0);
     }
 
     #[test]

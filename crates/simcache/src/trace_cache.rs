@@ -83,6 +83,14 @@ impl FetchCache for TraceCache {
     fn describe(&self) -> String {
         format!("trace-cache-{}lines", self.inner.config().capacity / TRACE_LINE_BYTES)
     }
+
+    fn set_misses(&self) -> Vec<u64> {
+        self.inner.set_misses()
+    }
+
+    fn set_occupancy(&self) -> Vec<u32> {
+        self.inner.set_occupancy()
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! * [`cache`] — I-cache/trace-cache simulators and CPU cost models,
 //! * [`core`] — code layout, dispatch techniques, the measurement engine,
 //! * [`forth`] — the Gforth-analog Forth system and its benchmarks,
-//! * [`java`] — the mini-JVM and its SPECjvm98-analog benchmarks.
+//! * [`java`] — the mini-JVM and its SPECjvm98-analog benchmarks,
+//! * [`obs`] — metrics, misprediction attribution and JSON run reports.
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for how each
 //! table and figure of the paper maps onto this code.
@@ -38,3 +39,4 @@ pub use ivm_cache as cache;
 pub use ivm_core as core;
 pub use ivm_forth as forth;
 pub use ivm_java as java;
+pub use ivm_obs as obs;
