@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin ablations`
 
-use ivm_bench::{forth_benches, forth_training, smoke, Report, Row};
+use ivm_bench::{forth_benches, forth_image, forth_training, run_cells, smoke, Cell, Report, Row};
 use ivm_bpred::{
     Btb, BtbConfig, CascadedPredictor, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
     TwoLevelPredictor,
@@ -30,9 +30,13 @@ fn replica_selection(out: &mut Report, training: &Profile) {
     // A single stream can get lucky on an individual benchmark, so the
     // random arm is averaged over several seeds.
     const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
-    let mut rows = Vec::new();
-    for b in forth_benches() {
-        let image = b.image();
+    let cells: Vec<Cell<ivm_forth::programs::Benchmark>> = forth_benches()
+        .iter()
+        .map(|&b| Cell::new(format!("ablate/replica/{}", b.name), b))
+        .collect();
+    let rows = run_cells(cells, |cell, _| {
+        let b = cell.input;
+        let image = forth_image(&b);
         let (rr, _) = ivm_forth::measure(
             &image,
             Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin },
@@ -43,7 +47,6 @@ fn replica_selection(out: &mut Report, training: &Profile) {
         let mut rand_mispred = 0.0;
         let mut rand_cycles = 0.0;
         for seed in SEEDS {
-            let image = b.image();
             let (rand, _) = ivm_forth::measure(
                 &image,
                 Technique::StaticRepl { budget: 400, selection: ReplicaSelection::Random { seed } },
@@ -56,15 +59,15 @@ fn replica_selection(out: &mut Report, training: &Profile) {
         }
         rand_mispred /= SEEDS.len() as f64;
         rand_cycles /= SEEDS.len() as f64;
-        rows.push(Row {
+        Row {
             label: b.name.to_owned(),
             values: vec![
                 rr.counters.indirect_mispredicted as f64,
                 rand_mispred,
                 rand_cycles / rr.cycles,
             ],
-        });
-    }
+        }
+    });
     out.table(
         "§5.1 replica selection: mispredictions, round-robin vs random \
          (random averaged over 5 seeds; 3rd col: round-robin speed advantage)",
@@ -76,9 +79,11 @@ fn replica_selection(out: &mut Report, training: &Profile) {
 
 fn cover_algorithms(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
-    let mut rows = Vec::new();
-    for b in forth_benches() {
-        let image = b.image();
+    let cells: Vec<Cell<ivm_forth::programs::Benchmark>> =
+        forth_benches().iter().map(|&b| Cell::new(format!("ablate/cover/{}", b.name), b)).collect();
+    let rows = run_cells(cells, |cell, _| {
+        let b = cell.input;
+        let image = forth_image(&b);
         let (g, _) = ivm_forth::measure(
             &image,
             Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Greedy },
@@ -86,7 +91,6 @@ fn cover_algorithms(out: &mut Report, training: &Profile) {
             Some(training),
         )
         .expect("runs");
-        let image = b.image();
         let (o, _) = ivm_forth::measure(
             &image,
             Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Optimal },
@@ -94,15 +98,15 @@ fn cover_algorithms(out: &mut Report, training: &Profile) {
             Some(training),
         )
         .expect("runs");
-        rows.push(Row {
+        Row {
             label: b.name.to_owned(),
             values: vec![
                 g.counters.dispatches as f64,
                 o.counters.dispatches as f64,
                 g.cycles / o.cycles,
             ],
-        });
-    }
+        }
+    });
     out.table(
         "§5.1 block parsing: dispatches, greedy vs optimal \
          (3rd col: optimal speedup over greedy — paper: ~none)",
@@ -114,7 +118,6 @@ fn cover_algorithms(out: &mut Report, training: &Profile) {
 
 fn predictor_family(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
-    let mut rows = Vec::new();
     type MakePredictor = fn() -> Box<dyn IndirectPredictor>;
     let families: [(&str, MakePredictor); 4] = [
         ("btb", || Box::new(Btb::new(BtbConfig::celeron()))),
@@ -122,22 +125,30 @@ fn predictor_family(out: &mut Report, training: &Profile) {
         ("two-level", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
         ("cascaded", || Box::new(CascadedPredictor::with_defaults())),
     ];
-    for b in forth_benches().iter().take(3) {
-        for &(pname, make) in &families {
-            let image = b.image();
-            let (plain, _) = ivm_forth::measure_with(
-                &image,
-                Technique::Threaded,
-                engine_with(make(), &cpu),
-                Some(training),
-            )
-            .expect("runs");
-            rows.push(Row {
-                label: format!("{} / {}", b.name, pname),
-                values: vec![100.0 * plain.counters.misprediction_rate(), plain.cycles],
-            });
+    let cells: Vec<Cell<(ivm_forth::programs::Benchmark, &str, MakePredictor)>> = forth_benches()
+        .iter()
+        .take(3)
+        .flat_map(|&b| {
+            families.iter().map(move |&(pname, make)| {
+                Cell::new(format!("ablate/predictors/{}/{pname}", b.name), (b, pname, make))
+            })
+        })
+        .collect();
+    let rows = run_cells(cells, |cell, _| {
+        let (b, pname, make) = cell.input;
+        let image = forth_image(&b);
+        let (plain, _) = ivm_forth::measure_with(
+            &image,
+            Technique::Threaded,
+            engine_with(make(), &cpu),
+            Some(training),
+        )
+        .expect("runs");
+        Row {
+            label: format!("{} / {}", b.name, pname),
+            values: vec![100.0 * plain.counters.misprediction_rate(), plain.cycles],
         }
-    }
+    });
     out.table(
         "§3/§8 predictor families on plain threaded code \
          (2-bit slightly better than BTB; two-level/cascaded much better)",
@@ -152,20 +163,29 @@ fn btb_size_sweep(out: &mut Report, training: &Profile) {
     let b = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
     let sizes: &[usize] =
         if smoke() { &[64, 512, 8192] } else { &[64, 128, 256, 512, 1024, 2048, 4096, 8192] };
-    let mut rows = Vec::new();
-    for tech in [Technique::Threaded, Technique::DynamicRepl] {
-        let mut values = Vec::new();
-        for &entries in sizes {
-            let image = b.image();
-            let pred = Box::new(Btb::new(BtbConfig::new(entries, 4)));
-            let engine =
-                Engine::new(pred, Box::new(Icache::new(IcacheConfig::celeron_l1i())), cpu.costs);
-            let (r, _) =
-                ivm_forth::measure_with(&image, tech, engine, Some(training)).expect("runs");
-            values.push(r.counters.indirect_mispredicted as f64);
-        }
-        rows.push(Row { label: tech.paper_name().to_owned(), values });
-    }
+    let techniques = [Technique::Threaded, Technique::DynamicRepl];
+    let cells: Vec<Cell<(Technique, usize)>> = techniques
+        .iter()
+        .flat_map(|&tech| {
+            sizes.iter().map(move |&entries| {
+                Cell::new(format!("ablate/btb/{tech}/{entries}e"), (tech, entries))
+            })
+        })
+        .collect();
+    let mispreds = run_cells(cells, |cell, _| {
+        let (tech, entries) = cell.input;
+        let image = forth_image(&b);
+        let pred = Box::new(Btb::new(BtbConfig::new(entries, 4)));
+        let engine =
+            Engine::new(pred, Box::new(Icache::new(IcacheConfig::celeron_l1i())), cpu.costs);
+        let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(training)).expect("runs");
+        r.counters.indirect_mispredicted as f64
+    });
+    let rows: Vec<Row> = techniques
+        .iter()
+        .zip(mispreds.chunks(sizes.len()))
+        .map(|(tech, values)| Row { label: tech.paper_name().to_owned(), values: values.to_vec() })
+        .collect();
     let cols: Vec<String> = sizes.iter().map(|s| format!("{s}e")).collect();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     out.table(
@@ -183,9 +203,14 @@ fn tos_caching(out: &mut Report, training: &Profile) {
     // TOS caching and compare the optimization headroom.
     let cpu = CpuSpec::pentium4_northwood();
     let no_tos = ivm_forth::spec_without_tos_caching();
-    let mut rows = Vec::new();
-    for b in forth_benches().iter().take(4) {
-        let image = b.image();
+    let cells: Vec<Cell<ivm_forth::programs::Benchmark>> = forth_benches()
+        .iter()
+        .take(4)
+        .map(|&b| Cell::new(format!("ablate/tos/{}", b.name), b))
+        .collect();
+    let rows = run_cells(cells, |cell, _| {
+        let b = cell.input;
+        let image = forth_image(&b);
         let gain = |spec: &ivm_core::VmSpec| {
             let cycles = |tech| {
                 let translation = ivm_core::translate(
@@ -204,11 +229,8 @@ fn tos_caching(out: &mut Report, training: &Profile) {
             };
             cycles(Technique::Threaded) / cycles(Technique::AcrossBb)
         };
-        rows.push(Row {
-            label: b.name.to_owned(),
-            values: vec![gain(&ivm_forth::ops().spec), gain(&no_tos)],
-        });
-    }
+        Row { label: b.name.to_owned(), values: vec![gain(&ivm_forth::ops().spec), gain(&no_tos)] }
+    });
     out.table(
         "§7.2.2 TOS caching: across-bb speedup with and without top-of-stack \
          register caching (less caching = more work per dispatch = smaller gain)",

@@ -8,7 +8,10 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure10_13 -- [bench-gc|brew|mpeg|compress|<any suite name>]`
 //! (default: all four of the paper's figures)
 
-use ivm_bench::{forth_training, java_benches, java_trainings, smoke, Report, Row};
+use ivm_bench::{
+    forth_image, forth_training, java_benches, java_image, java_trainings, run_cells, smoke, Cell,
+    Report, Row,
+};
 use ivm_cache::CpuSpec;
 use ivm_core::{RunResult, Technique};
 
@@ -63,15 +66,17 @@ fn run_forth(out: &mut Report, figure: &str, name: &str) {
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
     let b = ivm_forth::programs::find(name).expect("known forth benchmark");
-    let results: Vec<(Technique, RunResult)> = Technique::gforth_suite()
-        .into_iter()
-        .map(|t| {
-            let image = b.image();
-            let (r, _) = ivm_forth::measure(&image, t, &cpu, Some(&training))
-                .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
-            (t, r)
-        })
-        .collect();
+    let suite = Technique::gforth_suite();
+    let cells: Vec<Cell<Technique>> =
+        suite.iter().map(|&t| Cell::new(format!("forth/{name}/{t}"), t)).collect();
+    let measured = run_cells(cells, |cell, _| {
+        let t = cell.input;
+        let image = forth_image(&b);
+        ivm_forth::measure(&image, t, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{name}/{t}: {e}"))
+            .0
+    });
+    let results: Vec<(Technique, RunResult)> = suite.into_iter().zip(measured).collect();
     report(out, figure, &format!("{name} (Gforth)"), &results, &cpu.costs);
 }
 
@@ -81,15 +86,17 @@ fn run_java(out: &mut Report, figure: &str, name: &str) {
     let idx = benches.iter().position(|b| b.name == name).expect("known java benchmark");
     let training = &java_trainings()[idx];
     let b = benches[idx];
-    let results: Vec<(Technique, RunResult)> = Technique::jvm_suite()
-        .into_iter()
-        .map(|t| {
-            let image = (b.build)();
-            let (r, _) = ivm_java::measure(&image, t, &cpu, Some(training))
-                .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
-            (t, r)
-        })
-        .collect();
+    let suite = Technique::jvm_suite();
+    let cells: Vec<Cell<Technique>> =
+        suite.iter().map(|&t| Cell::new(format!("java/{name}/{t}"), t)).collect();
+    let measured = run_cells(cells, |cell, _| {
+        let t = cell.input;
+        let image = java_image(&b);
+        ivm_java::measure(&image, t, &cpu, Some(training))
+            .unwrap_or_else(|e| panic!("{name}/{t}: {e}"))
+            .0
+    });
+    let results: Vec<(Technique, RunResult)> = suite.into_iter().zip(measured).collect();
     report(out, figure, &format!("{name} (Java)"), &results, &cpu.costs);
 }
 

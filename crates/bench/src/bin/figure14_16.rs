@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure14_16 -- [forth|java]`
 //! (default: both)
 
-use ivm_bench::{forth_training, java_benches, java_trainings, smoke, Report, Row};
+use ivm_bench::{
+    forth_training, java_benches, java_trainings, run_cells, smoke, Cell, Report, Row,
+};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Profile, ReplicaSelection, Technique};
 
@@ -36,17 +38,33 @@ fn split_technique(total: usize, pct_super: usize) -> Technique {
     }
 }
 
-fn sweep(totals: &[usize], mut run: impl FnMut(Technique) -> (f64, u64)) -> (Vec<Row>, Vec<Row>) {
+/// Runs the (budget total × superinstruction percentage) grid through the
+/// executor, one cell per configuration, and regroups the measurements
+/// into one row per total. `prefix` keys the cell ids (e.g.
+/// `forth/bench-gc`).
+fn sweep(
+    prefix: &str,
+    totals: &[usize],
+    run: impl Fn(Technique) -> (f64, u64) + Sync,
+) -> (Vec<Row>, Vec<Row>) {
+    let cells: Vec<Cell<(usize, usize)>> = totals
+        .iter()
+        .flat_map(|&total| {
+            percents()
+                .iter()
+                .map(move |&pct| Cell::new(format!("{prefix}/total{total}/sup{pct}"), (total, pct)))
+        })
+        .collect();
+    let measured = run_cells(cells, |cell, _| {
+        let (total, pct) = cell.input;
+        run(split_technique(total, pct))
+    });
+
     let mut cycle_rows = Vec::new();
     let mut mispred_rows = Vec::new();
-    for &total in totals {
-        let mut cycles = Vec::new();
-        let mut mispreds = Vec::new();
-        for pct in percents() {
-            let (c, m) = run(split_technique(total, *pct));
-            cycles.push(c);
-            mispreds.push(m as f64);
-        }
+    for (&total, chunk) in totals.iter().zip(measured.chunks(percents().len())) {
+        let cycles = chunk.iter().map(|&(c, _)| c).collect();
+        let mispreds = chunk.iter().map(|&(_, m)| m as f64).collect();
         cycle_rows.push(Row { label: format!("total {total}"), values: cycles });
         mispred_rows.push(Row { label: format!("total {total}"), values: mispreds });
     }
@@ -68,7 +86,7 @@ fn forth_sweep(out: &mut Report) {
     // sweep measures the same run under many layouts.
     let image = bench.image();
     let (trace, _) = ivm_forth::record(&image).expect("recording run");
-    let (cycles, _) = sweep(totals, |tech| {
+    let (cycles, _) = sweep(&format!("forth/{}", bench.name), totals, |tech| {
         let r = ivm_forth::measure_trace(&image, &trace, tech, &cpu, Some(&training));
         (r.cycles, r.counters.indirect_mispredicted)
     });
@@ -91,7 +109,7 @@ fn java_sweep(out: &mut Report) {
     let totals: &[usize] = if smoke() { &[0, 200] } else { &[0, 50, 100, 200, 300, 400] };
     let image = (bench.build)();
     let (trace, _) = ivm_java::record(&image).expect("recording run");
-    let (cycles, mispreds) = sweep(totals, |tech| {
+    let (cycles, mispreds) = sweep(&format!("java/{}", bench.name), totals, |tech| {
         let r = ivm_java::measure_trace(&image, &trace, tech, &cpu, Some(&training));
         (r.cycles, r.counters.indirect_mispredicted)
     });

@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin figure7`
 
-use ivm_bench::{forth_names, forth_suite, forth_training, speedup_rows, Report, Row};
+use ivm_bench::{forth_grid, forth_names, forth_training, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
@@ -10,15 +10,13 @@ fn main() {
     let mut report = Report::new("figure7");
     let cpu = CpuSpec::celeron800();
     let training = forth_training();
-    let baselines = forth_suite(&cpu, Technique::Threaded, &training);
-
-    let per_technique: Vec<_> = Technique::gforth_suite()
-        .into_iter()
-        .map(|t| {
-            let results = forth_suite(&cpu, t, &training);
-            (t, results)
-        })
-        .collect();
+    let per_technique = forth_grid(&cpu, &Technique::gforth_suite(), &training);
+    let baselines = per_technique
+        .iter()
+        .find(|(t, _)| *t == Technique::Threaded)
+        .expect("suite includes threaded")
+        .1
+        .clone();
 
     let mut rows = vec![Row { label: "plain".to_owned(), values: vec![1.0; baselines.len()] }];
     rows.extend(

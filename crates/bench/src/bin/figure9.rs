@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin figure9`
 
-use ivm_bench::{java_names, java_suite, java_trainings, speedup_rows, Report, Row};
+use ivm_bench::{java_grid, java_names, java_trainings, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
@@ -10,15 +10,13 @@ fn main() {
     let mut report = Report::new("figure9");
     let cpu = CpuSpec::pentium4_northwood();
     let trainings = java_trainings();
-    let baselines = java_suite(&cpu, Technique::Threaded, &trainings);
-
-    let per_technique: Vec<_> = Technique::jvm_suite()
-        .into_iter()
-        .map(|t| {
-            let results = java_suite(&cpu, t, &trainings);
-            (t, results)
-        })
-        .collect();
+    let per_technique = java_grid(&cpu, &Technique::jvm_suite(), &trainings);
+    let baselines = per_technique
+        .iter()
+        .find(|(t, _)| *t == Technique::Threaded)
+        .expect("suite includes threaded")
+        .1
+        .clone();
 
     let mut rows = vec![Row { label: "plain".to_owned(), values: vec![1.0; baselines.len()] }];
     rows.extend(

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin related_work`
 
-use ivm_bench::{forth_names, forth_suite, forth_training, speedup_rows, Report, Row};
+use ivm_bench::{forth_grid, forth_names, forth_training, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
@@ -16,21 +16,17 @@ fn main() {
     let mut report = Report::new("related_work");
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
-    let baselines = forth_suite(&cpu, Technique::Threaded, &training);
 
     let techniques = [
+        Technique::Threaded,
         Technique::Switch,
         Technique::SubroutineThreading,
         Technique::DynamicRepl,
         Technique::AcrossBb,
     ];
-    let per_technique: Vec<_> = techniques
-        .into_iter()
-        .map(|t| {
-            let results = forth_suite(&cpu, t, &training);
-            (t, results)
-        })
-        .collect();
+    let mut grid = forth_grid(&cpu, &techniques, &training);
+    let baselines = grid.remove(0).1;
+    let per_technique = grid;
 
     let mut rows = vec![Row { label: "plain".to_owned(), values: vec![1.0; baselines.len()] }];
     rows.extend(speedup_rows(&baselines, &per_technique));

@@ -22,7 +22,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin scaling`
 
-use ivm_bench::{smoke, Report, Row};
+use ivm_bench::{run_cells, smoke, Cell, Report, Row};
 use ivm_bpred::{Btb, BtbConfig};
 use ivm_cache::{CpuSpec, PerfectIcache};
 use ivm_core::{Engine, ReplicaSelection, Technique};
@@ -70,8 +70,12 @@ fn static_repl() -> Technique {
 
 fn prediction_only(out: &mut Report) {
     let cpu = CpuSpec::pentium4_northwood();
-    let mut rows = Vec::new();
-    for &words in sizes() {
+    let cells: Vec<Cell<usize>> =
+        sizes().iter().map(|&w| Cell::new(format!("scaling/prediction/{w}words"), w)).collect();
+    // Each cell synthesizes, compiles and measures one program size — the
+    // whole row, since the techniques share the compiled image and profile.
+    let rows = run_cells(cells, |cell, _| {
+        let words = cell.input;
         let src = synthesize(words, 12);
         let image = ivm_forth::compile(&src).expect("synthetic program compiles");
         let profile = ivm_forth::profile(&image).expect("profiles");
@@ -86,8 +90,8 @@ fn prediction_only(out: &mut Report) {
                 .unwrap_or_else(|e| panic!("{tech}: {e}"));
             values.push(100.0 * r.counters.misprediction_rate());
         }
-        rows.push(Row { label: format!("{words} words"), values });
-    }
+        Row { label: format!("{words} words"), values }
+    });
     out.table(
         "Prediction-only regime: misprediction rate (%) vs program size \
          (4096-entry BTB, perfect I-cache)",
@@ -99,8 +103,10 @@ fn prediction_only(out: &mut Report) {
 
 fn celeron_regime(out: &mut Report) {
     let cpu = CpuSpec::celeron800();
-    let mut rows = Vec::new();
-    for &words in sizes() {
+    let cells: Vec<Cell<usize>> =
+        sizes().iter().map(|&w| Cell::new(format!("scaling/celeron/{w}words"), w)).collect();
+    let rows = run_cells(cells, |cell, _| {
+        let words = cell.input;
         let src = synthesize(words, 12);
         let image = ivm_forth::compile(&src).expect("synthetic program compiles");
         let profile = ivm_forth::profile(&image).expect("profiles");
@@ -111,8 +117,8 @@ fn celeron_regime(out: &mut Report) {
             let (r, _) = ivm_forth::measure(&image, tech, &cpu, Some(&profile)).expect("runs");
             values.push(plain.cycles / r.cycles);
         }
-        rows.push(Row { label: format!("{words} words"), values });
-    }
+        Row { label: format!("{words} words"), values }
+    });
     out.table(
         "Celeron regime: speedup over plain vs program size (16 KB I-cache) — \
          code growth eventually hurts, sharing (dynamic super) survives",

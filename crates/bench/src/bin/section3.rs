@@ -16,7 +16,10 @@
 //! down per opcode, per instance and per Celeron BTB set, plus a JSONL
 //! trace of the last dispatches per technique.
 
-use ivm_bench::{forth_benches, forth_training, java_benches, java_trainings, Report, Row};
+use ivm_bench::{
+    forth_benches, forth_grid, forth_training, java_benches, java_suite, java_trainings, run_cells,
+    Cell, Report, Row,
+};
 use ivm_bpred::BtbConfig;
 use ivm_cache::CpuSpec;
 use ivm_core::{Engine, Measurement, Profile, Runner, SuperSelection, Technique};
@@ -33,7 +36,7 @@ fn attribution_for(
 ) -> Json {
     let sink =
         DispatchAttribution::new().with_btb_sets(BtbConfig::celeron()).with_ring(256).shared();
-    let image = bench.image();
+    let image = ivm_bench::forth_image(bench);
     let translation = ivm_core::translate(
         &ivm_forth::ops().spec,
         &image.program,
@@ -63,15 +66,10 @@ fn main() {
     let cpu = CpuSpec::pentium4_northwood();
     let training = forth_training();
 
+    let grid = forth_grid(&cpu, &[Technique::Switch, Technique::Threaded], &training);
     let mut rows = Vec::new();
     let mut ratio_rows = Vec::new();
-    for b in forth_benches() {
-        let image = b.image();
-        let (switch, _) = ivm_forth::measure(&image, Technique::Switch, &cpu, Some(&training))
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let image = b.image();
-        let (plain, _) = ivm_forth::measure(&image, Technique::Threaded, &cpu, Some(&training))
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    for ((b, switch), plain) in forth_benches().iter().zip(&grid[0].1).zip(&grid[1].1) {
         rows.push(Row {
             label: b.name.to_owned(),
             values: vec![
@@ -98,19 +96,18 @@ fn main() {
     );
 
     let trainings = java_trainings();
-    let mut jrows = Vec::new();
-    for (b, t) in java_benches().iter().zip(&trainings) {
-        let image = (b.build)();
-        let (plain, _) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(t))
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        jrows.push(Row {
+    let jresults = java_suite(&cpu, Technique::Threaded, &trainings);
+    let jrows: Vec<Row> = java_benches()
+        .iter()
+        .zip(&jresults)
+        .map(|(b, plain)| Row {
             label: b.name.to_owned(),
             values: vec![
                 100.0 * plain.counters.misprediction_rate(),
                 100.0 * plain.counters.indirect_branch_ratio(),
             ],
-        });
-    }
+        })
+        .collect();
     report.table(
         "Java plain interpreter (paper: ~6.1% of instructions are indirect branches)",
         &["mispred%", "ind.br.%"],
@@ -124,8 +121,12 @@ fn main() {
     if report.enabled() {
         let b = forth_benches()[0];
         let techniques = [Technique::Switch, Technique::Threaded, Technique::DynamicRepl];
+        let cells: Vec<Cell<Technique>> = techniques
+            .into_iter()
+            .map(|t| Cell::new(format!("section3/attrib/{}/{t}", b.name), t))
+            .collect();
         let breakdowns: Vec<Json> =
-            techniques.into_iter().map(|t| attribution_for(&b, t, &cpu, &training)).collect();
+            run_cells(cells, |cell, _| attribution_for(&b, cell.input, &cpu, &training));
         report.section(
             "attribution",
             Json::obj().with("benchmark", b.name).with("techniques", Json::Arr(breakdowns)),

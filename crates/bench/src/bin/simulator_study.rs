@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin simulator_study -- [benchmark]`
 
-use ivm_bench::{forth_training, smoke, Report, Row};
+use ivm_bench::{forth_image, forth_training, run_cells, smoke, Cell, Report, Row};
 use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
 use ivm_cache::{CycleCosts, Icache, IcacheConfig, PerfectIcache};
 use ivm_core::{Engine, Technique};
@@ -44,19 +44,29 @@ fn main() {
         })
         .collect();
 
-    let mut rows = Vec::new();
-    for (label, cfg) in &geometries {
-        let mut values = Vec::new();
-        for tech in techniques() {
-            let image = bench.image();
-            let engine =
-                Engine::new(Box::new(Btb::new(*cfg)), Box::new(PerfectIcache::default()), costs);
-            let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
-                .unwrap_or_else(|e| panic!("{tech}: {e}"));
-            values.push(100.0 * r.counters.misprediction_rate());
-        }
-        rows.push(Row { label: label.clone(), values });
-    }
+    let cells: Vec<Cell<(BtbConfig, Technique)>> = geometries
+        .iter()
+        .flat_map(|(label, cfg)| {
+            let slug = label.replace(' ', "-");
+            techniques()
+                .into_iter()
+                .map(move |t| Cell::new(format!("simstudy/btb/{slug}/{t}"), (*cfg, t)))
+        })
+        .collect();
+    let rates = run_cells(cells, |cell, _| {
+        let (cfg, tech) = cell.input;
+        let image = forth_image(&bench);
+        let engine =
+            Engine::new(Box::new(Btb::new(cfg)), Box::new(PerfectIcache::default()), costs);
+        let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
+            .unwrap_or_else(|e| panic!("{tech}: {e}"));
+        100.0 * r.counters.misprediction_rate()
+    });
+    let rows: Vec<Row> = geometries
+        .iter()
+        .zip(rates.chunks(techniques().len()))
+        .map(|((label, _), values)| Row { label: label.clone(), values: values.to_vec() })
+        .collect();
     let cols: Vec<&str> = techniques()
         .iter()
         .map(|t| t.paper_name())
@@ -73,28 +83,33 @@ fn main() {
     );
 
     // Part 2: I-cache capacity sweep with an ideal predictor.
-    let mut rows = Vec::new();
     let kbs: &[usize] = if smoke() { &[4, 64] } else { &[4, 8, 16, 32, 64] };
-    for &kb in kbs {
-        let mut values = Vec::new();
-        for tech in techniques() {
-            let image = bench.image();
-            let pred: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
-            let engine = Engine::new(
-                pred,
-                Box::new(Icache::new(IcacheConfig {
-                    capacity: kb * 1024,
-                    line_size: 32,
-                    assoc: 4,
-                })),
-                costs,
-            );
-            let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
-                .unwrap_or_else(|e| panic!("{tech}: {e}"));
-            values.push(r.counters.icache_misses as f64);
-        }
-        rows.push(Row { label: format!("{kb} KB I-cache"), values });
-    }
+    let cells: Vec<Cell<(usize, Technique)>> = kbs
+        .iter()
+        .flat_map(|&kb| {
+            techniques()
+                .into_iter()
+                .map(move |t| Cell::new(format!("simstudy/icache/{kb}kb/{t}"), (kb, t)))
+        })
+        .collect();
+    let misses = run_cells(cells, |cell, _| {
+        let (kb, tech) = cell.input;
+        let image = forth_image(&bench);
+        let pred: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
+        let engine = Engine::new(
+            pred,
+            Box::new(Icache::new(IcacheConfig { capacity: kb * 1024, line_size: 32, assoc: 4 })),
+            costs,
+        );
+        let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
+            .unwrap_or_else(|e| panic!("{tech}: {e}"));
+        r.counters.icache_misses as f64
+    });
+    let rows: Vec<Row> = kbs
+        .iter()
+        .zip(misses.chunks(techniques().len()))
+        .map(|(&kb, values)| Row { label: format!("{kb} KB I-cache"), values: values.to_vec() })
+        .collect();
     report.table(
         &format!("I-cache misses of {name} across cache sizes (ideal BTB)"),
         &cols,

@@ -8,7 +8,8 @@
 //! Run with: `cargo run --release -p ivm-bench --bin superlen`
 
 use ivm_bench::{
-    forth_benches, forth_names, forth_training, java_benches, java_trainings, Report, Row,
+    forth_benches, forth_image, forth_names, forth_training, java_benches, java_image,
+    java_trainings, run_cells, Cell, Report, Row,
 };
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
@@ -24,17 +25,25 @@ fn main() {
         Technique::AcrossBb,
     ];
 
-    let mut rows = Vec::new();
-    for tech in techniques {
-        let mut values = Vec::new();
-        for b in forth_benches() {
-            let image = b.image();
-            let (r, out) = ivm_forth::measure(&image, tech, &cpu, Some(&training))
-                .unwrap_or_else(|e| panic!("{tech}: {e}"));
-            values.push(out.steps as f64 / r.counters.dispatches as f64);
-        }
-        rows.push(Row { label: tech.paper_name().to_owned(), values });
-    }
+    let benches = forth_benches();
+    let cells: Vec<Cell<(Technique, ivm_forth::programs::Benchmark)>> = techniques
+        .iter()
+        .flat_map(|&t| {
+            benches.iter().map(move |&b| Cell::new(format!("forth/{}/{t}", b.name), (t, b)))
+        })
+        .collect();
+    let ratios = run_cells(cells, |cell, _| {
+        let (tech, b) = cell.input;
+        let image = forth_image(&b);
+        let (r, out) = ivm_forth::measure(&image, tech, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{tech}: {e}"));
+        out.steps as f64 / r.counters.dispatches as f64
+    });
+    let rows: Vec<Row> = techniques
+        .iter()
+        .zip(ratios.chunks(benches.len()))
+        .map(|(tech, values)| Row { label: tech.paper_name().to_owned(), values: values.to_vec() })
+        .collect();
     report.table(
         "Average executed components per dispatch, Forth suite \
          (paper §7.3: static ≈1.5, dynamic ≈3, across-bb barely longer)",
@@ -44,17 +53,28 @@ fn main() {
     );
 
     let trainings = java_trainings();
-    let mut rows = Vec::new();
-    for tech in techniques {
-        let mut values = Vec::new();
-        for (b, t) in java_benches().iter().zip(&trainings) {
-            let image = (b.build)();
-            let (r, out) = ivm_java::measure(&image, tech, &cpu, Some(t))
-                .unwrap_or_else(|e| panic!("{tech}: {e}"));
-            values.push(out.steps as f64 / r.counters.dispatches as f64);
-        }
-        rows.push(Row { label: tech.paper_name().to_owned(), values });
-    }
+    let jbenches = java_benches();
+    let cells: Vec<Cell<(Technique, ivm_java::programs::Benchmark, usize)>> = techniques
+        .iter()
+        .flat_map(|&t| {
+            jbenches
+                .iter()
+                .enumerate()
+                .map(move |(i, &b)| Cell::new(format!("java/{}/{t}", b.name), (t, b, i)))
+        })
+        .collect();
+    let ratios = run_cells(cells, |cell, _| {
+        let (tech, b, i) = cell.input;
+        let image = java_image(&b);
+        let (r, out) = ivm_java::measure(&image, tech, &cpu, Some(&trainings[i]))
+            .unwrap_or_else(|e| panic!("{tech}: {e}"));
+        out.steps as f64 / r.counters.dispatches as f64
+    });
+    let rows: Vec<Row> = techniques
+        .iter()
+        .zip(ratios.chunks(jbenches.len()))
+        .map(|(tech, values)| Row { label: tech.paper_name().to_owned(), values: values.to_vec() })
+        .collect();
     let names = ivm_bench::java_names();
     report.table(
         "Average executed components per dispatch, Java suite \

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin table8`
 
-use ivm_bench::{java_benches, java_trainings, Report, Row};
+use ivm_bench::{java_benches, java_grid, java_trainings, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
@@ -21,15 +21,13 @@ fn main() {
         Technique::WithStaticSuperAcross { supers: 400, algo: CoverAlgorithm::Greedy },
     ];
 
+    let grid = java_grid(&cpu, &techniques, &trainings);
     let mut rows = Vec::new();
-    for (b, training) in java_benches().iter().zip(&trainings) {
-        let mut values = Vec::new();
-        for tech in techniques {
-            let image = (b.build)();
-            let (r, _) = ivm_java::measure(&image, tech, &cpu, Some(training))
-                .unwrap_or_else(|e| panic!("{}/{tech}: {e}", b.name));
-            values.push(r.counters.code_bytes as f64 / 1024.0);
-        }
+    for (i, b) in java_benches().iter().enumerate() {
+        let mut values: Vec<f64> = grid
+            .iter()
+            .map(|(_, results)| results[i].counters.code_bytes as f64 / 1024.0)
+            .collect();
         // Modelled JIT footprint: hot methods only, ~1/3 of the full
         // replicated footprint (Hotspot "only invokes the JIT on commonly
         // used methods", paper §7.4).

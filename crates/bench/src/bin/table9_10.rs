@@ -14,7 +14,10 @@
 //! Run with: `cargo run --release -p ivm-bench --bin table9_10`
 
 use ivm_bench::native_model::NativeCompiler;
-use ivm_bench::{forth_training, java_benches, java_trainings, Report, Row};
+use ivm_bench::{
+    forth_image, forth_training, java_benches, java_grid, java_trainings, run_cells, Cell, Report,
+    Row,
+};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
@@ -23,18 +26,29 @@ fn table9(out: &mut Report) {
     let training = forth_training();
     let compilers = [NativeCompiler::big_forth(), NativeCompiler::i_forth()];
 
+    let names = ["tscp", "brainless", "brew"];
+    let techniques = [Technique::Threaded, Technique::AcrossBb];
+    let cells: Vec<Cell<(ivm_forth::programs::Benchmark, Technique)>> = names
+        .iter()
+        .flat_map(|&name| {
+            let b = ivm_forth::programs::find(name).expect("known benchmark");
+            techniques.iter().map(move |&t| Cell::new(format!("forth/{name}/{t}"), (b, t)))
+        })
+        .collect();
+    let results = run_cells(cells, |cell, _| {
+        let (b, tech) = cell.input;
+        let image = forth_image(&b);
+        ivm_forth::measure(&image, tech, &cpu, Some(&training))
+            .unwrap_or_else(|e| panic!("{}/{tech}: {e}", b.name))
+            .0
+    });
+
     let mut rows = Vec::new();
-    for name in ["tscp", "brainless", "brew"] {
-        let b = ivm_forth::programs::find(name).expect("known benchmark");
-        let image = b.image();
-        let (plain, _) = ivm_forth::measure(&image, Technique::Threaded, &cpu, Some(&training))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let image = b.image();
-        let (across, _) = ivm_forth::measure(&image, Technique::AcrossBb, &cpu, Some(&training))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let mut values = vec![across.speedup_over(&plain)];
-        values.extend(compilers.iter().map(|c| c.speedup_over(&plain, &cpu.costs)));
-        rows.push(Row { label: name.to_owned(), values });
+    for (name, pair) in names.iter().zip(results.chunks(techniques.len())) {
+        let (plain, across) = (&pair[0], &pair[1]);
+        let mut values = vec![across.speedup_over(plain)];
+        values.extend(compilers.iter().map(|c| c.speedup_over(plain, &cpu.costs)));
+        rows.push(Row { label: (*name).to_owned(), values });
     }
     out.table(
         &format!("Table IX: Gforth speedups over plain on {} (native columns modelled)", cpu.name),
@@ -54,17 +68,13 @@ fn table10(out: &mut Report) {
     ];
     let best = Technique::WithStaticSuperAcross { supers: 400, algo: CoverAlgorithm::Greedy };
 
+    let grid = java_grid(&cpu, &[Technique::Threaded, best], &trainings);
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; 1 + compilers.len()];
-    for (b, training) in java_benches().iter().zip(&trainings) {
-        let image = (b.build)();
-        let (plain, _) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(training))
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let image = (b.build)();
-        let (opt, _) = ivm_java::measure(&image, best, &cpu, Some(training))
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let mut values = vec![opt.speedup_over(&plain)];
-        values.extend(compilers.iter().map(|c| c.speedup_over(&plain, &cpu.costs)));
+    for (i, b) in java_benches().iter().enumerate() {
+        let (plain, opt) = (&grid[0].1[i], &grid[1].1[i]);
+        let mut values = vec![opt.speedup_over(plain)];
+        values.extend(compilers.iter().map(|c| c.speedup_over(plain, &cpu.costs)));
         for (s, v) in sums.iter_mut().zip(&values) {
             *s += v;
         }

@@ -1,9 +1,21 @@
 //! Shared harness for regenerating the paper's tables and figures.
 //!
 //! Each binary in `src/bin/` reproduces one table or figure; this library
-//! holds the common plumbing: suite runners with cross-validated training
-//! (paper §7.1), the native-code cost model used for the Table IX/X
-//! substitution, and text-table formatting.
+//! holds the common plumbing: the parallel experiment executor front-end
+//! ([`run_cells`]), suite runners with cross-validated training (paper
+//! §7.1), once-per-program image caches, the native-code cost model used
+//! for the Table IX/X substitution, and text-table formatting.
+//!
+//! # Parallel execution
+//!
+//! Every suite/grid helper routes its independent experiment cells
+//! through [`run_cells`], which shards them across `IVM_JOBS` worker
+//! threads (default: available parallelism; `IVM_JOBS=1` is fully
+//! serial). Results are merged in canonical cell order and each cell's
+//! RNG stream is keyed to its stable id, so stdout and the JSON reports
+//! are byte-identical at any job count. Executor wall-time metadata is
+//! accumulated process-wide and attached to the report manifest by
+//! [`Report::finish`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,10 +23,14 @@
 pub mod native_model;
 pub mod report;
 
+pub use ivm_harness::par::{Cell, CellCtx};
 pub use report::{json_enabled, Report};
 
+use std::sync::{Arc, Mutex, OnceLock};
+
 use ivm_cache::CpuSpec;
-use ivm_core::{Profile, RunResult, Technique};
+use ivm_core::{Memo, Profile, RunResult, Technique};
+use ivm_obs::{CellWall, ExecutorMeta};
 
 /// A labelled results row.
 #[derive(Debug, Clone)]
@@ -55,6 +71,90 @@ pub fn smoke() -> bool {
     std::env::var("IVM_SMOKE").is_ok_and(|v| v != "0")
 }
 
+// ---------------------------------------------------------------------------
+// Parallel experiment executor front-end
+// ---------------------------------------------------------------------------
+
+/// Process-wide executor metadata, merged into the report manifest.
+static EXEC_META: Mutex<Option<ExecutorMeta>> = Mutex::new(None);
+
+/// Runs the experiment cells through the parallel executor and returns
+/// the results in canonical cell order.
+///
+/// This is the single entry point every report binary's grid goes
+/// through: it shards cells across `IVM_JOBS` workers (deterministically
+/// — see [`ivm_harness::par`]) and accumulates wall-time statistics for
+/// the report manifest's `executor` section.
+///
+/// Cells must not print; compute in the cell and print after the merge.
+///
+/// # Panics
+///
+/// Panics (naming the cell id) if any cell panicked — a report must not
+/// print partial tables.
+pub fn run_cells<T, R>(
+    cells: Vec<Cell<T>>,
+    f: impl Fn(&Cell<T>, &mut CellCtx) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    match ivm_harness::par::run_cells(&cells, f) {
+        Ok((results, stats)) => {
+            let walls = stats
+                .cells
+                .iter()
+                .map(|c| CellWall { id: c.id.clone(), wall_us: c.wall.as_micros() as u64 })
+                .collect();
+            EXEC_META
+                .lock()
+                .expect("executor metadata lock")
+                .get_or_insert_with(ExecutorMeta::default)
+                .absorb(stats.jobs, stats.wall.as_micros() as u64, walls);
+            results
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The executor metadata accumulated by [`run_cells`] so far, if any
+/// cells ran. Attached to report manifests by [`Report::finish`].
+pub fn executor_meta() -> Option<ExecutorMeta> {
+    EXEC_META.lock().expect("executor metadata lock").clone()
+}
+
+// ---------------------------------------------------------------------------
+// Once-per-program image caches
+// ---------------------------------------------------------------------------
+
+/// The compiled image of a bundled Forth benchmark, built once per
+/// process: parallel grid cells for the same program share one image
+/// instead of re-translating it per (technique × predictor × cache) cell.
+pub fn forth_image(b: &ivm_forth::programs::Benchmark) -> Arc<ivm_forth::Image> {
+    static CACHE: OnceLock<Memo<&'static str, ivm_forth::Image>> = OnceLock::new();
+    CACHE.get_or_init(Memo::new).get_or_build(b.name, || b.image())
+}
+
+/// The linked image of a bundled Java benchmark, built once per process.
+pub fn java_image(b: &ivm_java::programs::Benchmark) -> Arc<ivm_java::JavaImage> {
+    static CACHE: OnceLock<Memo<&'static str, ivm_java::JavaImage>> = OnceLock::new();
+    CACHE.get_or_init(Memo::new).get_or_build(b.name, || (b.build)())
+}
+
+/// The training profile of a bundled Java benchmark, collected once per
+/// process (repeated `java_trainings` calls re-merge cached profiles).
+fn java_profile(b: &ivm_java::programs::Benchmark) -> Arc<Profile> {
+    static CACHE: OnceLock<Memo<&'static str, Profile>> = OnceLock::new();
+    CACHE
+        .get_or_init(Memo::new)
+        .get_or_build(b.name, || ivm_java::profile(&java_image(b)).expect("training run"))
+}
+
+// ---------------------------------------------------------------------------
+// Suite runners
+// ---------------------------------------------------------------------------
+
 /// The Forth benchmarks the harnesses iterate: the full paper suite, or
 /// just the micro workload under [`smoke`].
 pub fn forth_benches() -> Vec<ivm_forth::programs::Benchmark> {
@@ -86,7 +186,8 @@ pub fn java_names() -> Vec<&'static str> {
     java_benches().iter().map(|b| b.name).collect()
 }
 
-/// Runs every Forth benchmark under `technique` on `cpu`.
+/// Runs every Forth benchmark under `technique` on `cpu`, one executor
+/// cell per benchmark.
 ///
 /// Training uses the brainless profile, the paper's §7.1 choice for Gforth.
 ///
@@ -94,14 +195,40 @@ pub fn java_names() -> Vec<&'static str> {
 ///
 /// Panics if a bundled benchmark fails at runtime (a bug in this crate).
 pub fn forth_suite(cpu: &CpuSpec, technique: Technique, training: &Profile) -> Vec<RunResult> {
-    forth_benches()
+    let mut grid = forth_grid(cpu, &[technique], training);
+    grid.pop().expect("one technique").1
+}
+
+/// Runs the full (technique × Forth benchmark) grid on `cpu`, one
+/// executor cell per combination, and regroups the results per technique
+/// in the given order.
+///
+/// # Panics
+///
+/// Panics if a bundled benchmark fails at runtime (a bug in this crate).
+pub fn forth_grid(
+    cpu: &CpuSpec,
+    techniques: &[Technique],
+    training: &Profile,
+) -> Vec<(Technique, Vec<RunResult>)> {
+    let benches = forth_benches();
+    let cells: Vec<Cell<(Technique, ivm_forth::programs::Benchmark)>> = techniques
         .iter()
-        .map(|b| {
-            let image = b.image();
-            ivm_forth::measure(&image, technique, cpu, Some(training))
-                .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
-                .0
+        .flat_map(|&t| {
+            benches.iter().map(move |&b| Cell::new(format!("forth/{}/{t}", b.name), (t, b)))
         })
+        .collect();
+    let results = run_cells(cells, |cell, _| {
+        let (technique, b) = cell.input;
+        let image = forth_image(&b);
+        ivm_forth::measure(&image, technique, cpu, Some(training))
+            .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
+            .0
+    });
+    techniques
+        .iter()
+        .copied()
+        .zip(results.chunks(benches.len()).map(<[RunResult]>::to_vec))
         .collect()
 }
 
@@ -117,16 +244,17 @@ pub fn forth_training() -> Profile {
 
 /// Cross-validated training profiles for the Java suite: benchmark `i`
 /// trains on the profiles of all *other* benchmarks (paper §7.1, the
-/// compress example).
+/// compress example). The per-benchmark profiling runs execute as
+/// parallel cells (and are cached, so only the first call pays them).
 ///
 /// # Panics
 ///
 /// Panics if a training run fails.
 pub fn java_trainings() -> Vec<Profile> {
-    let profiles: Vec<Profile> = java_benches()
-        .iter()
-        .map(|b| ivm_java::profile(&(b.build)()).expect("training run"))
-        .collect();
+    let benches = java_benches();
+    let cells: Vec<Cell<ivm_java::programs::Benchmark>> =
+        benches.iter().map(|&b| Cell::new(format!("java/profile/{}", b.name), b)).collect();
+    let profiles = run_cells(cells, |cell, _| java_profile(&cell.input));
     (0..profiles.len())
         .map(|i| {
             let mut p = Profile::new();
@@ -141,21 +269,50 @@ pub fn java_trainings() -> Vec<Profile> {
 }
 
 /// Runs every Java benchmark under `technique` on `cpu` with the given
-/// per-benchmark training profiles.
+/// per-benchmark training profiles, one executor cell per benchmark.
 ///
 /// # Panics
 ///
 /// Panics if a bundled benchmark fails at runtime.
 pub fn java_suite(cpu: &CpuSpec, technique: Technique, trainings: &[Profile]) -> Vec<RunResult> {
-    java_benches()
+    let mut grid = java_grid(cpu, &[technique], trainings);
+    grid.pop().expect("one technique").1
+}
+
+/// Runs the full (technique × Java benchmark) grid on `cpu`, one
+/// executor cell per combination, and regroups the results per technique
+/// in the given order.
+///
+/// # Panics
+///
+/// Panics if a bundled benchmark fails at runtime.
+pub fn java_grid(
+    cpu: &CpuSpec,
+    techniques: &[Technique],
+    trainings: &[Profile],
+) -> Vec<(Technique, Vec<RunResult>)> {
+    let benches = java_benches();
+    assert_eq!(benches.len(), trainings.len(), "one training profile per benchmark");
+    let cells: Vec<Cell<(Technique, ivm_java::programs::Benchmark, usize)>> = techniques
         .iter()
-        .zip(trainings)
-        .map(|(b, training)| {
-            let image = (b.build)();
-            ivm_java::measure(&image, technique, cpu, Some(training))
-                .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
-                .0
+        .flat_map(|&t| {
+            benches
+                .iter()
+                .enumerate()
+                .map(move |(i, &b)| Cell::new(format!("java/{}/{t}", b.name), (t, b, i)))
         })
+        .collect();
+    let results = run_cells(cells, |cell, _| {
+        let (technique, b, i) = cell.input;
+        let image = java_image(&b);
+        ivm_java::measure(&image, technique, cpu, Some(&trainings[i]))
+            .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
+            .0
+    });
+    techniques
+        .iter()
+        .copied()
+        .zip(results.chunks(benches.len()).map(<[RunResult]>::to_vec))
         .collect()
 }
 
@@ -204,5 +361,47 @@ mod tests {
     fn forth_training_is_nonempty() {
         let p = forth_training();
         assert!(p.total_ops() > 10_000);
+    }
+
+    #[test]
+    fn run_cells_merges_in_order_and_records_stats() {
+        let cells: Vec<Cell<u32>> = (0..6).map(|i| Cell::new(format!("t/{i}"), i)).collect();
+        let out = run_cells(cells, |cell, _| cell.input + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        let meta = executor_meta().expect("stats recorded");
+        assert!(meta.batches >= 1);
+        assert!(meta.cells.iter().any(|c| c.id == "t/0"));
+    }
+
+    #[test]
+    fn image_caches_return_shared_images() {
+        let b = ivm_forth::programs::MICRO;
+        let a1 = forth_image(&b);
+        let a2 = forth_image(&b);
+        assert!(Arc::ptr_eq(&a1, &a2), "second fetch hits the cache");
+        assert_eq!(a1.program.len(), a2.program.len());
+    }
+
+    #[test]
+    fn grid_groups_match_suite_runs() {
+        // The grid must regroup exactly as per-technique suite calls do.
+        let cpu = CpuSpec::celeron800();
+        let training = forth_training();
+        let techniques = [Technique::Switch, Technique::Threaded];
+        let micro = ivm_forth::programs::MICRO;
+        let image = forth_image(&micro);
+        let grid_cells: Vec<Cell<Technique>> =
+            techniques.iter().map(|&t| Cell::new(format!("grid/{t}"), t)).collect();
+        let grid = run_cells(grid_cells, |cell, _| {
+            ivm_forth::measure(&image, cell.input, &cpu, Some(&training)).expect("runs").0
+        });
+        let direct: Vec<RunResult> = techniques
+            .iter()
+            .map(|&t| ivm_forth::measure(&image, t, &cpu, Some(&training)).expect("runs").0)
+            .collect();
+        for (g, d) in grid.iter().zip(&direct) {
+            assert_eq!(g.cycles, d.cycles, "parallel grid reproduces serial measurements");
+            assert_eq!(g.counters.dispatches, d.counters.dispatches);
+        }
     }
 }

@@ -86,9 +86,13 @@ impl Report {
         }
     }
 
-    /// Serialises the full document (manifest first).
+    /// Serialises the full document (manifest first). The manifest carries
+    /// the parallel executor's accumulated wall-time metadata when any
+    /// cells ran through [`crate::run_cells`].
     pub fn to_json(&self) -> Json {
-        let mut doc = Json::obj().with("manifest", RunManifest::capture(&self.name).to_json());
+        let manifest =
+            RunManifest::capture(&self.name).with_executor(crate::executor_meta()).to_json();
+        let mut doc = Json::obj().with("manifest", manifest);
         doc.set("tables", Json::Arr(self.tables.clone()));
         if !self.metrics.is_empty() {
             doc.set("metrics", self.metrics.to_json());

@@ -5,8 +5,8 @@
 //! report harnesses honest between full `results/` regenerations.
 
 use std::process::Command;
-use std::thread;
 
+use ivm_harness::par::{run_cells_with, Cell};
 use ivm_obs::Json;
 
 /// Every bin target of this crate, resolved at compile time so the test
@@ -87,24 +87,29 @@ fn check_json_report(name: &str, json_dir: &std::path::Path) -> Result<(), Strin
     if doc.get("tables").and_then(Json::as_arr).is_none() {
         return Err(format!("{name}: JSON report has no tables array"));
     }
-    Ok(())
+    // Every report binary routes its grid through the parallel executor,
+    // so the manifest must carry executor metadata.
+    let executor = manifest
+        .get("executor")
+        .ok_or_else(|| format!("{name}: manifest has no executor section"))?;
+    match executor.get("jobs").and_then(Json::as_f64) {
+        Some(jobs) if jobs >= 1.0 => Ok(()),
+        other => Err(format!("{name}: executor section has bad job count {other:?}")),
+    }
 }
 
 #[test]
 fn every_binary_runs_under_smoke_workload() {
-    // All binaries run concurrently: the wall time is the slowest one,
-    // not the sum.
-    let handles: Vec<_> = BINS
-        .iter()
-        .map(|&(name, path)| (name, thread::spawn(move || run_smoke(name, path))))
-        .collect();
-    let failures: Vec<String> = handles
-        .into_iter()
-        .filter_map(|(name, h)| match h.join() {
-            Ok(Ok(())) => None,
-            Ok(Err(msg)) => Some(msg),
-            Err(_) => Some(format!("{name}: test thread panicked")),
-        })
-        .collect();
+    // All binaries run as one executor cell each, with one worker per
+    // binary regardless of IVM_JOBS: the work here is subprocesses, so the
+    // wall time is the slowest binary, not the sum.
+    let cells: Vec<Cell<&str>> =
+        BINS.iter().map(|&(name, path)| Cell::new(format!("smoke/{name}"), path)).collect();
+    let (results, _) = run_cells_with(BINS.len(), 0, &cells, |cell, ctx| {
+        let name = ctx.id().rsplit('/').next().expect("id has a name segment").to_owned();
+        run_smoke(&name, cell.input)
+    })
+    .expect("no smoke cell panics");
+    let failures: Vec<String> = results.into_iter().filter_map(Result::err).collect();
     assert!(failures.is_empty(), "binaries failed under IVM_SMOKE=1:\n{}", failures.join("\n"));
 }

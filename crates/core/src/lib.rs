@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod engine;
 mod events;
 mod layout;
@@ -67,6 +68,7 @@ mod technique;
 mod trace;
 mod translate;
 
+pub use cache::Memo;
 pub use engine::{DispatchObserver, Engine, RunResult, Runner, SharedObserver};
 pub use events::{Measurement, NullEvents, Tee, VmEvents};
 pub use layout::{CodeSpace, Routine, RoutineTable, DYNAMIC_BASE, STATIC_BASE};

@@ -20,15 +20,22 @@
 //! * [`bench`] — a small statistical micro-benchmark runner (warmup,
 //!   N timed samples, median and median-absolute-deviation, human and
 //!   JSON output) for `harness = false` bench targets.
+//! * [`par`] — a deterministic parallel experiment executor: a scoped
+//!   worker pool that shards independent experiment cells across
+//!   `IVM_JOBS` threads, pins each cell's RNG stream to its stable id,
+//!   and merges results in canonical order, so reports are bit-identical
+//!   at any job count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod par;
 pub mod prop;
 pub mod rng;
 
 pub use bench::Bencher;
+pub use par::{run_cells, run_cells_with, Cell, CellCtx, CellError, CellStat, ExecStats};
 pub use prop::{Config, Source};
 pub use rng::Xoshiro256StarStar;
 

@@ -7,7 +7,11 @@ use crate::json::Json;
 ///
 /// Deliberately contains no timestamps or hostnames — two runs with the
 /// same inputs produce byte-identical reports, so diffs show only real
-/// changes.
+/// changes. The two exceptions are the `env` section (which records
+/// machine-local `IVM_*` overrides such as `IVM_JOBS`) and the optional
+/// `executor` section (which records wall-clock timing of the parallel
+/// experiment executor); determinism comparisons exclude both — see
+/// `scripts/check_determinism.py`.
 ///
 /// # Examples
 ///
@@ -31,6 +35,83 @@ pub struct RunManifest {
     pub seed: Option<u64>,
     /// Every `IVM_*` environment variable in effect, sorted by name.
     pub env: Vec<(String, String)>,
+    /// Parallel-executor metadata, when the run used the experiment
+    /// executor. Timing-bearing and therefore not deterministic.
+    pub executor: Option<ExecutorMeta>,
+}
+
+/// Wall time of one executed experiment cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellWall {
+    /// Stable cell id (`<vm>/<benchmark>/<technique>`-style).
+    pub id: String,
+    /// Wall time of the cell, in microseconds.
+    pub wall_us: u64,
+}
+
+/// How the parallel experiment executor ran a report: job count, batch
+/// count, wall time, and per-cell wall times in canonical cell order.
+///
+/// Times are recorded in integer microseconds (keeping the manifest
+/// `Eq`-comparable); the serialised form reports milliseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutorMeta {
+    /// Worker threads per batch (`IVM_JOBS` or available parallelism).
+    pub jobs: usize,
+    /// Number of `run_cells` batches the report issued.
+    pub batches: usize,
+    /// Executor wall time summed over batches, in microseconds.
+    pub wall_us: u64,
+    /// Estimated serial wall time: the sum of all cell wall times.
+    pub serial_us: u64,
+    /// Per-cell wall times, in canonical cell order across batches.
+    pub cells: Vec<CellWall>,
+}
+
+impl ExecutorMeta {
+    /// Estimated speedup over serial execution (`serial_us / wall_us`).
+    #[must_use]
+    pub fn speedup_estimate(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 1.0;
+        }
+        self.serial_us as f64 / self.wall_us as f64
+    }
+
+    /// Folds another batch's statistics into this summary.
+    pub fn absorb(&mut self, jobs: usize, wall_us: u64, cells: Vec<CellWall>) {
+        self.jobs = self.jobs.max(jobs);
+        self.batches += 1;
+        self.wall_us += wall_us;
+        self.serial_us += cells.iter().map(|c| c.wall_us).sum::<u64>();
+        self.cells.extend(cells);
+    }
+
+    /// Serialises the executor section.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| Json::obj().with("id", c.id.as_str()).with("wall_ms", ms(c.wall_us)))
+            .collect();
+        Json::obj()
+            .with("jobs", self.jobs as u64)
+            .with("batches", self.batches as u64)
+            .with("wall_ms", ms(self.wall_us))
+            .with("serial_estimate_ms", ms(self.serial_us))
+            .with("speedup_estimate", round3(self.speedup_estimate()))
+            .with("cells", Json::Arr(cells))
+    }
+}
+
+/// Microseconds to milliseconds, rounded to 3 decimals.
+fn ms(us: u64) -> f64 {
+    round3(us as f64 / 1000.0)
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
 }
 
 impl RunManifest {
@@ -45,7 +126,15 @@ impl RunManifest {
             smoke: smoke_enabled(),
             seed: std::env::var("IVM_SEED").ok().and_then(|v| v.trim().parse().ok()),
             env,
+            executor: None,
         }
+    }
+
+    /// Attaches parallel-executor metadata (builder style).
+    #[must_use]
+    pub fn with_executor(mut self, executor: Option<ExecutorMeta>) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Serialises the manifest.
@@ -59,7 +148,11 @@ impl RunManifest {
             None => j.set("seed", Json::Null),
         };
         let env = self.env.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect();
-        j.with("env", Json::Obj(env))
+        j.set("env", Json::Obj(env));
+        if let Some(executor) = &self.executor {
+            j.set("executor", executor.to_json());
+        }
+        j
     }
 }
 
@@ -82,6 +175,7 @@ mod tests {
             smoke: true,
             seed: Some(42),
             env: vec![("IVM_SMOKE".into(), "1".into())],
+            executor: None,
         };
         let j = parse(&m.to_json().to_json()).unwrap();
         assert_eq!(j.get("report").and_then(Json::as_str), Some("demo"));
@@ -98,8 +192,40 @@ mod tests {
             smoke: false,
             seed: None,
             env: Vec::new(),
+            executor: None,
         };
         assert_eq!(m.to_json().get("seed"), Some(&Json::Null));
+        assert_eq!(m.to_json().get("executor"), None, "no executor section when absent");
+    }
+
+    #[test]
+    fn executor_metadata_serialises_and_aggregates() {
+        let mut meta = ExecutorMeta::default();
+        meta.absorb(
+            4,
+            2_000,
+            vec![
+                CellWall { id: "forth/brew/switch".into(), wall_us: 1_500 },
+                CellWall { id: "forth/brew/threaded".into(), wall_us: 2_500 },
+            ],
+        );
+        meta.absorb(4, 1_000, vec![CellWall { id: "java/db/threaded".into(), wall_us: 3_000 }]);
+        assert_eq!(meta.batches, 2);
+        assert_eq!(meta.wall_us, 3_000);
+        assert_eq!(meta.serial_us, 7_000);
+        assert!((meta.speedup_estimate() - 7.0 / 3.0).abs() < 1e-9);
+
+        let m = RunManifest::capture("demo").with_executor(Some(meta));
+        let j = parse(&m.to_json().to_json()).unwrap();
+        let exec = j.get("executor").expect("executor section present");
+        assert_eq!(exec.get("jobs").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(exec.get("batches").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(exec.get("wall_ms").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(exec.get("serial_estimate_ms").and_then(Json::as_f64), Some(7.0));
+        let cells = exec.get("cells").and_then(Json::as_arr).expect("cells array");
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].get("id").and_then(Json::as_str), Some("forth/brew/switch"));
+        assert_eq!(cells[0].get("wall_ms").and_then(Json::as_f64), Some(1.5));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Regression gate over the committed BENCH_*.json baselines.
+
+Compares freshly measured per-benchmark medians against the committed
+baseline files and fails when any benchmark regressed by more than the
+tolerance band. Stdlib only — runs anywhere CI has a Python 3.
+
+Usage:
+    scripts/bench_gate.py --baseline-dir . --fresh-dir /tmp/fresh \
+        --suites dispatch predictors [--tol 0.25]
+
+The tolerance is a fraction: 0.25 means "fail if the fresh median is more
+than 25% above the baseline median". It can also be set with the
+IVM_BENCH_GATE_TOL environment variable (the --tol flag wins). Benchmarks
+present in the baseline but missing from the fresh run fail the gate;
+benchmarks only present in the fresh run are reported but pass (the
+baseline should be refreshed to include them — see EXPERIMENTS.md).
+
+Exit status: 0 when the gate passes, 1 on any regression or missing
+benchmark, 2 on unreadable/malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_TOL = 0.25
+
+
+def load_suite(path: Path) -> dict[str, dict]:
+    """Loads one BENCH_<suite>.json and indexes its results by benchmark id."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench-gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    results = doc.get("results")
+    if not isinstance(results, list):
+        print(f"bench-gate: {path} has no results array", file=sys.stderr)
+        sys.exit(2)
+    by_id = {}
+    for r in results:
+        if not isinstance(r, dict) or "id" not in r or "median_ns" not in r:
+            print(f"bench-gate: {path} has a malformed result entry: {r!r}", file=sys.stderr)
+            sys.exit(2)
+        by_id[r["id"]] = r
+    return by_id
+
+
+def gate_suite(suite: str, baseline_dir: Path, fresh_dir: Path, tol: float) -> list[str]:
+    """Returns a list of failure descriptions for one suite (empty = pass)."""
+    name = f"BENCH_{suite}.json"
+    base = load_suite(baseline_dir / name)
+    fresh = load_suite(fresh_dir / name)
+    failures = []
+    for bench_id, base_row in sorted(base.items()):
+        fresh_row = fresh.get(bench_id)
+        if fresh_row is None:
+            failures.append(f"{suite}/{bench_id}: missing from the fresh run")
+            continue
+        base_med = float(base_row["median_ns"])
+        fresh_med = float(fresh_row["median_ns"])
+        limit = base_med * (1.0 + tol)
+        status = "ok"
+        if fresh_med > limit:
+            ratio = fresh_med / base_med if base_med > 0 else float("inf")
+            failures.append(
+                f"{suite}/{bench_id}: median {fresh_med:.0f}ns vs baseline "
+                f"{base_med:.0f}ns ({ratio:.2f}x, limit {1.0 + tol:.2f}x)"
+            )
+            status = "REGRESSED"
+        print(f"  {suite}/{bench_id}: {base_med:.0f}ns -> {fresh_med:.0f}ns [{status}]")
+    for bench_id in sorted(set(fresh) - set(base)):
+        print(f"  {suite}/{bench_id}: new benchmark, not in baseline (refresh BENCH_{suite}.json)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=Path, required=True,
+                        help="directory holding the committed BENCH_*.json files")
+    parser.add_argument("--fresh-dir", type=Path, required=True,
+                        help="directory holding the freshly measured BENCH_*.json files")
+    parser.add_argument("--suites", nargs="+", required=True,
+                        help="suite names, e.g. dispatch predictors")
+    parser.add_argument("--tol", type=float, default=None,
+                        help=f"regression tolerance fraction (default {DEFAULT_TOL}, "
+                             "or IVM_BENCH_GATE_TOL)")
+    args = parser.parse_args()
+
+    tol = args.tol
+    if tol is None:
+        try:
+            tol = float(os.environ.get("IVM_BENCH_GATE_TOL", DEFAULT_TOL))
+        except ValueError:
+            print("bench-gate: IVM_BENCH_GATE_TOL is not a number", file=sys.stderr)
+            return 2
+    if tol < 0:
+        print("bench-gate: tolerance must be non-negative", file=sys.stderr)
+        return 2
+
+    print(f"bench-gate: tolerance {tol:.2f} ({tol * 100:.0f}%)")
+    failures = []
+    for suite in args.suites:
+        failures.extend(gate_suite(suite, args.baseline_dir, args.fresh_dir, tol))
+    if failures:
+        print("\nbench-gate: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
