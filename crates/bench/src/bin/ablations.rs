@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin ablations`
 
-use ivm_bench::{forth_benches, forth_image, forth_training, run_cells, smoke, Cell, Report, Row};
+use ivm_bench::{frontend, run_cells, smoke, Cell, Report, Row};
 use ivm_bpred::{
     Btb, BtbConfig, CascadedPredictor, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
     TwoLevelPredictor,
@@ -27,18 +27,20 @@ fn engine_with(pred: Box<dyn IndirectPredictor>, cpu: &CpuSpec) -> Engine {
 
 fn replica_selection(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
+    let forth = frontend("forth");
     // A single stream can get lucky on an individual benchmark, so the
     // random arm is averaged over several seeds.
     const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
-    let cells: Vec<Cell<ivm_forth::programs::Benchmark>> = forth_benches()
+    let cells: Vec<Cell<&'static str>> = forth
+        .benches()
         .iter()
-        .map(|&b| Cell::new(format!("ablate/replica/{}", b.name), b))
+        .map(|b| Cell::new(format!("ablate/replica/{}", b.name), b.name))
         .collect();
     let rows = run_cells(cells, |cell, _| {
-        let b = cell.input;
-        let image = forth_image(&b);
-        let (rr, _) = ivm_forth::measure(
-            &image,
+        let name = cell.input;
+        let image = forth.image(name);
+        let (rr, _) = ivm_core::measure(
+            &*image,
             Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin },
             &cpu,
             Some(training),
@@ -47,8 +49,8 @@ fn replica_selection(out: &mut Report, training: &Profile) {
         let mut rand_mispred = 0.0;
         let mut rand_cycles = 0.0;
         for seed in SEEDS {
-            let (rand, _) = ivm_forth::measure(
-                &image,
+            let (rand, _) = ivm_core::measure(
+                &*image,
                 Technique::StaticRepl { budget: 400, selection: ReplicaSelection::Random { seed } },
                 &cpu,
                 Some(training),
@@ -60,7 +62,7 @@ fn replica_selection(out: &mut Report, training: &Profile) {
         rand_mispred /= SEEDS.len() as f64;
         rand_cycles /= SEEDS.len() as f64;
         Row {
-            label: b.name.to_owned(),
+            label: name.to_owned(),
             values: vec![
                 rr.counters.indirect_mispredicted as f64,
                 rand_mispred,
@@ -79,27 +81,31 @@ fn replica_selection(out: &mut Report, training: &Profile) {
 
 fn cover_algorithms(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
-    let cells: Vec<Cell<ivm_forth::programs::Benchmark>> =
-        forth_benches().iter().map(|&b| Cell::new(format!("ablate/cover/{}", b.name), b)).collect();
+    let forth = frontend("forth");
+    let cells: Vec<Cell<&'static str>> = forth
+        .benches()
+        .iter()
+        .map(|b| Cell::new(format!("ablate/cover/{}", b.name), b.name))
+        .collect();
     let rows = run_cells(cells, |cell, _| {
-        let b = cell.input;
-        let image = forth_image(&b);
-        let (g, _) = ivm_forth::measure(
-            &image,
+        let name = cell.input;
+        let image = forth.image(name);
+        let (g, _) = ivm_core::measure(
+            &*image,
             Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Greedy },
             &cpu,
             Some(training),
         )
         .expect("runs");
-        let (o, _) = ivm_forth::measure(
-            &image,
+        let (o, _) = ivm_core::measure(
+            &*image,
             Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Optimal },
             &cpu,
             Some(training),
         )
         .expect("runs");
         Row {
-            label: b.name.to_owned(),
+            label: name.to_owned(),
             values: vec![
                 g.counters.dispatches as f64,
                 o.counters.dispatches as f64,
@@ -118,6 +124,7 @@ fn cover_algorithms(out: &mut Report, training: &Profile) {
 
 fn predictor_family(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
+    let forth = frontend("forth");
     type MakePredictor = fn() -> Box<dyn IndirectPredictor>;
     let families: [(&str, MakePredictor); 4] = [
         ("btb", || Box::new(Btb::new(BtbConfig::celeron()))),
@@ -125,27 +132,28 @@ fn predictor_family(out: &mut Report, training: &Profile) {
         ("two-level", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
         ("cascaded", || Box::new(CascadedPredictor::with_defaults())),
     ];
-    let cells: Vec<Cell<(ivm_forth::programs::Benchmark, &str, MakePredictor)>> = forth_benches()
+    let cells: Vec<Cell<(&'static str, &str, MakePredictor)>> = forth
+        .benches()
         .iter()
         .take(3)
-        .flat_map(|&b| {
+        .flat_map(|b| {
             families.iter().map(move |&(pname, make)| {
-                Cell::new(format!("ablate/predictors/{}/{pname}", b.name), (b, pname, make))
+                Cell::new(format!("ablate/predictors/{}/{pname}", b.name), (b.name, pname, make))
             })
         })
         .collect();
     let rows = run_cells(cells, |cell, _| {
-        let (b, pname, make) = cell.input;
-        let image = forth_image(&b);
-        let (plain, _) = ivm_forth::measure_with(
-            &image,
+        let (name, pname, make) = cell.input;
+        let image = forth.image(name);
+        let (plain, _) = ivm_core::measure_with(
+            &*image,
             Technique::Threaded,
             engine_with(make(), &cpu),
             Some(training),
         )
         .expect("runs");
         Row {
-            label: format!("{} / {}", b.name, pname),
+            label: format!("{name} / {pname}"),
             values: vec![100.0 * plain.counters.misprediction_rate(), plain.cycles],
         }
     });
@@ -160,7 +168,8 @@ fn predictor_family(out: &mut Report, training: &Profile) {
 
 fn btb_size_sweep(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
-    let b = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
+    let forth = frontend("forth");
+    let name = if smoke() { "micro" } else { "bench-gc" };
     let sizes: &[usize] =
         if smoke() { &[64, 512, 8192] } else { &[64, 128, 256, 512, 1024, 2048, 4096, 8192] };
     let techniques = [Technique::Threaded, Technique::DynamicRepl];
@@ -174,11 +183,11 @@ fn btb_size_sweep(out: &mut Report, training: &Profile) {
         .collect();
     let mispreds = run_cells(cells, |cell, _| {
         let (tech, entries) = cell.input;
-        let image = forth_image(&b);
+        let image = forth.image(name);
         let pred = Box::new(Btb::new(BtbConfig::new(entries, 4)));
         let engine =
             Engine::new(pred, Box::new(Icache::new(IcacheConfig::celeron_l1i())), cpu.costs);
-        let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(training)).expect("runs");
+        let (r, _) = ivm_core::measure_with(&*image, tech, engine, Some(training)).expect("runs");
         r.counters.indirect_mispredicted as f64
     });
     let rows: Vec<Row> = techniques
@@ -202,34 +211,36 @@ fn tos_caching(out: &mut Report, training: &Profile) {
     // the JVM does not. Translate the same programs against a spec without
     // TOS caching and compare the optimization headroom.
     let cpu = CpuSpec::pentium4_northwood();
+    let forth = frontend("forth");
     let no_tos = ivm_forth::spec_without_tos_caching();
-    let cells: Vec<Cell<ivm_forth::programs::Benchmark>> = forth_benches()
+    let cells: Vec<Cell<&'static str>> = forth
+        .benches()
         .iter()
         .take(4)
-        .map(|&b| Cell::new(format!("ablate/tos/{}", b.name), b))
+        .map(|b| Cell::new(format!("ablate/tos/{}", b.name), b.name))
         .collect();
     let rows = run_cells(cells, |cell, _| {
-        let b = cell.input;
-        let image = forth_image(&b);
+        let name = cell.input;
+        let image = forth.image(name);
         let gain = |spec: &ivm_core::VmSpec| {
             let cycles = |tech| {
                 let translation = ivm_core::translate(
                     spec,
-                    &image.program,
+                    image.program(),
                     tech,
                     Some(training),
-                    ivm_core::SuperSelection::gforth(),
+                    image.super_selection(),
                 );
                 let mut m = ivm_core::Measurement::new(
                     translation,
                     ivm_core::Runner::new(Engine::for_cpu(&cpu)),
                 );
-                ivm_forth::run(&image, &mut m, ivm_forth::DEFAULT_FUEL).expect("runs");
+                image.execute(&mut m, image.default_fuel()).expect("runs");
                 m.finish().cycles
             };
             cycles(Technique::Threaded) / cycles(Technique::AcrossBb)
         };
-        Row { label: b.name.to_owned(), values: vec![gain(&ivm_forth::ops().spec), gain(&no_tos)] }
+        Row { label: name.to_owned(), values: vec![gain(image.spec()), gain(&no_tos)] }
     });
     out.table(
         "§7.2.2 TOS caching: across-bb speedup with and without top-of-stack \
@@ -242,7 +253,7 @@ fn tos_caching(out: &mut Report, training: &Profile) {
 
 fn main() {
     let mut report = Report::new("ablations");
-    let training = forth_training();
+    let training = frontend("forth").training();
     replica_selection(&mut report, &training);
     cover_algorithms(&mut report, &training);
     predictor_family(&mut report, &training);

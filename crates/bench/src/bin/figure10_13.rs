@@ -8,10 +8,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure10_13 -- [bench-gc|brew|mpeg|compress|<any suite name>]`
 //! (default: all four of the paper's figures)
 
-use ivm_bench::{
-    forth_image, forth_training, java_benches, java_image, java_trainings, run_cells, smoke, Cell,
-    Report, Row,
-};
+use ivm_bench::{frontends, run_cells, smoke, Cell, Frontend, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{RunResult, Technique};
 
@@ -62,63 +59,38 @@ fn report(
     );
 }
 
-fn run_forth(out: &mut Report, figure: &str, name: &str) {
+fn run_frontend(out: &mut Report, figure: &str, fe: &'static Frontend, name: &'static str) {
     let cpu = CpuSpec::pentium4_northwood();
-    let training = forth_training();
-    let b = ivm_forth::programs::find(name).expect("known forth benchmark");
-    let suite = Technique::gforth_suite();
+    let training = fe.training_for(name);
+    let suite = fe.techniques();
     let cells: Vec<Cell<Technique>> =
-        suite.iter().map(|&t| Cell::new(format!("forth/{name}/{t}"), t)).collect();
+        suite.iter().map(|&t| Cell::new(format!("{}/{name}/{t}", fe.name), t)).collect();
     let measured = run_cells(cells, |cell, _| {
         let t = cell.input;
-        let image = forth_image(&b);
-        ivm_forth::measure(&image, t, &cpu, Some(&training))
+        let image = fe.image(name);
+        ivm_core::measure(&*image, t, &cpu, Some(&training))
             .unwrap_or_else(|e| panic!("{name}/{t}: {e}"))
             .0
     });
     let results: Vec<(Technique, RunResult)> = suite.into_iter().zip(measured).collect();
-    report(out, figure, &format!("{name} (Gforth)"), &results, &cpu.costs);
-}
-
-fn run_java(out: &mut Report, figure: &str, name: &str) {
-    let cpu = CpuSpec::pentium4_northwood();
-    let benches = java_benches();
-    let idx = benches.iter().position(|b| b.name == name).expect("known java benchmark");
-    let training = &java_trainings()[idx];
-    let b = benches[idx];
-    let suite = Technique::jvm_suite();
-    let cells: Vec<Cell<Technique>> =
-        suite.iter().map(|&t| Cell::new(format!("java/{name}/{t}"), t)).collect();
-    let measured = run_cells(cells, |cell, _| {
-        let t = cell.input;
-        let image = java_image(&b);
-        ivm_java::measure(&image, t, &cpu, Some(training))
-            .unwrap_or_else(|e| panic!("{name}/{t}: {e}"))
-            .0
-    });
-    let results: Vec<(Technique, RunResult)> = suite.into_iter().zip(measured).collect();
-    report(out, figure, &format!("{name} (Java)"), &results, &cpu.costs);
+    report(out, figure, &format!("{name} ({})", fe.display), &results, &cpu.costs);
 }
 
 fn run_one(out: &mut Report, name: &str) {
-    if ivm_forth::programs::find(name).is_some() {
-        let figure = match name {
-            "bench-gc" => "Figure 10",
-            "brew" => "Figure 11",
-            _ => "Counter metrics",
-        };
-        run_forth(out, figure, name);
-    } else if ivm_java::programs::find(name).is_some() {
-        let figure = match name {
-            "mpeg" => "Figure 12",
-            "compress" => "Figure 13",
-            _ => "Counter metrics",
-        };
-        run_java(out, figure, name);
-    } else {
+    let Some((fe, bench_name)) =
+        frontends().iter().find_map(|fe| fe.try_find(name).map(|b| (fe, b.name)))
+    else {
         eprintln!("unknown benchmark `{name}`");
         std::process::exit(1);
-    }
+    };
+    let figure = match bench_name {
+        "bench-gc" => "Figure 10",
+        "brew" => "Figure 11",
+        "mpeg" => "Figure 12",
+        "compress" => "Figure 13",
+        _ => "Counter metrics",
+    };
+    run_frontend(out, figure, fe, bench_name);
 }
 
 fn main() {

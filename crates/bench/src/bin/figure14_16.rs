@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin figure14_16 -- [forth|java]`
 //! (default: both)
 
-use ivm_bench::{
-    forth_training, java_benches, java_trainings, run_cells, smoke, Cell, Report, Row,
-};
+use ivm_bench::{frontend, run_cells, smoke, Cell, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Profile, ReplicaSelection, Technique};
 
@@ -77,17 +75,18 @@ fn percent_columns() -> Vec<String> {
 
 fn forth_sweep(out: &mut Report) {
     let cpu = CpuSpec::celeron800();
-    let training = forth_training();
-    let bench = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BENCH_GC };
+    let forth = frontend("forth");
+    let name = if smoke() { "micro" } else { "bench-gc" };
+    let training = forth.training_for(name);
     // The paper sweeps up to 1600 additional instructions (Figure 14).
     let totals: &[usize] =
         if smoke() { &[0, 100, 400] } else { &[0, 25, 50, 100, 200, 400, 800, 1600] };
     // Record the execution once and replay it per configuration — the
     // sweep measures the same run under many layouts.
-    let image = bench.image();
-    let (trace, _) = ivm_forth::record(&image).expect("recording run");
-    let (cycles, _) = sweep(&format!("forth/{}", bench.name), totals, |tech| {
-        let r = ivm_forth::measure_trace(&image, &trace, tech, &cpu, Some(&training));
+    let image = forth.image(name);
+    let (trace, _) = ivm_core::record(&*image).expect("recording run");
+    let (cycles, _) = sweep(&format!("forth/{name}"), totals, |tech| {
+        let r = ivm_core::measure_trace(&*image, &trace, tech, &cpu, Some(&training));
         (r.cycles, r.counters.indirect_mispredicted)
     });
     let cols = percent_columns();
@@ -102,15 +101,13 @@ fn forth_sweep(out: &mut Report) {
 
 fn java_sweep(out: &mut Report) {
     let cpu = CpuSpec::pentium4_northwood();
-    let benches = java_benches();
-    let idx = benches.iter().position(|b| b.name == "mpeg").expect("mpeg exists");
-    let training: Profile = java_trainings().swap_remove(idx);
-    let bench = benches[idx];
+    let java = frontend("java");
+    let training: Profile = java.training_for("mpeg");
     let totals: &[usize] = if smoke() { &[0, 200] } else { &[0, 50, 100, 200, 300, 400] };
-    let image = (bench.build)();
-    let (trace, _) = ivm_java::record(&image).expect("recording run");
-    let (cycles, mispreds) = sweep(&format!("java/{}", bench.name), totals, |tech| {
-        let r = ivm_java::measure_trace(&image, &trace, tech, &cpu, Some(&training));
+    let image = java.image("mpeg");
+    let (trace, _) = ivm_core::record(&*image).expect("recording run");
+    let (cycles, mispreds) = sweep("java/mpeg", totals, |tech| {
+        let r = ivm_core::measure_trace(&*image, &trace, tech, &cpu, Some(&training));
         (r.cycles, r.counters.indirect_mispredicted)
     });
     let cols = percent_columns();

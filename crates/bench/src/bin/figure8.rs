@@ -2,15 +2,16 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin figure8`
 
-use ivm_bench::{forth_grid, forth_names, forth_training, speedup_rows, Report, Row};
+use ivm_bench::{frontend, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
     let mut report = Report::new("figure8");
     let cpu = CpuSpec::pentium4_northwood();
-    let training = forth_training();
-    let per_technique = forth_grid(&cpu, &Technique::gforth_suite(), &training);
+    let forth = frontend("forth");
+    let trainings = forth.trainings();
+    let per_technique = forth.grid(&cpu, &forth.techniques(), &trainings);
     let baselines = per_technique
         .iter()
         .find(|(t, _)| *t == Technique::Threaded)
@@ -27,7 +28,7 @@ fn main() {
             "Figure 8: speedups of Gforth interpreter optimizations on {} (training: brainless)",
             cpu.name
         ),
-        &forth_names(),
+        &forth.names(),
         &rows,
         2,
     );

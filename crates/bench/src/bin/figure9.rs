@@ -2,15 +2,16 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin figure9`
 
-use ivm_bench::{java_grid, java_names, java_trainings, speedup_rows, Report, Row};
+use ivm_bench::{frontend, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
     let mut report = Report::new("figure9");
     let cpu = CpuSpec::pentium4_northwood();
-    let trainings = java_trainings();
-    let per_technique = java_grid(&cpu, &Technique::jvm_suite(), &trainings);
+    let java = frontend("java");
+    let trainings = java.trainings();
+    let per_technique = java.grid(&cpu, &java.techniques(), &trainings);
     let baselines = per_technique
         .iter()
         .find(|(t, _)| *t == Technique::Threaded)
@@ -28,7 +29,7 @@ fn main() {
              (training: cross-validated over the other benchmarks)",
             cpu.name
         ),
-        &java_names(),
+        &java.names(),
         &rows,
         2,
     );

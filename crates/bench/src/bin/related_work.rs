@@ -8,14 +8,15 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin related_work`
 
-use ivm_bench::{forth_grid, forth_names, forth_training, speedup_rows, Report, Row};
+use ivm_bench::{frontend, speedup_rows, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::Technique;
 
 fn main() {
     let mut report = Report::new("related_work");
     let cpu = CpuSpec::pentium4_northwood();
-    let training = forth_training();
+    let forth = frontend("forth");
+    let trainings = forth.trainings();
 
     let techniques = [
         Technique::Threaded,
@@ -24,7 +25,7 @@ fn main() {
         Technique::DynamicRepl,
         Technique::AcrossBb,
     ];
-    let mut grid = forth_grid(&cpu, &techniques, &training);
+    let mut grid = forth.grid(&cpu, &techniques, &trainings);
     let baselines = grid.remove(0).1;
     let per_technique = grid;
 
@@ -32,7 +33,7 @@ fn main() {
     rows.extend(speedup_rows(&baselines, &per_technique));
     report.table(
         &format!("§8 related work: speedups over plain threaded code on {}", cpu.name),
-        &forth_names(),
+        &forth.names(),
         &rows,
         2,
     );
@@ -41,7 +42,8 @@ fn main() {
     // flow remains indirect.
     let sub = &per_technique[1].1;
     let across = &per_technique[3].1;
-    let rows: Vec<Row> = forth_names()
+    let rows: Vec<Row> = forth
+        .names()
         .iter()
         .enumerate()
         .map(|(i, name)| Row {

@@ -78,7 +78,7 @@ fn prediction_only(out: &mut Report) {
         let words = cell.input;
         let src = synthesize(words, 12);
         let image = ivm_forth::compile(&src).expect("synthetic program compiles");
-        let profile = ivm_forth::profile(&image).expect("profiles");
+        let profile = ivm_core::profile(&image).expect("profiles");
         let mut values = vec![image.program.len() as f64];
         for tech in [Technique::Threaded, static_repl(), Technique::DynamicRepl] {
             let engine = Engine::new(
@@ -86,7 +86,7 @@ fn prediction_only(out: &mut Report) {
                 Box::new(PerfectIcache::default()),
                 cpu.costs,
             );
-            let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&profile))
+            let (r, _) = ivm_core::measure_with(&image, tech, engine, Some(&profile))
                 .unwrap_or_else(|e| panic!("{tech}: {e}"));
             values.push(100.0 * r.counters.misprediction_rate());
         }
@@ -109,12 +109,12 @@ fn celeron_regime(out: &mut Report) {
         let words = cell.input;
         let src = synthesize(words, 12);
         let image = ivm_forth::compile(&src).expect("synthetic program compiles");
-        let profile = ivm_forth::profile(&image).expect("profiles");
+        let profile = ivm_core::profile(&image).expect("profiles");
         let (plain, _) =
-            ivm_forth::measure(&image, Technique::Threaded, &cpu, Some(&profile)).expect("runs");
+            ivm_core::measure(&image, Technique::Threaded, &cpu, Some(&profile)).expect("runs");
         let mut values = Vec::new();
         for tech in [static_repl(), Technique::DynamicRepl, Technique::DynamicSuper] {
-            let (r, _) = ivm_forth::measure(&image, tech, &cpu, Some(&profile)).expect("runs");
+            let (r, _) = ivm_core::measure(&image, tech, &cpu, Some(&profile)).expect("runs");
             values.push(plain.cycles / r.cycles);
         }
         Row { label: format!("{words} words"), values }

@@ -16,38 +16,36 @@
 //! down per opcode, per instance and per Celeron BTB set, plus a JSONL
 //! trace of the last dispatches per technique.
 
-use ivm_bench::{
-    forth_benches, forth_grid, forth_training, java_benches, java_suite, java_trainings, run_cells,
-    Cell, Report, Row,
-};
+use ivm_bench::{frontend, run_cells, Cell, Frontend, Report, Row};
 use ivm_bpred::BtbConfig;
 use ivm_cache::CpuSpec;
-use ivm_core::{Engine, Measurement, Profile, Runner, SuperSelection, Technique};
+use ivm_core::{Engine, Measurement, Profile, Runner, Technique};
 use ivm_obs::{DispatchAttribution, Json};
 
-/// Re-runs `bench` under `tech` with an attribution observer attached and
-/// returns the JSON breakdown (and writes the dispatch-trace JSONL next to
-/// the report).
+/// Re-runs a benchmark under `tech` with an attribution observer attached
+/// and returns the JSON breakdown (and writes the dispatch-trace JSONL
+/// next to the report). Fully frontend-generic: everything it needs comes
+/// through [`ivm_core::GuestVm`].
 fn attribution_for(
-    bench: &ivm_forth::programs::Benchmark,
+    fe: &'static Frontend,
+    name: &'static str,
     tech: Technique,
     cpu: &CpuSpec,
     training: &Profile,
 ) -> Json {
     let sink =
         DispatchAttribution::new().with_btb_sets(BtbConfig::celeron()).with_ring(256).shared();
-    let image = ivm_bench::forth_image(bench);
+    let image = fe.image(name);
     let translation = ivm_core::translate(
-        &ivm_forth::ops().spec,
-        &image.program,
+        image.spec(),
+        image.program(),
         tech,
         Some(training),
-        SuperSelection::gforth(),
+        image.super_selection(),
     );
     let engine = Engine::for_cpu(cpu).with_observer(sink.clone());
     let mut m = Measurement::new(translation, Runner::new(engine));
-    ivm_forth::run(&image, &mut m, ivm_forth::DEFAULT_FUEL)
-        .unwrap_or_else(|e| panic!("{}/{tech}: {e}", bench.name));
+    image.execute(&mut m, image.default_fuel()).unwrap_or_else(|e| panic!("{name}/{tech}: {e}"));
     let attrib = sink.borrow();
     let breakdown = attrib.to_json(Some(m.translation()));
     if let Some(ring) = attrib.ring() {
@@ -64,12 +62,13 @@ fn attribution_for(
 fn main() {
     let mut report = Report::new("section3");
     let cpu = CpuSpec::pentium4_northwood();
-    let training = forth_training();
+    let forth = frontend("forth");
+    let trainings = forth.trainings();
 
-    let grid = forth_grid(&cpu, &[Technique::Switch, Technique::Threaded], &training);
+    let grid = forth.grid(&cpu, &[Technique::Switch, Technique::Threaded], &trainings);
     let mut rows = Vec::new();
     let mut ratio_rows = Vec::new();
-    for ((b, switch), plain) in forth_benches().iter().zip(&grid[0].1).zip(&grid[1].1) {
+    for ((b, switch), plain) in forth.benches().iter().zip(&grid[0].1).zip(&grid[1].1) {
         rows.push(Row {
             label: b.name.to_owned(),
             values: vec![
@@ -95,9 +94,11 @@ fn main() {
         1,
     );
 
-    let trainings = java_trainings();
-    let jresults = java_suite(&cpu, Technique::Threaded, &trainings);
-    let jrows: Vec<Row> = java_benches()
+    let java = frontend("java");
+    let jtrainings = java.trainings();
+    let jresults = java.suite(&cpu, Technique::Threaded, &jtrainings);
+    let jrows: Vec<Row> = java
+        .benches()
         .iter()
         .zip(&jresults)
         .map(|(b, plain)| Row {
@@ -119,17 +120,18 @@ fn main() {
     // opcode/instance/BTB-set under the three §3 dispatch regimes. Stdout
     // stays byte-identical with and without it.
     if report.enabled() {
-        let b = forth_benches()[0];
+        let name = forth.benches()[0].name;
+        let training = forth.training_for(name);
         let techniques = [Technique::Switch, Technique::Threaded, Technique::DynamicRepl];
         let cells: Vec<Cell<Technique>> = techniques
             .into_iter()
-            .map(|t| Cell::new(format!("section3/attrib/{}/{t}", b.name), t))
+            .map(|t| Cell::new(format!("section3/attrib/{name}/{t}"), t))
             .collect();
         let breakdowns: Vec<Json> =
-            run_cells(cells, |cell, _| attribution_for(&b, cell.input, &cpu, &training));
+            run_cells(cells, |cell, _| attribution_for(forth, name, cell.input, &cpu, &training));
         report.section(
             "attribution",
-            Json::obj().with("benchmark", b.name).with("techniques", Json::Arr(breakdowns)),
+            Json::obj().with("benchmark", name).with("techniques", Json::Arr(breakdowns)),
         );
     }
     report.finish();

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin simulator_study -- [benchmark]`
 
-use ivm_bench::{forth_image, forth_training, run_cells, smoke, Cell, Report, Row};
+use ivm_bench::{frontend, run_cells, smoke, Cell, Report, Row};
 use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
 use ivm_cache::{CycleCosts, Icache, IcacheConfig, PerfectIcache};
 use ivm_core::{Engine, Technique};
@@ -22,9 +22,9 @@ fn main() {
     let default = if smoke() { "micro" } else { "bench-gc" };
     let name =
         std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| default.into());
-    let bench =
-        ivm_forth::programs::find(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let training = forth_training();
+    let forth = frontend("forth");
+    let bench = forth.find(&name).name;
+    let training = forth.training();
     let costs = CycleCosts::celeron();
 
     // Part 1: BTB geometry grid with a perfect I-cache.
@@ -55,10 +55,10 @@ fn main() {
         .collect();
     let rates = run_cells(cells, |cell, _| {
         let (cfg, tech) = cell.input;
-        let image = forth_image(&bench);
+        let image = forth.image(bench);
         let engine =
             Engine::new(Box::new(Btb::new(cfg)), Box::new(PerfectIcache::default()), costs);
-        let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
+        let (r, _) = ivm_core::measure_with(&*image, tech, engine, Some(&*training))
             .unwrap_or_else(|e| panic!("{tech}: {e}"));
         100.0 * r.counters.misprediction_rate()
     });
@@ -94,14 +94,14 @@ fn main() {
         .collect();
     let misses = run_cells(cells, |cell, _| {
         let (kb, tech) = cell.input;
-        let image = forth_image(&bench);
+        let image = forth.image(bench);
         let pred: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
         let engine = Engine::new(
             pred,
             Box::new(Icache::new(IcacheConfig { capacity: kb * 1024, line_size: 32, assoc: 4 })),
             costs,
         );
-        let (r, _) = ivm_forth::measure_with(&image, tech, engine, Some(&training))
+        let (r, _) = ivm_core::measure_with(&*image, tech, engine, Some(&*training))
             .unwrap_or_else(|e| panic!("{tech}: {e}"));
         r.counters.icache_misses as f64
     });

@@ -7,17 +7,45 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin superlen`
 
-use ivm_bench::{
-    forth_benches, forth_image, forth_names, forth_training, java_benches, java_image,
-    java_trainings, run_cells, Cell, Report, Row,
-};
+use ivm_bench::{frontend, run_cells, Cell, Frontend, Report, Row};
 use ivm_cache::CpuSpec;
-use ivm_core::Technique;
+use ivm_core::{Profile, Technique};
+
+/// Components-per-dispatch rows for one frontend's suite: the same cells
+/// a grid would run, but reducing each run to steps/dispatches.
+fn components(
+    fe: &'static Frontend,
+    cpu: &CpuSpec,
+    techniques: &[Technique],
+    trainings: &[Profile],
+) -> Vec<Row> {
+    let benches = fe.benches();
+    let cells: Vec<Cell<(Technique, &'static str, usize)>> = techniques
+        .iter()
+        .flat_map(|&t| {
+            benches
+                .iter()
+                .enumerate()
+                .map(move |(i, b)| Cell::new(format!("{}/{}/{t}", fe.name, b.name), (t, b.name, i)))
+        })
+        .collect();
+    let ratios = run_cells(cells, |cell, _| {
+        let (tech, name, i) = cell.input;
+        let image = fe.image(name);
+        let (r, out) = ivm_core::measure(&*image, tech, cpu, Some(&trainings[i]))
+            .unwrap_or_else(|e| panic!("{tech}: {e}"));
+        out.steps as f64 / r.counters.dispatches as f64
+    });
+    techniques
+        .iter()
+        .zip(ratios.chunks(benches.len()))
+        .map(|(tech, values)| Row { label: tech.paper_name().to_owned(), values: values.to_vec() })
+        .collect()
+}
 
 fn main() {
     let mut report = Report::new("superlen");
     let cpu = CpuSpec::pentium4_northwood();
-    let training = forth_training();
     let techniques = [
         Technique::Threaded,
         Technique::StaticSuper { budget: 400, algo: ivm_core::CoverAlgorithm::Greedy },
@@ -25,61 +53,22 @@ fn main() {
         Technique::AcrossBb,
     ];
 
-    let benches = forth_benches();
-    let cells: Vec<Cell<(Technique, ivm_forth::programs::Benchmark)>> = techniques
-        .iter()
-        .flat_map(|&t| {
-            benches.iter().map(move |&b| Cell::new(format!("forth/{}/{t}", b.name), (t, b)))
-        })
-        .collect();
-    let ratios = run_cells(cells, |cell, _| {
-        let (tech, b) = cell.input;
-        let image = forth_image(&b);
-        let (r, out) = ivm_forth::measure(&image, tech, &cpu, Some(&training))
-            .unwrap_or_else(|e| panic!("{tech}: {e}"));
-        out.steps as f64 / r.counters.dispatches as f64
-    });
-    let rows: Vec<Row> = techniques
-        .iter()
-        .zip(ratios.chunks(benches.len()))
-        .map(|(tech, values)| Row { label: tech.paper_name().to_owned(), values: values.to_vec() })
-        .collect();
+    let forth = frontend("forth");
+    let rows = components(forth, &cpu, &techniques, &forth.trainings());
     report.table(
         "Average executed components per dispatch, Forth suite \
          (paper §7.3: static ≈1.5, dynamic ≈3, across-bb barely longer)",
-        &forth_names(),
+        &forth.names(),
         &rows,
         2,
     );
 
-    let trainings = java_trainings();
-    let jbenches = java_benches();
-    let cells: Vec<Cell<(Technique, ivm_java::programs::Benchmark, usize)>> = techniques
-        .iter()
-        .flat_map(|&t| {
-            jbenches
-                .iter()
-                .enumerate()
-                .map(move |(i, &b)| Cell::new(format!("java/{}/{t}", b.name), (t, b, i)))
-        })
-        .collect();
-    let ratios = run_cells(cells, |cell, _| {
-        let (tech, b, i) = cell.input;
-        let image = java_image(&b);
-        let (r, out) = ivm_java::measure(&image, tech, &cpu, Some(&trainings[i]))
-            .unwrap_or_else(|e| panic!("{tech}: {e}"));
-        out.steps as f64 / r.counters.dispatches as f64
-    });
-    let rows: Vec<Row> = techniques
-        .iter()
-        .zip(ratios.chunks(jbenches.len()))
-        .map(|(tech, values)| Row { label: tech.paper_name().to_owned(), values: values.to_vec() })
-        .collect();
-    let names = ivm_bench::java_names();
+    let java = frontend("java");
+    let rows = components(java, &cpu, &techniques, &java.trainings());
     report.table(
         "Average executed components per dispatch, Java suite \
          (paper §7.3: longer blocks than Forth, across-bb helps more)",
-        &names,
+        &java.names(),
         &rows,
         2,
     );

@@ -7,23 +7,24 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin table8`
 
-use ivm_bench::{java_benches, java_grid, java_trainings, Report, Row};
+use ivm_bench::{frontend, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
 fn main() {
     let mut report = Report::new("table8");
     let cpu = CpuSpec::pentium4_northwood();
-    let trainings = java_trainings();
+    let java = frontend("java");
+    let trainings = java.trainings();
     let techniques = [
         Technique::DynamicSuper,
         Technique::AcrossBb,
         Technique::WithStaticSuperAcross { supers: 400, algo: CoverAlgorithm::Greedy },
     ];
 
-    let grid = java_grid(&cpu, &techniques, &trainings);
+    let grid = java.grid(&cpu, &techniques, &trainings);
     let mut rows = Vec::new();
-    for (i, b) in java_benches().iter().enumerate() {
+    for (i, b) in java.benches().iter().enumerate() {
         let mut values: Vec<f64> = grid
             .iter()
             .map(|(_, results)| results[i].counters.code_bytes as f64 / 1024.0)

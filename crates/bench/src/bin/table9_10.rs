@@ -14,32 +14,29 @@
 //! Run with: `cargo run --release -p ivm-bench --bin table9_10`
 
 use ivm_bench::native_model::NativeCompiler;
-use ivm_bench::{
-    forth_image, forth_training, java_benches, java_grid, java_trainings, run_cells, Cell, Report,
-    Row,
-};
+use ivm_bench::{frontend, run_cells, Cell, Report, Row};
 use ivm_cache::CpuSpec;
 use ivm_core::{CoverAlgorithm, Technique};
 
 fn table9(out: &mut Report) {
     let cpu = CpuSpec::athlon1200();
-    let training = forth_training();
+    let forth = frontend("forth");
+    let training = forth.training();
     let compilers = [NativeCompiler::big_forth(), NativeCompiler::i_forth()];
 
     let names = ["tscp", "brainless", "brew"];
     let techniques = [Technique::Threaded, Technique::AcrossBb];
-    let cells: Vec<Cell<(ivm_forth::programs::Benchmark, Technique)>> = names
+    let cells: Vec<Cell<(&'static str, Technique)>> = names
         .iter()
         .flat_map(|&name| {
-            let b = ivm_forth::programs::find(name).expect("known benchmark");
-            techniques.iter().map(move |&t| Cell::new(format!("forth/{name}/{t}"), (b, t)))
+            techniques.iter().map(move |&t| Cell::new(format!("forth/{name}/{t}"), (name, t)))
         })
         .collect();
     let results = run_cells(cells, |cell, _| {
-        let (b, tech) = cell.input;
-        let image = forth_image(&b);
-        ivm_forth::measure(&image, tech, &cpu, Some(&training))
-            .unwrap_or_else(|e| panic!("{}/{tech}: {e}", b.name))
+        let (name, tech) = cell.input;
+        let image = forth.image(name);
+        ivm_core::measure(&*image, tech, &cpu, Some(&*training))
+            .unwrap_or_else(|e| panic!("{name}/{tech}: {e}"))
             .0
     });
 
@@ -60,7 +57,8 @@ fn table9(out: &mut Report) {
 
 fn table10(out: &mut Report) {
     let cpu = CpuSpec::pentium4_northwood();
-    let trainings = java_trainings();
+    let java = frontend("java");
+    let trainings = java.trainings();
     let compilers = [
         NativeCompiler::kaffe_jit(),
         NativeCompiler::hotspot_interpreter(),
@@ -68,10 +66,10 @@ fn table10(out: &mut Report) {
     ];
     let best = Technique::WithStaticSuperAcross { supers: 400, algo: CoverAlgorithm::Greedy };
 
-    let grid = java_grid(&cpu, &[Technique::Threaded, best], &trainings);
+    let grid = java.grid(&cpu, &[Technique::Threaded, best], &trainings);
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; 1 + compilers.len()];
-    for (i, b) in java_benches().iter().enumerate() {
+    for (i, b) in java.benches().iter().enumerate() {
         let (plain, opt) = (&grid[0].1[i], &grid[1].1[i]);
         let mut values = vec![opt.speedup_over(plain)];
         values.extend(compilers.iter().map(|c| c.speedup_over(plain, &cpu.costs)));
@@ -80,7 +78,7 @@ fn table10(out: &mut Report) {
         }
         rows.push(Row { label: b.name.to_owned(), values });
     }
-    let n = java_benches().len() as f64;
+    let n = java.benches().len() as f64;
     rows.push(Row {
         label: "average".to_owned(),
         values: sums.into_iter().map(|s| s / n).collect(),

@@ -2,9 +2,19 @@
 //!
 //! Each binary in `src/bin/` reproduces one table or figure; this library
 //! holds the common plumbing: the parallel experiment executor front-end
-//! ([`run_cells`]), suite runners with cross-validated training (paper
-//! §7.1), once-per-program image caches, the native-code cost model used
-//! for the Table IX/X substitution, and text-table formatting.
+//! ([`run_cells`]), the frontend registry ([`frontends`]) with suite
+//! runners and cross-validated training (paper §7.1), once-per-program
+//! image caches, the native-code cost model used for the Table IX/X
+//! substitution, and text-table formatting.
+//!
+//! # Frontends
+//!
+//! Every guest VM is described by a [`Frontend`] entry: its benchmark
+//! suite, its technique list, and its training policy. The harness code
+//! never names a VM — a binary that iterates [`frontends`] (or fetches
+//! one by name with [`frontend`]) runs the translate → Engine →
+//! attribution machinery through [`ivm_core::GuestVm`] and works for any
+//! registered frontend, including ones added after it was written.
 //!
 //! # Parallel execution
 //!
@@ -29,7 +39,7 @@ pub use report::{json_enabled, Report};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ivm_cache::CpuSpec;
-use ivm_core::{Memo, Profile, RunResult, Technique};
+use ivm_core::{GuestVm, Memo, Profile, RunResult, Technique};
 use ivm_obs::{CellWall, ExecutorMeta};
 
 /// A labelled results row.
@@ -62,11 +72,11 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[Row], precision: usize
 /// True when the `IVM_SMOKE` environment variable is set (to anything
 /// but `0`).
 ///
-/// In smoke mode the bin harnesses run a reduced workload — a
-/// two-benchmark subset of each suite and shortened sweeps — so CI can
-/// check every binary end to end in seconds. The numbers printed under
-/// smoke mode are *not* the paper's numbers; `results/*.txt` is always
-/// regenerated without it.
+/// In smoke mode the bin harnesses run a reduced workload — a small
+/// subset of each suite and shortened sweeps — so CI can check every
+/// binary end to end in seconds. The numbers printed under smoke mode
+/// are *not* the paper's numbers; `results/*.txt` is always regenerated
+/// without it.
 pub fn smoke() -> bool {
     std::env::var("IVM_SMOKE").is_ok_and(|v| v != "0")
 }
@@ -125,195 +135,314 @@ pub fn executor_meta() -> Option<ExecutorMeta> {
 }
 
 // ---------------------------------------------------------------------------
-// Once-per-program image caches
+// The frontend registry
 // ---------------------------------------------------------------------------
 
-/// The compiled image of a bundled Forth benchmark, built once per
-/// process: parallel grid cells for the same program share one image
-/// instead of re-translating it per (technique × predictor × cache) cell.
-pub fn forth_image(b: &ivm_forth::programs::Benchmark) -> Arc<ivm_forth::Image> {
-    static CACHE: OnceLock<Memo<&'static str, ivm_forth::Image>> = OnceLock::new();
-    CACHE.get_or_init(Memo::new).get_or_build(b.name, || b.image())
+/// A guest VM image shared between parallel experiment cells.
+pub type SharedImage = Arc<dyn GuestVm + Send + Sync>;
+
+/// One benchmark of a frontend's suite.
+pub struct FrontendBench {
+    /// Suite name (paper order within the frontend).
+    pub name: &'static str,
+    /// What the workload is.
+    pub description: &'static str,
+    build: Box<dyn Fn() -> SharedImage + Send + Sync>,
 }
 
-/// The linked image of a bundled Java benchmark, built once per process.
-pub fn java_image(b: &ivm_java::programs::Benchmark) -> Arc<ivm_java::JavaImage> {
-    static CACHE: OnceLock<Memo<&'static str, ivm_java::JavaImage>> = OnceLock::new();
-    CACHE.get_or_init(Memo::new).get_or_build(b.name, || (b.build)())
+/// How a frontend derives training profiles (paper §7.1).
+enum TrainingPolicy {
+    /// One designated trainer program profiles for the whole suite (the
+    /// paper's Gforth setup: train on brainless, measure everything).
+    Shared {
+        /// Trainer in full runs.
+        full: &'static str,
+        /// Trainer under [`smoke`].
+        smoke: &'static str,
+    },
+    /// Benchmark `i` trains on the merged profiles of all *other*
+    /// benchmarks (the paper's Java setup, the compress example).
+    CrossValidated,
 }
 
-/// The training profile of a bundled Java benchmark, collected once per
-/// process (repeated `java_trainings` calls re-merge cached profiles).
-fn java_profile(b: &ivm_java::programs::Benchmark) -> Arc<Profile> {
-    static CACHE: OnceLock<Memo<&'static str, Profile>> = OnceLock::new();
-    CACHE
-        .get_or_init(Memo::new)
-        .get_or_build(b.name, || ivm_java::profile(&java_image(b)).expect("training run"))
+/// One registered guest VM: its suite, techniques and training policy.
+///
+/// All measurement goes through [`ivm_core::GuestVm`] — the registry
+/// holds no VM-specific measurement code, only construction closures.
+pub struct Frontend {
+    /// Registry name; the first path component of this frontend's
+    /// executor cell ids (`{name}/{bench}/{technique}`).
+    pub name: &'static str,
+    /// Human-readable VM name for table titles (e.g. `Gforth`).
+    pub display: &'static str,
+    suite: Vec<FrontendBench>,
+    extras: Vec<FrontendBench>,
+    smoke_names: &'static [&'static str],
+    techniques: fn() -> Vec<Technique>,
+    training: TrainingPolicy,
+    images: Memo<&'static str, SharedImage>,
+    profiles: Memo<&'static str, Profile>,
 }
 
-// ---------------------------------------------------------------------------
-// Suite runners
-// ---------------------------------------------------------------------------
-
-/// The Forth benchmarks the harnesses iterate: the full paper suite, or
-/// just the micro workload under [`smoke`].
-pub fn forth_benches() -> Vec<ivm_forth::programs::Benchmark> {
-    if smoke() {
-        vec![ivm_forth::programs::MICRO]
-    } else {
-        ivm_forth::programs::SUITE.to_vec()
+impl Frontend {
+    /// The benchmarks the harnesses iterate: the full suite, or the
+    /// frontend's designated subset under [`smoke`].
+    pub fn benches(&self) -> Vec<&FrontendBench> {
+        if smoke() {
+            self.smoke_names.iter().map(|n| self.find(n)).collect()
+        } else {
+            self.suite.iter().collect()
+        }
     }
-}
 
-/// The Java benchmarks the harnesses iterate: the full paper suite, or a
-/// two-benchmark subset under [`smoke`]. mpeg stays in the subset
-/// because several binaries single it out by name.
-pub fn java_benches() -> Vec<ivm_java::programs::Benchmark> {
-    if smoke() {
-        vec![ivm_java::programs::MPEG, ivm_java::programs::DB]
-    } else {
-        ivm_java::programs::SUITE.to_vec()
+    /// The iterated benchmark names, in suite order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.benches().iter().map(|b| b.name).collect()
     }
-}
 
-/// The Forth benchmark names, in paper order.
-pub fn forth_names() -> Vec<&'static str> {
-    forth_benches().iter().map(|b| b.name).collect()
-}
+    /// Looks up a benchmark (suite or extra) by name.
+    pub fn try_find(&self, name: &str) -> Option<&FrontendBench> {
+        self.suite.iter().chain(&self.extras).find(|b| b.name == name)
+    }
 
-/// The Java benchmark names, in paper order.
-pub fn java_names() -> Vec<&'static str> {
-    java_benches().iter().map(|b| b.name).collect()
-}
+    /// Looks up a benchmark (suite or extra) by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no benchmark has that name — bin harnesses only ask for
+    /// bundled programs.
+    pub fn find(&self, name: &str) -> &FrontendBench {
+        self.try_find(name).unwrap_or_else(|| panic!("{}: no benchmark named {name}", self.name))
+    }
 
-/// Runs every Forth benchmark under `technique` on `cpu`, one executor
-/// cell per benchmark.
-///
-/// Training uses the brainless profile, the paper's §7.1 choice for Gforth.
-///
-/// # Panics
-///
-/// Panics if a bundled benchmark fails at runtime (a bug in this crate).
-pub fn forth_suite(cpu: &CpuSpec, technique: Technique, training: &Profile) -> Vec<RunResult> {
-    let mut grid = forth_grid(cpu, &[technique], training);
-    grid.pop().expect("one technique").1
-}
+    /// The technique suite this frontend's figures sweep.
+    pub fn techniques(&self) -> Vec<Technique> {
+        (self.techniques)()
+    }
 
-/// Runs the full (technique × Forth benchmark) grid on `cpu`, one
-/// executor cell per combination, and regroups the results per technique
-/// in the given order.
-///
-/// # Panics
-///
-/// Panics if a bundled benchmark fails at runtime (a bug in this crate).
-pub fn forth_grid(
-    cpu: &CpuSpec,
-    techniques: &[Technique],
-    training: &Profile,
-) -> Vec<(Technique, Vec<RunResult>)> {
-    let benches = forth_benches();
-    let cells: Vec<Cell<(Technique, ivm_forth::programs::Benchmark)>> = techniques
-        .iter()
-        .flat_map(|&t| {
-            benches.iter().map(move |&b| Cell::new(format!("forth/{}/{t}", b.name), (t, b)))
-        })
-        .collect();
-    let results = run_cells(cells, |cell, _| {
-        let (technique, b) = cell.input;
-        let image = forth_image(&b);
-        ivm_forth::measure(&image, technique, cpu, Some(training))
-            .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
-            .0
-    });
-    techniques
-        .iter()
-        .copied()
-        .zip(results.chunks(benches.len()).map(<[RunResult]>::to_vec))
-        .collect()
-}
+    /// The benchmark's image, built once per process: parallel grid
+    /// cells for the same program share one image instead of
+    /// re-translating it per (technique × predictor × cache) cell.
+    pub fn image(&self, name: &'static str) -> SharedImage {
+        Arc::unwrap_or_clone(self.images.get_or_build(name, || (self.find(name).build)()))
+    }
 
-/// The Gforth training profile (brainless, paper §7.1).
-///
-/// # Panics
-///
-/// Panics if the training run fails.
-pub fn forth_training() -> Profile {
-    let trainer = if smoke() { ivm_forth::programs::MICRO } else { ivm_forth::programs::BRAINLESS };
-    ivm_forth::profile(&trainer.image()).expect("training run")
-}
+    /// The benchmark's training profile, collected once per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training run fails (a bug in the bundled program).
+    pub fn profile_of(&self, name: &'static str) -> Arc<Profile> {
+        self.profiles
+            .get_or_build(name, || ivm_core::profile(&*self.image(name)).expect("training run"))
+    }
 
-/// Cross-validated training profiles for the Java suite: benchmark `i`
-/// trains on the profiles of all *other* benchmarks (paper §7.1, the
-/// compress example). The per-benchmark profiling runs execute as
-/// parallel cells (and are cached, so only the first call pays them).
-///
-/// # Panics
-///
-/// Panics if a training run fails.
-pub fn java_trainings() -> Vec<Profile> {
-    let benches = java_benches();
-    let cells: Vec<Cell<ivm_java::programs::Benchmark>> =
-        benches.iter().map(|&b| Cell::new(format!("java/profile/{}", b.name), b)).collect();
-    let profiles = run_cells(cells, |cell, _| java_profile(&cell.input));
-    (0..profiles.len())
-        .map(|i| {
-            let mut p = Profile::new();
-            for (j, other) in profiles.iter().enumerate() {
-                if i != j {
-                    p.merge(other);
-                }
+    /// The shared training profile (paper §7.1; for Gforth: brainless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this frontend trains cross-validated — use
+    /// [`Frontend::trainings`] there, one profile per benchmark.
+    pub fn training(&self) -> Arc<Profile> {
+        match self.training {
+            TrainingPolicy::Shared { full, smoke: s } => {
+                self.profile_of(if smoke() { s } else { full })
             }
-            p
-        })
-        .collect()
+            TrainingPolicy::CrossValidated => {
+                panic!("{} trains cross-validated; use trainings()", self.name)
+            }
+        }
+    }
+
+    /// The training profile a single benchmark measures under: the
+    /// shared trainer profile, or — cross-validated — the merged
+    /// profiles of all the *other* suite benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cross-validated frontend is asked about a benchmark
+    /// outside [`Frontend::benches`], or if a training run fails.
+    pub fn training_for(&self, name: &str) -> Profile {
+        match self.training {
+            TrainingPolicy::Shared { .. } => (*self.training()).clone(),
+            TrainingPolicy::CrossValidated => {
+                let idx =
+                    self.benches().iter().position(|b| b.name == name).unwrap_or_else(|| {
+                        panic!("{}: {name} not in the iterated suite", self.name)
+                    });
+                self.trainings().swap_remove(idx)
+            }
+        }
+    }
+
+    /// Per-benchmark training profiles, aligned with [`Frontend::benches`].
+    ///
+    /// Shared-policy frontends hand every benchmark the same trainer
+    /// profile; cross-validated ones give benchmark `i` the merged
+    /// profiles of all *other* benchmarks, running the per-benchmark
+    /// profiling as parallel cells (cached, so only the first call pays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a training run fails.
+    pub fn trainings(&self) -> Vec<Profile> {
+        match self.training {
+            TrainingPolicy::Shared { .. } => {
+                let p = self.training();
+                self.benches().iter().map(|_| (*p).clone()).collect()
+            }
+            TrainingPolicy::CrossValidated => {
+                let cells: Vec<Cell<&'static str>> = self
+                    .benches()
+                    .iter()
+                    .map(|b| Cell::new(format!("{}/profile/{}", self.name, b.name), b.name))
+                    .collect();
+                let profiles = run_cells(cells, |cell, _| self.profile_of(cell.input));
+                (0..profiles.len())
+                    .map(|i| {
+                        let mut p = Profile::new();
+                        for (j, other) in profiles.iter().enumerate() {
+                            if i != j {
+                                p.merge(other);
+                            }
+                        }
+                        p
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs every benchmark under `technique` on `cpu` with the given
+    /// per-benchmark training profiles, one executor cell per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundled benchmark fails at runtime (a bug in the
+    /// frontend crate).
+    pub fn suite(
+        &self,
+        cpu: &CpuSpec,
+        technique: Technique,
+        trainings: &[Profile],
+    ) -> Vec<RunResult> {
+        let mut grid = self.grid(cpu, &[technique], trainings);
+        grid.pop().expect("one technique").1
+    }
+
+    /// Runs the full (technique × benchmark) grid on `cpu`, one executor
+    /// cell per combination, and regroups the results per technique in
+    /// the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundled benchmark fails at runtime.
+    pub fn grid(
+        &self,
+        cpu: &CpuSpec,
+        techniques: &[Technique],
+        trainings: &[Profile],
+    ) -> Vec<(Technique, Vec<RunResult>)> {
+        let benches = self.benches();
+        assert_eq!(benches.len(), trainings.len(), "one training profile per benchmark");
+        let cells: Vec<Cell<(Technique, &'static str, usize)>> = techniques
+            .iter()
+            .flat_map(|&t| {
+                benches.iter().enumerate().map(move |(i, b)| {
+                    Cell::new(format!("{}/{}/{t}", self.name, b.name), (t, b.name, i))
+                })
+            })
+            .collect();
+        let results = run_cells(cells, |cell, _| {
+            let (technique, name, i) = cell.input;
+            let image = self.image(name);
+            ivm_core::measure(&*image, technique, cpu, Some(&trainings[i]))
+                .unwrap_or_else(|e| panic!("{}/{name}/{technique}: {e}", self.name))
+                .0
+        });
+        techniques
+            .iter()
+            .copied()
+            .zip(results.chunks(benches.len()).map(<[RunResult]>::to_vec))
+            .collect()
+    }
 }
 
-/// Runs every Java benchmark under `technique` on `cpu` with the given
-/// per-benchmark training profiles, one executor cell per benchmark.
+fn forth_frontend() -> Frontend {
+    let wrap = |b: ivm_forth::programs::Benchmark| FrontendBench {
+        name: b.name,
+        description: b.description,
+        build: Box::new(move || Arc::new(b.image()) as SharedImage),
+    };
+    Frontend {
+        name: "forth",
+        display: "Gforth",
+        suite: ivm_forth::programs::SUITE.into_iter().map(wrap).collect(),
+        extras: vec![wrap(ivm_forth::programs::MICRO)],
+        smoke_names: &["micro"],
+        techniques: Technique::gforth_suite,
+        training: TrainingPolicy::Shared { full: "brainless", smoke: "micro" },
+        images: Memo::new(),
+        profiles: Memo::new(),
+    }
+}
+
+fn java_frontend() -> Frontend {
+    let wrap = |b: ivm_java::programs::Benchmark| FrontendBench {
+        name: b.name,
+        description: b.description,
+        build: Box::new(move || Arc::new((b.build)()) as SharedImage),
+    };
+    Frontend {
+        name: "java",
+        display: "Java",
+        suite: ivm_java::programs::SUITE.into_iter().map(wrap).collect(),
+        extras: Vec::new(),
+        // mpeg stays in the subset because several binaries single it
+        // out by name.
+        smoke_names: &["mpeg", "db"],
+        techniques: Technique::jvm_suite,
+        training: TrainingPolicy::CrossValidated,
+        images: Memo::new(),
+        profiles: Memo::new(),
+    }
+}
+
+fn calc_frontend() -> Frontend {
+    let wrap = |b: ivm_calc::programs::Benchmark| FrontendBench {
+        name: b.name,
+        description: b.description,
+        build: Box::new(move || Arc::new(b.image()) as SharedImage),
+    };
+    Frontend {
+        name: "calc",
+        display: "Calc",
+        suite: ivm_calc::programs::SUITE.into_iter().map(wrap).collect(),
+        extras: Vec::new(),
+        smoke_names: &["triangle"],
+        techniques: Technique::gforth_suite,
+        training: TrainingPolicy::Shared { full: "gcd", smoke: "triangle" },
+        images: Memo::new(),
+        profiles: Memo::new(),
+    }
+}
+
+/// Every registered frontend, in report order.
+pub fn frontends() -> &'static [Frontend] {
+    static REGISTRY: OnceLock<Vec<Frontend>> = OnceLock::new();
+    REGISTRY.get_or_init(|| vec![forth_frontend(), java_frontend(), calc_frontend()])
+}
+
+/// Fetches a frontend by registry name.
 ///
 /// # Panics
 ///
-/// Panics if a bundled benchmark fails at runtime.
-pub fn java_suite(cpu: &CpuSpec, technique: Technique, trainings: &[Profile]) -> Vec<RunResult> {
-    let mut grid = java_grid(cpu, &[technique], trainings);
-    grid.pop().expect("one technique").1
-}
-
-/// Runs the full (technique × Java benchmark) grid on `cpu`, one
-/// executor cell per combination, and regroups the results per technique
-/// in the given order.
-///
-/// # Panics
-///
-/// Panics if a bundled benchmark fails at runtime.
-pub fn java_grid(
-    cpu: &CpuSpec,
-    techniques: &[Technique],
-    trainings: &[Profile],
-) -> Vec<(Technique, Vec<RunResult>)> {
-    let benches = java_benches();
-    assert_eq!(benches.len(), trainings.len(), "one training profile per benchmark");
-    let cells: Vec<Cell<(Technique, ivm_java::programs::Benchmark, usize)>> = techniques
+/// Panics if no frontend has that name.
+pub fn frontend(name: &str) -> &'static Frontend {
+    frontends()
         .iter()
-        .flat_map(|&t| {
-            benches
-                .iter()
-                .enumerate()
-                .map(move |(i, &b)| Cell::new(format!("java/{}/{t}", b.name), (t, b, i)))
-        })
-        .collect();
-    let results = run_cells(cells, |cell, _| {
-        let (technique, b, i) = cell.input;
-        let image = java_image(&b);
-        ivm_java::measure(&image, technique, cpu, Some(&trainings[i]))
-            .unwrap_or_else(|e| panic!("{}/{technique}: {e}", b.name))
-            .0
-    });
-    techniques
-        .iter()
-        .copied()
-        .zip(results.chunks(benches.len()).map(<[RunResult]>::to_vec))
-        .collect()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("no frontend named {name}"))
 }
 
 /// Speedup rows over a plain baseline, one row per technique.
@@ -335,11 +464,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn names_match_suites() {
-        assert_eq!(forth_names().len(), 7);
-        assert_eq!(java_names().len(), 7);
-        assert!(forth_names().contains(&"brew"));
-        assert!(java_names().contains(&"mtrt"));
+    fn registry_names_match_suites() {
+        assert_eq!(frontends().len(), 3);
+        assert_eq!(frontend("forth").names().len(), 7);
+        assert_eq!(frontend("java").names().len(), 7);
+        assert_eq!(frontend("calc").names().len(), 5);
+        assert!(frontend("forth").names().contains(&"brew"));
+        assert!(frontend("java").names().contains(&"mtrt"));
+        assert!(frontend("calc").names().contains(&"collatz"));
     }
 
     #[test]
@@ -359,7 +491,7 @@ mod tests {
 
     #[test]
     fn forth_training_is_nonempty() {
-        let p = forth_training();
+        let p = frontend("forth").training();
         assert!(p.total_ops() > 10_000);
     }
 
@@ -375,33 +507,49 @@ mod tests {
 
     #[test]
     fn image_caches_return_shared_images() {
-        let b = ivm_forth::programs::MICRO;
-        let a1 = forth_image(&b);
-        let a2 = forth_image(&b);
+        let f = frontend("forth");
+        let a1 = f.image("micro");
+        let a2 = f.image("micro");
         assert!(Arc::ptr_eq(&a1, &a2), "second fetch hits the cache");
-        assert_eq!(a1.program.len(), a2.program.len());
+        assert_eq!(a1.program().len(), a2.program().len());
     }
 
     #[test]
     fn grid_groups_match_suite_runs() {
         // The grid must regroup exactly as per-technique suite calls do.
         let cpu = CpuSpec::celeron800();
-        let training = forth_training();
+        let f = frontend("forth");
+        let training = f.training();
         let techniques = [Technique::Switch, Technique::Threaded];
-        let micro = ivm_forth::programs::MICRO;
-        let image = forth_image(&micro);
+        let image = f.image("micro");
         let grid_cells: Vec<Cell<Technique>> =
             techniques.iter().map(|&t| Cell::new(format!("grid/{t}"), t)).collect();
         let grid = run_cells(grid_cells, |cell, _| {
-            ivm_forth::measure(&image, cell.input, &cpu, Some(&training)).expect("runs").0
+            ivm_core::measure(&*image, cell.input, &cpu, Some(&training)).expect("runs").0
         });
         let direct: Vec<RunResult> = techniques
             .iter()
-            .map(|&t| ivm_forth::measure(&image, t, &cpu, Some(&training)).expect("runs").0)
+            .map(|&t| ivm_core::measure(&*image, t, &cpu, Some(&training)).expect("runs").0)
             .collect();
         for (g, d) in grid.iter().zip(&direct) {
             assert_eq!(g.cycles, d.cycles, "parallel grid reproduces serial measurements");
             assert_eq!(g.counters.dispatches, d.counters.dispatches);
+        }
+    }
+
+    #[test]
+    fn every_frontend_runs_through_the_generic_pipeline() {
+        // The seam proof in miniature: no frontend-specific code below
+        // this line, yet all three registered VMs measure end to end.
+        let cpu = CpuSpec::celeron800();
+        for f in frontends() {
+            let name = f.benches()[0].name;
+            let image = f.image(name);
+            let prof = f.profile_of(name);
+            let (r, out) = ivm_core::measure(&*image, Technique::Threaded, &cpu, Some(&prof))
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", f.name));
+            assert!(r.counters.dispatches > 0, "{}", f.name);
+            assert!(!out.text.is_empty() || out.steps > 0, "{}", f.name);
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Smoke test: every bin target in `src/bin/` must run end to end on the
 //! reduced `IVM_SMOKE` workload, exit successfully, print at least one
 //! parseable table row, and (with `IVM_JSON=1`) write a JSON report that
-//! parses and carries a matching run manifest. This is what keeps the 15
+//! parses and carries a matching run manifest. This is what keeps the 16
 //! report harnesses honest between full `results/` regenerations.
 
 use std::process::Command;
@@ -18,6 +18,7 @@ const BINS: &[(&str, &str)] = &[
     ("figure9", env!("CARGO_BIN_EXE_figure9")),
     ("figure10_13", env!("CARGO_BIN_EXE_figure10_13")),
     ("figure14_16", env!("CARGO_BIN_EXE_figure14_16")),
+    ("frontends", env!("CARGO_BIN_EXE_frontends")),
     ("related_work", env!("CARGO_BIN_EXE_related_work")),
     ("scaling", env!("CARGO_BIN_EXE_scaling")),
     ("section3", env!("CARGO_BIN_EXE_section3")),

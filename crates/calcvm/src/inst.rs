@@ -1,0 +1,111 @@
+//! The calculator VM instruction set and its native-code model.
+//!
+//! Shapes are in the same family as the Forth VM's: short stack
+//! operations of a few native instructions each, with `print` calling
+//! into the runtime and therefore non-relocatable (paper §5.2).
+
+use std::sync::OnceLock;
+
+use ivm_core::{InstKind, NativeSpec, OpId, VmSpec};
+
+/// Opcode ids of every calculator VM instruction.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct CalcOps {
+    pub push: OpId,
+    pub add: OpId,
+    pub sub: OpId,
+    pub mul: OpId,
+    pub div: OpId,
+    pub mod_: OpId,
+    pub neg: OpId,
+    pub dup: OpId,
+    pub drop: OpId,
+    pub swap: OpId,
+    pub over: OpId,
+    pub lt: OpId,
+    pub eq: OpId,
+    pub load: OpId,
+    pub store: OpId,
+    pub print: OpId,
+    pub jmp: OpId,
+    pub jz: OpId,
+    pub jnz: OpId,
+    pub call: OpId,
+    pub ret: OpId,
+    pub halt: OpId,
+    /// The instruction-set description shared with `ivm-core`.
+    pub spec: VmSpec,
+}
+
+fn build() -> CalcOps {
+    let mut b = VmSpec::builder("calc");
+    let push = b.inst("push", NativeSpec::new(3, 10, InstKind::Plain));
+    let add = b.inst("add", NativeSpec::new(2, 6, InstKind::Plain));
+    let sub = b.inst("sub", NativeSpec::new(2, 6, InstKind::Plain));
+    let mul = b.inst("mul", NativeSpec::new(3, 8, InstKind::Plain));
+    let div = b.inst("div", NativeSpec::new(6, 14, InstKind::Plain));
+    let mod_ = b.inst("mod", NativeSpec::new(6, 14, InstKind::Plain));
+    let neg = b.inst("neg", NativeSpec::new(2, 6, InstKind::Plain));
+    let dup = b.inst("dup", NativeSpec::new(2, 6, InstKind::Plain));
+    let drop = b.inst("drop", NativeSpec::new(1, 4, InstKind::Plain));
+    let swap = b.inst("swap", NativeSpec::new(3, 8, InstKind::Plain));
+    let over = b.inst("over", NativeSpec::new(2, 7, InstKind::Plain));
+    let lt = b.inst("lt", NativeSpec::new(4, 10, InstKind::Plain));
+    let eq = b.inst("eq", NativeSpec::new(4, 10, InstKind::Plain));
+    let load = b.inst("load", NativeSpec::new(2, 7, InstKind::Plain));
+    let store = b.inst("store", NativeSpec::new(3, 9, InstKind::Plain));
+    let print = b.inst("print", NativeSpec::new(5, 15, InstKind::Plain).non_relocatable());
+    let jmp = b.inst("jmp", NativeSpec::new(1, 5, InstKind::Jump));
+    let jz = b.inst("jz", NativeSpec::new(3, 9, InstKind::CondBranch));
+    let jnz = b.inst("jnz", NativeSpec::new(3, 9, InstKind::CondBranch));
+    let call = b.inst("call", NativeSpec::new(4, 12, InstKind::Call));
+    let ret = b.inst("ret", NativeSpec::new(3, 9, InstKind::Return));
+    let halt = b.inst("halt", NativeSpec::new(1, 4, InstKind::Return));
+    CalcOps {
+        push,
+        add,
+        sub,
+        mul,
+        div,
+        mod_,
+        neg,
+        dup,
+        drop,
+        swap,
+        over,
+        lt,
+        eq,
+        load,
+        store,
+        print,
+        jmp,
+        jz,
+        jnz,
+        call,
+        ret,
+        halt,
+        spec: b.build(),
+    }
+}
+
+/// The calculator instruction set (built once per process).
+pub fn ops() -> &'static CalcOps {
+    static OPS: OnceLock<CalcOps> = OnceLock::new();
+    OPS.get_or_init(build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_consistent() {
+        let o = ops();
+        assert_eq!(o.spec.name(o.push), "push");
+        assert_eq!(o.spec.native(o.jz).kind, InstKind::CondBranch);
+        assert_eq!(o.spec.native(o.ret).kind, InstKind::Return);
+        assert!(!o.spec.native(o.print).relocatable);
+        assert!(o.spec.native(o.add).relocatable);
+    }
+}

@@ -1,0 +1,43 @@
+//! A small stack-calculator virtual machine: the worked example of
+//! adding a third interpreter frontend behind the [`ivm_core::GuestVm`]
+//! seam.
+//!
+//! The crate is deliberately tiny — an instruction set ([`ops`]), a
+//! line-oriented assembler ([`assemble`]), an interpreter ([`run`]) that
+//! reports every dispatch to an [`ivm_core::VmEvents`] sink, and a five
+//! program benchmark suite ([`programs`]). Everything downstream —
+//! translation, replication, superinstructions, the cycle-level engine,
+//! misprediction attribution and the report binaries — comes for free
+//! from the `GuestVm` impl on [`CalcImage`]; this crate contains no
+//! measurement code at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivm_cache::CpuSpec;
+//! use ivm_core::Technique;
+//!
+//! let image = ivm_calc::assemble(
+//!     "push 0\nstore 0\nhead:\nload 0\npush 3\nadd\ndup\nstore 0\npush 300\nlt\njnz head\nload 0\nprint\nhalt",
+//! )?;
+//! let prof = ivm_core::profile(&image)?;
+//! let cpu = CpuSpec::pentium4_northwood();
+//! let (plain, out) = ivm_core::measure(&image, Technique::Threaded, &cpu, Some(&prof))?;
+//! assert_eq!(out.text, "300\n");
+//! let (repl, _) = ivm_core::measure(&image, Technique::DynamicRepl, &cpu, Some(&prof))?;
+//! assert!(repl.counters.indirect_mispredicted < plain.counters.indirect_mispredicted);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inst;
+pub mod programs;
+mod vm;
+
+pub use inst::{ops, CalcOps};
+/// The unified run-result and run-failure types (re-exported from
+/// [`ivm_core`] for convenience).
+pub use ivm_core::{VmError, VmOutput};
+pub use vm::{assemble, run, AsmError, CalcImage, DEFAULT_FUEL, SLOTS};

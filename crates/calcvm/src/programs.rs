@@ -1,0 +1,349 @@
+//! The calculator benchmark suite.
+//!
+//! Five small numeric workloads that exercise the dispatch shapes the
+//! simulator cares about: straight-line arithmetic, tight loops with
+//! conditional branches, deep recursion through `call`/`ret`, and
+//! data-dependent branch patterns (Collatz).
+
+use crate::vm::{assemble, CalcImage};
+
+/// One benchmark program: name, source, and its dispatch character.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Suite name.
+    pub name: &'static str,
+    /// Calculator assembly source.
+    pub source: &'static str,
+    /// What dispatch behaviour the workload exercises.
+    pub description: &'static str,
+}
+
+impl Benchmark {
+    /// Assembles the benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to assemble — that is a bug in
+    /// this crate, not in user input.
+    pub fn image(&self) -> CalcImage {
+        assemble(self.source)
+            .unwrap_or_else(|e| panic!("bundled benchmark {} must assemble: {e}", self.name))
+    }
+}
+
+/// triangle: nested counting loops (loop-dominated dispatch).
+pub const TRIANGLE: Benchmark = Benchmark {
+    name: "triangle",
+    source: "\
+# sum of triangle numbers T(1)..T(300) with nested loops
+push 0
+store 0          # acc
+push 1
+store 1          # n
+outer:
+push 0
+store 2          # t := 0
+push 1
+store 3          # i := 1
+inner:
+load 2
+load 3
+add
+store 2          # t += i
+load 3
+push 1
+add
+dup
+store 3          # i += 1
+load 1
+push 1
+add
+lt               # i < n+1
+jnz inner
+load 0
+load 2
+add
+store 0          # acc += t
+load 1
+push 1
+add
+dup
+store 1          # n += 1
+push 301
+lt
+jnz outer
+load 0
+print
+halt
+",
+    description: "nested counting loops: backward conditional branches dominate",
+};
+
+/// fib: naive recursion (call/return-dominated dispatch).
+pub const FIB: Benchmark = Benchmark {
+    name: "fib",
+    source: "\
+# naive recursive fibonacci
+push 22
+call fib
+print
+halt
+fib:
+dup
+push 2
+lt
+jnz base
+dup
+push 1
+sub
+call fib
+swap
+push 2
+sub
+call fib
+add
+ret
+base:
+ret
+",
+    description: "naive recursive fibonacci: call/ret-dominated dispatch",
+};
+
+/// primes: trial division (mixed branch outcomes).
+pub const PRIMES: Benchmark = Benchmark {
+    name: "primes",
+    source: "\
+# count primes in [2, 2000) by trial division
+push 0
+store 0          # count
+push 2
+store 1          # i
+next:
+push 2
+store 2          # j
+trial:
+load 2
+dup
+mul
+load 1
+swap
+lt               # i < j*j -> no divisor found
+jnz prime
+load 1
+load 2
+mod
+jz advance       # divisible -> composite
+load 2
+push 1
+add
+store 2
+jmp trial
+prime:
+load 0
+push 1
+add
+store 0
+advance:
+load 1
+push 1
+add
+dup
+store 1
+push 2000
+lt
+jnz next
+load 0
+print
+halt
+",
+    description: "trial-division prime counting: data-dependent early exits",
+};
+
+/// gcd: Euclid's algorithm in a loop (short hot kernel).
+pub const GCD: Benchmark = Benchmark {
+    name: "gcd",
+    source: "\
+# sum of gcd(3a+1, 2a+7) for a in 1..4000 via Euclid
+push 0
+store 0          # acc
+push 1
+store 1          # a
+loop:
+load 1
+push 3
+mul
+push 1
+add
+store 2          # x
+load 1
+push 2
+mul
+push 7
+add
+store 3          # y
+euclid:
+load 3
+jz done          # y == 0 -> gcd is x
+load 3
+load 2
+load 3
+mod
+store 3          # y := x mod y
+store 2          # x := old y
+jmp euclid
+done:
+load 0
+load 2
+add
+store 0
+load 1
+push 1
+add
+dup
+store 1
+push 4001
+lt
+jnz loop
+load 0
+print
+halt
+",
+    description: "repeated Euclid gcd: a short hot kernel with an irregular trip count",
+};
+
+/// collatz: hailstone flights (unpredictable branch directions).
+pub const COLLATZ: Benchmark = Benchmark {
+    name: "collatz",
+    source: "\
+# total Collatz flight length over all starts in 1..1500
+push 0
+store 0          # total steps
+push 1
+store 1          # start
+outer:
+load 1
+store 2          # n := start
+steps:
+load 2
+push 1
+eq
+jnz next         # n == 1 -> flight over
+load 2
+push 2
+mod
+jz even
+load 2
+push 3
+mul
+push 1
+add
+store 2          # n := 3n + 1
+jmp count
+even:
+load 2
+push 2
+div
+store 2          # n := n / 2
+count:
+load 0
+push 1
+add
+store 0
+jmp steps
+next:
+load 1
+push 1
+add
+dup
+store 1
+push 1501
+lt
+jnz outer
+load 0
+print
+halt
+",
+    description: "Collatz flights: parity-driven, hard-to-predict branch directions",
+};
+
+/// Every benchmark, in suite order.
+pub const SUITE: [Benchmark; 5] = [TRIANGLE, FIB, PRIMES, GCD, COLLATZ];
+
+/// Looks up a benchmark by name.
+pub fn find(name: &str) -> Option<Benchmark> {
+    SUITE.into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_core::NullEvents;
+
+    fn run(b: Benchmark) -> ivm_core::VmOutput {
+        crate::vm::run(&b.image(), &mut NullEvents, crate::vm::DEFAULT_FUEL)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+    }
+
+    #[test]
+    fn triangle_matches_closed_form() {
+        let expected: i64 = (1..=300).map(|n: i64| n * (n + 1) / 2).sum();
+        assert_eq!(run(TRIANGLE).text, format!("{expected}\n"));
+    }
+
+    #[test]
+    fn fib_matches_reference() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
+        }
+        assert_eq!(run(FIB).text, format!("{}\n", fib(22)));
+    }
+
+    #[test]
+    fn primes_matches_sieve() {
+        let expected =
+            (2i64..2000).filter(|&i| (2..i).take_while(|j| j * j <= i).all(|j| i % j != 0)).count();
+        assert_eq!(run(PRIMES).text, format!("{expected}\n"));
+    }
+
+    #[test]
+    fn gcd_matches_reference() {
+        fn gcd(mut x: i64, mut y: i64) -> i64 {
+            while y != 0 {
+                let r = x % y;
+                x = y;
+                y = r;
+            }
+            x
+        }
+        let expected: i64 = (1..=4000).map(|a| gcd(3 * a + 1, 2 * a + 7)).sum();
+        assert_eq!(run(GCD).text, format!("{expected}\n"));
+    }
+
+    #[test]
+    fn collatz_matches_reference() {
+        let mut expected: i64 = 0;
+        for start in 1i64..=1500 {
+            let mut n = start;
+            while n != 1 {
+                n = if n % 2 == 0 { n / 2 } else { 3 * n + 1 };
+                expected += 1;
+            }
+        }
+        assert_eq!(run(COLLATZ).text, format!("{expected}\n"));
+    }
+
+    #[test]
+    fn suite_is_findable_and_sized_for_benchmarking() {
+        for b in SUITE {
+            assert_eq!(find(b.name).map(|f| f.name), Some(b.name));
+            let out = run(b);
+            assert!(out.steps > 50_000, "{} too small: {} steps", b.name, out.steps);
+            assert!(out.steps < 10_000_000, "{} too large: {} steps", b.name, out.steps);
+        }
+        assert!(find("nope").is_none());
+    }
+}

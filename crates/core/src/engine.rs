@@ -34,7 +34,7 @@ pub struct Engine {
     counters: PerfCounters,
     costs: CycleCosts,
     cpu_name: String,
-    branch_stats: Option<std::collections::HashMap<Addr, (u64, u64)>>,
+    branch_stats: Option<std::collections::BTreeMap<Addr, (u64, u64)>>,
     observer: Option<SharedObserver>,
 }
 
@@ -96,12 +96,23 @@ impl Engine {
 
     /// Enables per-branch statistics: every executed indirect branch gets
     /// an `(executions, mispredictions)` tally, readable afterwards with
-    /// [`Engine::top_mispredicted`]. Costs one hash update per branch, so
-    /// it is off by default.
+    /// [`Engine::branch_stats`] or [`Engine::top_mispredicted`]. Costs one
+    /// map update per branch, so it is off by default.
     #[must_use]
     pub fn with_branch_stats(mut self) -> Self {
-        self.branch_stats = Some(std::collections::HashMap::new());
+        self.branch_stats = Some(std::collections::BTreeMap::new());
         self
+    }
+
+    /// All per-branch `(branch, executions, mispredictions)` tallies in
+    /// ascending branch-address order — the map is ordered, so dump sites
+    /// are deterministic by construction. Empty unless
+    /// [`Engine::with_branch_stats`] was enabled.
+    pub fn branch_stats(&self) -> Vec<(Addr, u64, u64)> {
+        self.branch_stats
+            .as_ref()
+            .map(|stats| stats.iter().map(|(&b, &(e, m))| (b, e, m)).collect())
+            .unwrap_or_default()
     }
 
     /// Attaches a [`DispatchObserver`]; keep a clone of the handle to read
@@ -339,6 +350,20 @@ mod tests {
         assert_eq!(top[0].2, 10);
         assert_eq!(top[1].0, 2);
         assert_eq!(top[1].2, 1); // only the cold miss
+    }
+
+    #[test]
+    fn branch_stats_iterate_in_address_order() {
+        let mut e = engine().with_branch_stats();
+        // Touch branches in scrambled order; the dump must come back sorted.
+        for &b in &[9_u64, 2, 7, 2, 5, 9, 1] {
+            e.indirect(0, 0, b, b + 100);
+        }
+        let stats = e.branch_stats();
+        let addrs: Vec<Addr> = stats.iter().map(|s| s.0).collect();
+        assert_eq!(addrs, vec![1, 2, 5, 7, 9]);
+        assert_eq!(stats[1].1, 2, "branch 2 executed twice");
+        assert!(engine().branch_stats().is_empty(), "off by default");
     }
 
     #[test]

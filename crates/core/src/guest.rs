@@ -1,0 +1,166 @@
+//! The frontend seam: what the simulation stack needs from a guest VM.
+//!
+//! A frontend crate (Forth, mini-JVM, …) exposes its loaded programs as
+//! types implementing [`GuestVm`]: an instruction-set [`VmSpec`], the
+//! [`ProgramCode`] the translator consumes, a superinstruction-selection
+//! policy, a default fuel budget, and an execution loop that reports every
+//! control transfer (and quickening) through [`VmEvents`]. Everything
+//! downstream — translation, the measurement pipeline in
+//! [`crate::measure`], attribution, the report harness — works against
+//! this trait only, so adding interpreter #3 is a ~300-line frontend crate
+//! rather than a fork of the stack.
+//!
+//! [`VmOutput`] and [`VmError`] are the unified run-result and run-failure
+//! types shared by all frontends; fields or variants that only some VMs
+//! can produce (operand stacks, allocations, quickenings, references)
+//! simply stay empty or unused for the others.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::events::VmEvents;
+use crate::program::ProgramCode;
+use crate::spec::VmSpec;
+use crate::superinst::SuperSelection;
+
+/// Result of a completed guest-VM run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmOutput {
+    /// Everything the program printed.
+    pub text: String,
+    /// VM instructions executed.
+    pub steps: u64,
+    /// Data stack left behind, for stack machines that surface it
+    /// (normally empty for well-behaved programs; always empty for
+    /// frontends without an inspectable stack).
+    pub stack: Vec<i64>,
+    /// Objects and arrays allocated (0 for frontends without a heap).
+    pub allocations: u64,
+    /// Quickening rewrites performed (0 for frontends without
+    /// quickening).
+    pub quickenings: u64,
+}
+
+/// A runtime failure of an interpreted guest program.
+///
+/// The union of the failure modes across frontends; each VM returns the
+/// variants its semantics can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Data, operand or return stack underflow at the given instance.
+    StackUnderflow(usize),
+    /// Memory access outside the allocated cells.
+    BadAddress(usize, i64),
+    /// Null (or invalid) reference dereferenced.
+    BadReference(usize, i64),
+    /// Array index out of bounds.
+    BadIndex(usize, i64),
+    /// Unknown field/method resolution failure.
+    ResolutionFailure(usize, String),
+    /// Division or modulo by zero.
+    DivisionByZero(usize),
+    /// The step budget ran out (runaway program).
+    FuelExhausted(u64),
+    /// An exception unwound past the entry point without finding a
+    /// handler.
+    UncaughtException(usize, i64),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow(i) => write!(f, "stack underflow at instance {i}"),
+            VmError::BadAddress(i, a) => write!(f, "bad address {a} at instance {i}"),
+            VmError::BadReference(i, r) => write!(f, "bad reference {r} at instance {i}"),
+            VmError::BadIndex(i, x) => write!(f, "index {x} out of bounds at instance {i}"),
+            VmError::ResolutionFailure(i, what) => {
+                write!(f, "cannot resolve {what} at instance {i}")
+            }
+            VmError::DivisionByZero(i) => write!(f, "division by zero at instance {i}"),
+            VmError::FuelExhausted(n) => write!(f, "fuel exhausted after {n} steps"),
+            VmError::UncaughtException(i, r) => {
+                write!(f, "uncaught exception (ref {r}) thrown at instance {i}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// A loaded guest program together with the VM that can run it.
+///
+/// Implemented by frontend image types (`ivm_forth::Image`,
+/// `ivm_java::JavaImage`, `ivm_calc::CalcImage`). The trait is
+/// object-safe: the bench harness stores images as
+/// `Arc<dyn GuestVm + Send + Sync>` and drives every frontend through the
+/// same code path.
+///
+/// The contract the measurement pipeline relies on:
+///
+/// * [`GuestVm::spec`] and [`GuestVm::program`] describe exactly the code
+///   that [`GuestVm::execute`] runs — instance indices in the event
+///   stream index into this program.
+/// * [`GuestVm::execute`] calls [`VmEvents::begin`] once per entry (or
+///   re-entry from outside translated code) and [`VmEvents::transfer`]
+///   once per subsequent VM instruction, and reports every quickening
+///   rewrite through [`VmEvents::quicken`] before the rewritten instance
+///   is next dispatched.
+/// * Execution is deterministic: the same image produces the same event
+///   stream and [`VmOutput`] on every run.
+pub trait GuestVm {
+    /// The instruction-set specification the program was compiled
+    /// against.
+    fn spec(&self) -> &VmSpec;
+
+    /// The opcode stream and control-flow shape the translator consumes.
+    fn program(&self) -> &ProgramCode;
+
+    /// The superinstruction-selection policy for this VM family
+    /// (paper §7.1: Gforth favours long dynamic sequences, the JVM short
+    /// statically frequent ones).
+    fn super_selection(&self) -> SuperSelection;
+
+    /// Default fuel (VM instructions) for benchmark runs of this VM.
+    fn default_fuel(&self) -> u64;
+
+    /// Interprets the program, reporting control transfers and
+    /// quickenings to `events`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on runtime failures or fuel exhaustion.
+    fn execute(&self, events: &mut dyn VmEvents, fuel: u64) -> Result<VmOutput, VmError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_stable() {
+        let cases = [
+            (VmError::StackUnderflow(3), "stack underflow at instance 3"),
+            (VmError::BadAddress(1, -7), "bad address -7 at instance 1"),
+            (VmError::BadReference(2, 0), "bad reference 0 at instance 2"),
+            (VmError::BadIndex(4, 9), "index 9 out of bounds at instance 4"),
+            (
+                VmError::ResolutionFailure(5, "Foo.bar".into()),
+                "cannot resolve Foo.bar at instance 5",
+            ),
+            (VmError::DivisionByZero(6), "division by zero at instance 6"),
+            (VmError::FuelExhausted(100), "fuel exhausted after 100 steps"),
+            (VmError::UncaughtException(7, 12), "uncaught exception (ref 12) thrown at instance 7"),
+        ];
+        for (e, msg) in cases {
+            assert_eq!(e.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn output_default_is_empty() {
+        let out = VmOutput::default();
+        assert_eq!(out.text, "");
+        assert_eq!((out.steps, out.allocations, out.quickenings), (0, 0, 0));
+        assert!(out.stack.is_empty());
+    }
+}

@@ -56,7 +56,9 @@
 mod cache;
 mod engine;
 mod events;
+mod guest;
 mod layout;
+mod measure;
 mod native;
 mod profile;
 mod program;
@@ -71,7 +73,9 @@ mod translate;
 pub use cache::Memo;
 pub use engine::{DispatchObserver, Engine, RunResult, Runner, SharedObserver};
 pub use events::{Measurement, NullEvents, Tee, VmEvents};
+pub use guest::{GuestVm, VmError, VmOutput};
 pub use layout::{CodeSpace, Routine, RoutineTable, DYNAMIC_BASE, STATIC_BASE};
+pub use measure::{measure, measure_observed, measure_trace, measure_with, profile, record};
 pub use native::{
     align_up, static_super_spec, InstKind, NativeSpec, CODE_ALIGN, DISPATCH_BYTES, DISPATCH_INSTRS,
     IP_INC_BYTES, IP_INC_INSTRS, STATIC_SUPER_SAVINGS_BYTES, STATIC_SUPER_SAVINGS_INSTRS,

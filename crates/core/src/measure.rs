@@ -1,0 +1,133 @@
+//! The measurement pipeline: profile, translate and measure any
+//! [`GuestVm`] program on a simulated machine.
+//!
+//! These six entry points used to exist per frontend; they are generic
+//! over the [`GuestVm`] seam now, so every interpreter — Forth, mini-JVM,
+//! the calculator VM, and whatever comes next — is profiled, translated
+//! and measured by exactly the same code.
+
+use ivm_cache::CpuSpec;
+
+use crate::engine::{Engine, RunResult, Runner};
+use crate::events::{Measurement, NullEvents, Tee, VmEvents};
+use crate::guest::{GuestVm, VmError, VmOutput};
+use crate::profile::{Profile, ProfileCollector};
+use crate::technique::Technique;
+use crate::trace::ExecutionTrace;
+use crate::translate::translate;
+
+/// Collects a training profile by running `vm` once.
+///
+/// The collector tracks quickening, so for quickening VMs the profile is
+/// expressed in terms of quick opcodes — what static selection needs
+/// (paper §5.4).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the training run.
+pub fn profile<G: GuestVm + ?Sized>(vm: &G) -> Result<Profile, VmError> {
+    let mut collector = ProfileCollector::new(vm.program());
+    vm.execute(&mut collector, vm.default_fuel())?;
+    Ok(collector.into_profile())
+}
+
+/// Runs `vm` under `technique` on `cpu`, returning the run result and the
+/// program output.
+///
+/// `training` supplies the profile for static techniques (pass the
+/// profile of a *different* program to reproduce the paper's
+/// cross-training setup, or this program's own profile for
+/// self-training).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure<G: GuestVm + ?Sized>(
+    vm: &G,
+    technique: Technique,
+    cpu: &CpuSpec,
+    training: Option<&Profile>,
+) -> Result<(RunResult, VmOutput), VmError> {
+    measure_with(vm, technique, Engine::for_cpu(cpu), training)
+}
+
+/// Like [`measure`], but with a caller-supplied [`Engine`] — for
+/// experiments that vary the predictor or fetch path independently of the
+/// CPU presets (e.g. BTB size sweeps, two-level predictors).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_with<G: GuestVm + ?Sized>(
+    vm: &G,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+) -> Result<(RunResult, VmOutput), VmError> {
+    measure_observed(vm, technique, engine, training, &mut NullEvents)
+}
+
+/// Like [`measure_with`], but tees the run's [`VmEvents`] stream into
+/// `extra` as well — the hook the observability layer uses to attach
+/// event counters or trace sinks without the VM crate depending on it.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the measured run.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_observed<G: GuestVm + ?Sized>(
+    vm: &G,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+    extra: &mut dyn VmEvents,
+) -> Result<(RunResult, VmOutput), VmError> {
+    let translation = translate(vm.spec(), vm.program(), technique, training, vm.super_selection());
+    let runner = Runner::new(engine);
+    let mut measurement = Measurement::new(translation, runner);
+    let mut tee = Tee { a: &mut measurement, b: extra };
+    let output = vm.execute(&mut tee, vm.default_fuel())?;
+    Ok((measurement.finish(), output))
+}
+
+/// Records one run of `vm` as an [`ExecutionTrace`] (plus its output),
+/// for replaying against many translations with [`measure_trace`] — much
+/// faster than re-interpreting in parameter sweeps.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the recording run.
+pub fn record<G: GuestVm + ?Sized>(vm: &G) -> Result<(ExecutionTrace, VmOutput), VmError> {
+    let mut trace = ExecutionTrace::new();
+    let output = vm.execute(&mut trace, vm.default_fuel())?;
+    Ok((trace, output))
+}
+
+/// Replays a recorded trace of `vm` under `technique` on `cpu`.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_trace<G: GuestVm + ?Sized>(
+    vm: &G,
+    trace: &ExecutionTrace,
+    technique: Technique,
+    cpu: &CpuSpec,
+    training: Option<&Profile>,
+) -> RunResult {
+    let translation = translate(vm.spec(), vm.program(), technique, training, vm.super_selection());
+    let mut measurement = Measurement::new(translation, Runner::new(Engine::for_cpu(cpu)));
+    trace.replay(&mut measurement);
+    measurement.finish()
+}

@@ -8,7 +8,9 @@
 //! * the interpreter itself ([`run`]), which reports every dispatch to an
 //!   [`ivm_core::VmEvents`] sink,
 //! * the seven-benchmark suite of the paper's Table VI ([`programs`]),
-//! * and a measurement harness ([`measure`], [`profile`]).
+//! * and the [`ivm_core::GuestVm`] impl on [`Image`] that plugs it all
+//!   into the generic measurement pipeline ([`ivm_core::measure`],
+//!   [`ivm_core::profile`]).
 //!
 //! # Examples
 //!
@@ -19,11 +21,11 @@
 //! let image = ivm_forth::compile(": main 100 0 do i + loop . ;");
 //! // `0 do` with nothing on the stack would underflow — push a start value:
 //! let image = ivm_forth::compile(": main 0 100 0 do i + loop . ;").unwrap();
-//! let prof = ivm_forth::profile(&image)?;
-//! let (plain, out) = ivm_forth::measure(
+//! let prof = ivm_core::profile(&image)?;
+//! let (plain, out) = ivm_core::measure(
 //!     &image, Technique::Threaded, &CpuSpec::celeron800(), Some(&prof))?;
 //! assert_eq!(out.text, "4950 ");
-//! let (repl, _) = ivm_forth::measure(
+//! let (repl, _) = ivm_core::measure(
 //!     &image, Technique::DynamicRepl, &CpuSpec::celeron800(), Some(&prof))?;
 //! // Replication never executes more dispatches than plain threading.
 //! assert!(repl.counters.dispatches <= plain.counters.dispatches);
@@ -35,11 +37,12 @@
 
 mod compiler;
 mod inst;
-mod measure;
 pub mod programs;
 mod vm;
 
 pub use compiler::{compile, disassemble, CompileError, Image};
 pub use inst::{ops, spec_without_tos_caching, ForthOps};
-pub use measure::{measure, measure_trace, measure_with, profile, record, DEFAULT_FUEL};
-pub use vm::{run, Output, VmError};
+/// The unified run-result and run-failure types (re-exported from
+/// [`ivm_core`] for convenience).
+pub use ivm_core::{VmError, VmOutput};
+pub use vm::{run, DEFAULT_FUEL};

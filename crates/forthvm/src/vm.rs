@@ -1,50 +1,37 @@
 //! The Forth interpreter proper: executes an [`Image`] while reporting
-//! every dispatch through [`VmEvents`].
+//! every dispatch through [`VmEvents`], plus the [`GuestVm`] impl that
+//! plugs Forth programs into the generic measurement pipeline.
 
-use std::error::Error;
-use std::fmt;
-
-use ivm_core::VmEvents;
+use ivm_core::{GuestVm, ProgramCode, SuperSelection, VmError, VmEvents, VmOutput, VmSpec};
 
 use crate::compiler::Image;
 use crate::inst::ops;
 
-/// Result of a completed Forth run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Output {
-    /// Everything the program printed (`.`, `emit`, `cr`).
-    pub text: String,
-    /// VM instructions executed.
-    pub steps: u64,
-    /// Data stack left behind (normally empty for well-behaved programs).
-    pub stack: Vec<i64>,
-}
+/// Default fuel for benchmark runs (VM instructions).
+pub const DEFAULT_FUEL: u64 = 100_000_000;
 
-/// A runtime failure of the interpreted program.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VmError {
-    /// Data or return stack underflow at the given instance.
-    StackUnderflow(usize),
-    /// Memory access outside the allocated cells.
-    BadAddress(usize, i64),
-    /// Division or modulo by zero.
-    DivisionByZero(usize),
-    /// The step budget ran out (runaway program).
-    FuelExhausted(u64),
-}
+impl GuestVm for Image {
+    fn spec(&self) -> &VmSpec {
+        &ops().spec
+    }
 
-impl fmt::Display for VmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            VmError::StackUnderflow(i) => write!(f, "stack underflow at instance {i}"),
-            VmError::BadAddress(i, a) => write!(f, "bad address {a} at instance {i}"),
-            VmError::DivisionByZero(i) => write!(f, "division by zero at instance {i}"),
-            VmError::FuelExhausted(n) => write!(f, "fuel exhausted after {n} steps"),
-        }
+    fn program(&self) -> &ProgramCode {
+        &self.program
+    }
+
+    fn super_selection(&self) -> SuperSelection {
+        // Gforth policy (paper §7.1): favour long dynamic sequences.
+        SuperSelection::gforth()
+    }
+
+    fn default_fuel(&self) -> u64 {
+        DEFAULT_FUEL
+    }
+
+    fn execute(&self, events: &mut dyn VmEvents, fuel: u64) -> Result<VmOutput, VmError> {
+        run(self, events, fuel)
     }
 }
-
-impl Error for VmError {}
 
 enum Flow {
     Next,
@@ -71,7 +58,7 @@ enum Flow {
 /// let out = ivm_forth::run(&image, &mut NullEvents, 1_000).unwrap();
 /// assert_eq!(out.text, "42 ");
 /// ```
-pub fn run(image: &Image, events: &mut dyn VmEvents, fuel: u64) -> Result<Output, VmError> {
+pub fn run(image: &Image, events: &mut dyn VmEvents, fuel: u64) -> Result<VmOutput, VmError> {
     let o = ops();
     let program = &image.program;
     let mut mem = vec![0i64; image.memory_cells];
@@ -460,7 +447,7 @@ pub fn run(image: &Image, events: &mut dyn VmEvents, fuel: u64) -> Result<Output
         }
     }
 
-    Ok(Output { text, steps, stack })
+    Ok(VmOutput { text, steps, stack, ..VmOutput::default() })
 }
 
 #[cfg(test)]
@@ -469,7 +456,7 @@ mod tests {
     use crate::compiler::compile;
     use ivm_core::NullEvents;
 
-    fn eval(src: &str) -> Output {
+    fn eval(src: &str) -> VmOutput {
         let image = compile(src).expect("compiles");
         run(&image, &mut NullEvents, 10_000_000).expect("runs")
     }
@@ -621,9 +608,9 @@ mod extension_tests {
 
     #[test]
     fn extensions_survive_all_techniques() {
-        use crate::measure::{measure, profile};
         use ivm_cache::CpuSpec;
         use ivm_core::Technique;
+        use ivm_core::{measure, profile};
         let image = compile(": main 0 40 0 do i 30 >= ?leave i 1 pick xor 1023 and 2 +loop . ;")
             .expect("compiles");
         let prof = profile(&image).expect("profiles");

@@ -17,7 +17,7 @@
 //!   shrinking by tape reduction, a fixed default seed, and
 //!   `IVM_PROP_SEED` / `IVM_PROP_CASES` environment overrides for replay
 //!   and soak runs.
-//! * [`bench`] — a small statistical micro-benchmark runner (warmup,
+//! * [`bench`](mod@bench) — a small statistical micro-benchmark runner (warmup,
 //!   N timed samples, median and median-absolute-deviation, human and
 //!   JSON output) for `harness = false` bench targets.
 //! * [`par`] — a deterministic parallel experiment executor: a scoped

@@ -2,8 +2,8 @@
 //!
 //! Properties are written in the *fused* style: the property closure
 //! receives a [`Source`] and draws its own random inputs from it, then
-//! returns `Ok(())` or `Err(message)` (the [`prop_assert!`] and
-//! [`prop_assert_eq!`] macros produce the latter). Example:
+//! returns `Ok(())` or `Err(message)` (the [`prop_assert!`](crate::prop_assert) and
+//! [`prop_assert_eq!`](crate::prop_assert_eq) macros produce the latter). Example:
 //!
 //! ```
 //! use ivm_harness::{prop, prop_assert};

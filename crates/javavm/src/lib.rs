@@ -9,7 +9,9 @@
 //! * the interpreter itself ([`run`]), which performs run-time quickening
 //!   (paper §5.4) and reports everything to an [`ivm_core::VmEvents`] sink,
 //! * the SPECjvm98-analog benchmark suite ([`programs`]),
-//! * and a measurement harness ([`measure`], [`profile`]).
+//! * and the [`ivm_core::GuestVm`] impl on [`JavaImage`] that plugs it
+//!   all into the generic measurement pipeline ([`ivm_core::measure`],
+//!   [`ivm_core::profile`]).
 //!
 //! # Examples
 //!
@@ -34,13 +36,13 @@
 //! a.end_method();
 //! let image = a.link();
 //!
-//! let prof = ivm_java::profile(&image)?;
+//! let prof = ivm_core::profile(&image)?;
 //! let cpu = CpuSpec::pentium4_northwood();
-//! let (plain, out) = ivm_java::measure(&image, Technique::Threaded, &cpu, Some(&prof))?;
+//! let (plain, out) = ivm_core::measure(&image, Technique::Threaded, &cpu, Some(&prof))?;
 //! assert_eq!(out.text, "700\n");
-//! let (across, _) = ivm_java::measure(&image, Technique::AcrossBb, &cpu, Some(&prof))?;
+//! let (across, _) = ivm_core::measure(&image, Technique::AcrossBb, &cpu, Some(&prof))?;
 //! assert!(across.cycles < plain.cycles);
-//! # Ok::<(), ivm_java::JavaError>(())
+//! # Ok::<(), ivm_java::VmError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,7 +50,6 @@
 
 mod asm;
 mod inst;
-mod measure;
 pub mod programs;
 mod vm;
 
@@ -56,5 +57,7 @@ pub use asm::{
     disassemble, Asm, ClassDef, ClassId, HandlerRange, JavaImage, MethodDef, MethodId, SwitchTable,
 };
 pub use inst::{ops, JavaOps};
-pub use measure::{measure, measure_trace, measure_with, profile, record, DEFAULT_FUEL};
-pub use vm::{run, JavaError, JavaOutput};
+/// The unified run-result and run-failure types (re-exported from
+/// [`ivm_core`] for convenience).
+pub use ivm_core::{VmError, VmOutput};
+pub use vm::{run, DEFAULT_FUEL};

@@ -1,65 +1,39 @@
 //! The mini-JVM interpreter: executes a [`JavaImage`] with frames, a heap,
-//! quickening, and full dispatch reporting through [`VmEvents`].
+//! quickening, and full dispatch reporting through [`VmEvents`], plus the
+//! [`GuestVm`] impl that plugs JVM programs into the generic measurement
+//! pipeline.
 
-use std::error::Error;
-use std::fmt;
-
-use ivm_core::{OpId, VmEvents};
+use ivm_core::{GuestVm, OpId, ProgramCode, SuperSelection, VmError, VmEvents, VmOutput, VmSpec};
 
 use crate::asm::{ClassId, JavaImage};
 use crate::inst::ops;
 
-/// Result of a completed JVM run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JavaOutput {
-    /// Everything printed via `print_int` (one integer per line).
-    pub text: String,
-    /// VM instructions executed.
-    pub steps: u64,
-    /// Number of objects and arrays allocated.
-    pub allocations: u64,
-    /// Quickening rewrites performed.
-    pub quickenings: u64,
-}
+/// Default fuel for benchmark runs (VM instructions).
+pub const DEFAULT_FUEL: u64 = 200_000_000;
 
-/// A runtime failure of the interpreted program.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum JavaError {
-    /// Operand stack underflow.
-    StackUnderflow(usize),
-    /// Null (or invalid) reference dereferenced.
-    BadReference(usize, i64),
-    /// Array index out of bounds.
-    BadIndex(usize, i64),
-    /// Unknown field/method resolution failure.
-    ResolutionFailure(usize, String),
-    /// Division by zero.
-    DivisionByZero(usize),
-    /// Step budget exhausted.
-    FuelExhausted(u64),
-    /// An exception unwound past `main` without finding a handler.
-    UncaughtException(usize, i64),
-}
+impl GuestVm for JavaImage {
+    fn spec(&self) -> &VmSpec {
+        &ops().spec
+    }
 
-impl fmt::Display for JavaError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JavaError::StackUnderflow(i) => write!(f, "stack underflow at instance {i}"),
-            JavaError::BadReference(i, r) => write!(f, "bad reference {r} at instance {i}"),
-            JavaError::BadIndex(i, x) => write!(f, "index {x} out of bounds at instance {i}"),
-            JavaError::ResolutionFailure(i, what) => {
-                write!(f, "cannot resolve {what} at instance {i}")
-            }
-            JavaError::DivisionByZero(i) => write!(f, "division by zero at instance {i}"),
-            JavaError::FuelExhausted(n) => write!(f, "fuel exhausted after {n} steps"),
-            JavaError::UncaughtException(i, r) => {
-                write!(f, "uncaught exception (ref {r}) thrown at instance {i}")
-            }
-        }
+    fn program(&self) -> &ProgramCode {
+        &self.program
+    }
+
+    fn super_selection(&self) -> SuperSelection {
+        // JVM policy (paper §7.1): favour statically frequent short
+        // sequences.
+        SuperSelection::jvm()
+    }
+
+    fn default_fuel(&self) -> u64 {
+        DEFAULT_FUEL
+    }
+
+    fn execute(&self, events: &mut dyn VmEvents, fuel: u64) -> Result<VmOutput, VmError> {
+        run(self, events, fuel)
     }
 }
-
-impl Error for JavaError {}
 
 #[derive(Debug, Clone)]
 enum HeapObj {
@@ -88,7 +62,7 @@ fn as_i32(v: i64) -> i64 {
 ///
 /// # Errors
 ///
-/// Returns a [`JavaError`] on runtime failures or fuel exhaustion.
+/// Returns a [`VmError`] on runtime failures or fuel exhaustion.
 ///
 /// # Examples
 ///
@@ -109,11 +83,7 @@ fn as_i32(v: i64) -> i64 {
 /// let out = ivm_java::run(&image, &mut NullEvents, 1_000).unwrap();
 /// assert_eq!(out.text, "42\n");
 /// ```
-pub fn run(
-    image: &JavaImage,
-    events: &mut dyn VmEvents,
-    fuel: u64,
-) -> Result<JavaOutput, JavaError> {
+pub fn run(image: &JavaImage, events: &mut dyn VmEvents, fuel: u64) -> Result<VmOutput, VmError> {
     let o = ops();
     let program = &image.program;
     // Current (quickened) opcode per instance, plus the cached quick
@@ -137,7 +107,7 @@ pub fn run(
         () => {
             match stack.pop() {
                 Some(v) => v,
-                None => return Err(JavaError::StackUnderflow(ip)),
+                None => return Err(VmError::StackUnderflow(ip)),
             }
         };
     }
@@ -145,7 +115,7 @@ pub fn run(
         ($r:expr) => {{
             let r = $r;
             if r <= 0 || r as usize > heap.len() {
-                return Err(JavaError::BadReference(ip, r));
+                return Err(VmError::BadReference(ip, r));
             }
             (r - 1) as usize
         }};
@@ -190,7 +160,7 @@ pub fn run(
             let m = &image.methods[$method as usize];
             let slots = m.nargs + usize::from(!m.is_static);
             if stack.len() < slots {
-                return Err(JavaError::StackUnderflow(ip));
+                return Err(VmError::StackUnderflow(ip));
             }
             let mut locals = vec![0i64; m.nlocals.max(slots)];
             for k in (0..slots).rev() {
@@ -204,7 +174,7 @@ pub fn run(
     loop {
         steps += 1;
         if steps > fuel {
-            return Err(JavaError::FuelExhausted(fuel));
+            return Err(VmError::FuelExhausted(fuel));
         }
         let op = cur_ops[ip];
         let operand = image.operands[ip];
@@ -221,7 +191,7 @@ pub fn run(
             let frame = frames.last().expect("frame");
             let idx = operand as usize;
             if idx >= frame.locals.len() {
-                return Err(JavaError::BadIndex(ip, operand));
+                return Err(VmError::BadIndex(ip, operand));
             }
             stack.push(frame.locals[idx]);
             Flow::Next
@@ -235,7 +205,7 @@ pub fn run(
             let frame = frames.last_mut().expect("frame");
             let idx = operand as usize;
             if idx >= frame.locals.len() {
-                return Err(JavaError::BadIndex(ip, operand));
+                return Err(VmError::BadIndex(ip, operand));
             }
             frame.locals[idx] = v;
             Flow::Next
@@ -244,7 +214,7 @@ pub fn run(
             let delta = i64::from(operand as u32 as i32);
             let frame = frames.last_mut().expect("frame");
             if idx >= frame.locals.len() {
-                return Err(JavaError::BadIndex(ip, operand));
+                return Err(VmError::BadIndex(ip, operand));
             }
             frame.locals[idx] = as_i32(frame.locals[idx].wrapping_add(delta));
             Flow::Next
@@ -279,7 +249,7 @@ pub fn run(
             let b = pop!();
             let a = pop!();
             if b == 0 {
-                return Err(JavaError::DivisionByZero(ip));
+                return Err(VmError::DivisionByZero(ip));
             }
             stack.push(as_i32(a.wrapping_div(b)));
             Flow::Next
@@ -287,7 +257,7 @@ pub fn run(
             let b = pop!();
             let a = pop!();
             if b == 0 {
-                return Err(JavaError::DivisionByZero(ip));
+                return Err(VmError::DivisionByZero(ip));
             }
             stack.push(as_i32(a.wrapping_rem(b)));
             Flow::Next
@@ -357,19 +327,19 @@ pub fn run(
                 .iter()
                 .find(|m| !m.is_static && &m.name == name)
                 .map(|m| m.nargs)
-                .ok_or_else(|| JavaError::ResolutionFailure(ip, name.clone()))?;
+                .ok_or_else(|| VmError::ResolutionFailure(ip, name.clone()))?;
             if stack.len() < nargs + 1 {
-                return Err(JavaError::StackUnderflow(ip));
+                return Err(VmError::StackUnderflow(ip));
             }
             let receiver = stack[stack.len() - nargs - 1];
             let h = obj!(receiver);
             let class = match &heap[h] {
                 HeapObj::Object { class, .. } => *class,
-                HeapObj::Array(_) => return Err(JavaError::BadReference(ip, receiver)),
+                HeapObj::Array(_) => return Err(VmError::BadReference(ip, receiver)),
             };
             let m = image
                 .resolve_virtual(class, name_id)
-                .ok_or_else(|| JavaError::ResolutionFailure(ip, name.clone()))?;
+                .ok_or_else(|| VmError::ResolutionFailure(ip, name.clone()))?;
             if op == o.invokevirtual {
                 quick_operand[ip] = i64::from(m);
                 cur_ops[ip] = o.invokevirtual_quick;
@@ -391,7 +361,7 @@ pub fn run(
         } else if op == o.newarray {
             let len = pop!();
             if !(0..=1 << 24).contains(&len) {
-                return Err(JavaError::BadIndex(ip, len));
+                return Err(VmError::BadIndex(ip, len));
             }
             heap.push(HeapObj::Array(vec![0; len as usize]));
             allocations += 1;
@@ -404,11 +374,11 @@ pub fn run(
             match &heap[h] {
                 HeapObj::Array(a) => {
                     if idx < 0 || idx as usize >= a.len() {
-                        return Err(JavaError::BadIndex(ip, idx));
+                        return Err(VmError::BadIndex(ip, idx));
                     }
                     stack.push(a[idx as usize]);
                 }
-                HeapObj::Object { .. } => return Err(JavaError::BadReference(ip, r)),
+                HeapObj::Object { .. } => return Err(VmError::BadReference(ip, r)),
             }
             Flow::Next
         } else if op == o.iastore {
@@ -419,11 +389,11 @@ pub fn run(
             match &mut heap[h] {
                 HeapObj::Array(a) => {
                     if idx < 0 || idx as usize >= a.len() {
-                        return Err(JavaError::BadIndex(ip, idx));
+                        return Err(VmError::BadIndex(ip, idx));
                     }
                     a[idx as usize] = as_i32(v);
                 }
-                HeapObj::Object { .. } => return Err(JavaError::BadReference(ip, r)),
+                HeapObj::Object { .. } => return Err(VmError::BadReference(ip, r)),
             }
             Flow::Next
         } else if op == o.arraylength {
@@ -431,7 +401,7 @@ pub fn run(
             let h = obj!(r);
             match &heap[h] {
                 HeapObj::Array(a) => stack.push(a.len() as i64),
-                HeapObj::Object { .. } => return Err(JavaError::BadReference(ip, r)),
+                HeapObj::Object { .. } => return Err(VmError::BadReference(ip, r)),
             }
             Flow::Next
         } else if op == o.tableswitch {
@@ -474,7 +444,7 @@ pub fn run(
                     stack.push(exn);
                     Flow::Taken(h)
                 }
-                None => return Err(JavaError::UncaughtException(ip, exn)),
+                None => return Err(VmError::UncaughtException(ip, exn)),
             }
         } else if op == o.print_int {
             let v = pop!();
@@ -487,10 +457,10 @@ pub fn run(
             let off = if op == o.getfield {
                 let class = match &heap[h] {
                     HeapObj::Object { class, .. } => *class,
-                    HeapObj::Array(_) => return Err(JavaError::BadReference(ip, r)),
+                    HeapObj::Array(_) => return Err(VmError::BadReference(ip, r)),
                 };
                 let off = image.resolve_field(class, operand as usize).ok_or_else(|| {
-                    JavaError::ResolutionFailure(ip, image.names[operand as usize].clone())
+                    VmError::ResolutionFailure(ip, image.names[operand as usize].clone())
                 })?;
                 quick_operand[ip] = off as i64;
                 // Word fields and "byte" fields get different quick forms
@@ -506,11 +476,11 @@ pub fn run(
             match &heap[h] {
                 HeapObj::Object { fields, .. } => {
                     if off >= fields.len() {
-                        return Err(JavaError::BadIndex(ip, off as i64));
+                        return Err(VmError::BadIndex(ip, off as i64));
                     }
                     stack.push(fields[off]);
                 }
-                HeapObj::Array(_) => return Err(JavaError::BadReference(ip, r)),
+                HeapObj::Array(_) => return Err(VmError::BadReference(ip, r)),
             }
             Flow::Next
         } else if op == o.putfield || op == o.putfield_quick_w || op == o.putfield_quick_b {
@@ -520,10 +490,10 @@ pub fn run(
             let off = if op == o.putfield {
                 let class = match &heap[h] {
                     HeapObj::Object { class, .. } => *class,
-                    HeapObj::Array(_) => return Err(JavaError::BadReference(ip, r)),
+                    HeapObj::Array(_) => return Err(VmError::BadReference(ip, r)),
                 };
                 let off = image.resolve_field(class, operand as usize).ok_or_else(|| {
-                    JavaError::ResolutionFailure(ip, image.names[operand as usize].clone())
+                    VmError::ResolutionFailure(ip, image.names[operand as usize].clone())
                 })?;
                 quick_operand[ip] = off as i64;
                 let quick = if off % 2 == 0 { o.putfield_quick_w } else { o.putfield_quick_b };
@@ -537,11 +507,11 @@ pub fn run(
             match &mut heap[h] {
                 HeapObj::Object { fields, .. } => {
                     if off >= fields.len() {
-                        return Err(JavaError::BadIndex(ip, off as i64));
+                        return Err(VmError::BadIndex(ip, off as i64));
                     }
                     fields[off] = v;
                 }
-                HeapObj::Array(_) => return Err(JavaError::BadReference(ip, r)),
+                HeapObj::Array(_) => return Err(VmError::BadReference(ip, r)),
             }
             Flow::Next
         } else if op == o.getstatic || op == o.getstatic_quick {
@@ -590,7 +560,7 @@ pub fn run(
         }
     }
 
-    Ok(JavaOutput { text, steps, allocations, quickenings })
+    Ok(VmOutput { text, steps, allocations, quickenings, ..VmOutput::default() })
 }
 
 #[cfg(test)]
@@ -599,14 +569,14 @@ mod tests {
     use crate::asm::Asm;
     use ivm_core::NullEvents;
 
-    fn eval(build: impl FnOnce(&mut Asm)) -> JavaOutput {
+    fn eval(build: impl FnOnce(&mut Asm)) -> VmOutput {
         let mut a = Asm::new();
         build(&mut a);
         let image = a.link();
         run(&image, &mut NullEvents, 10_000_000).expect("runs")
     }
 
-    fn simple_main(body: impl FnOnce(&mut Asm)) -> JavaOutput {
+    fn simple_main(body: impl FnOnce(&mut Asm)) -> VmOutput {
         eval(|a| {
             a.class("Main", None, &[]);
             a.begin_static("Main", "main", 0, 8);
@@ -844,7 +814,7 @@ mod tests {
             a.end_method();
             a.link()
         };
-        assert!(matches!(run(&image, &mut NullEvents, 1000), Err(JavaError::DivisionByZero(_))));
+        assert!(matches!(run(&image, &mut NullEvents, 1000), Err(VmError::DivisionByZero(_))));
     }
 
     #[test]
@@ -861,7 +831,7 @@ mod tests {
             a.end_method();
             a.link()
         };
-        assert!(matches!(run(&image, &mut NullEvents, 1000), Err(JavaError::BadReference(_, 0))));
+        assert!(matches!(run(&image, &mut NullEvents, 1000), Err(VmError::BadReference(_, 0))));
     }
 }
 
@@ -946,7 +916,7 @@ mod exception_tests {
         let image = a.link();
         assert!(matches!(
             run(&image, &mut NullEvents, 10_000),
-            Err(JavaError::UncaughtException(_, _))
+            Err(VmError::UncaughtException(_, _))
         ));
     }
 
@@ -1037,12 +1007,12 @@ mod exception_tests {
             a.link()
         };
         let image = build();
-        let prof = crate::measure::profile(&image).unwrap();
+        let prof = ivm_core::profile(&image).unwrap();
         let mut texts = Vec::new();
         for tech in Technique::jvm_suite() {
             let image = build();
             let (_, out) =
-                crate::measure::measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
+                ivm_core::measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
                     .unwrap_or_else(|e| panic!("{tech}: {e}"));
             texts.push(out.text);
         }
@@ -1130,13 +1100,13 @@ mod tableswitch_tests {
         use ivm_cache::CpuSpec;
         use ivm_core::Technique;
         let image = dispatcher_image(60);
-        let prof = crate::measure::profile(&image).unwrap();
+        let prof = ivm_core::profile(&image).unwrap();
         let mut texts = Vec::new();
         let mut plain_mispred = 0;
         for tech in Technique::jvm_suite() {
             let image = dispatcher_image(60);
             let (r, out) =
-                crate::measure::measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
+                ivm_core::measure(&image, tech, &CpuSpec::pentium4_northwood(), Some(&prof))
                     .unwrap_or_else(|e| panic!("{tech}: {e}"));
             if tech == Technique::Threaded {
                 plain_mispred = r.counters.indirect_mispredicted;

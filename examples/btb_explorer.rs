@@ -8,13 +8,12 @@ use ivm::bpred::{
 };
 use ivm::cache::{CpuSpec, PerfectIcache};
 use ivm::core::{Engine, Technique};
-use ivm::forth;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "bench-gc".into());
     let bench =
         ivm::forth::programs::find(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let training = forth::profile(&ivm::forth::programs::BRAINLESS.image())?;
+    let training = ivm::core::profile(&ivm::forth::programs::BRAINLESS.image())?;
     let cpu = CpuSpec::celeron800();
 
     type Make = fn() -> Box<dyn IndirectPredictor>;
@@ -34,11 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (pname, make) in predictors {
         let image = bench.image();
         let engine = Engine::new(make(), Box::new(PerfectIcache::default()), cpu.costs);
-        let (plain, _) = forth::measure_with(&image, Technique::Threaded, engine, Some(&training))?;
+        let (plain, _) =
+            ivm::core::measure_with(&image, Technique::Threaded, engine, Some(&training))?;
         let image = bench.image();
         let engine = Engine::new(make(), Box::new(PerfectIcache::default()), cpu.costs);
         let (drepl, _) =
-            forth::measure_with(&image, Technique::DynamicRepl, engine, Some(&training))?;
+            ivm::core::measure_with(&image, Technique::DynamicRepl, engine, Some(&training))?;
         println!(
             "{:<24} {:>14.1} {:>14.1} {:>10.2}",
             pname,

@@ -26,8 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = bench.image();
     let cpu = CpuSpec::celeron800();
 
-    let training = (technique.needs_profile())
-        .then(|| forth::profile(&ivm::forth::programs::BRAINLESS.image()).expect("training run"));
+    let training = (technique.needs_profile()).then(|| {
+        ivm::core::profile(&ivm::forth::programs::BRAINLESS.image()).expect("training run")
+    });
     let o = forth::ops();
     let translation =
         translate(&o.spec, &image.program, technique, training.as_ref(), SuperSelection::gforth());

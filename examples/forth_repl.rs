@@ -35,11 +35,11 @@ fn main() -> io::Result<()> {
         }
         match forth::compile(&buffer) {
             Err(e) => println!("{e}"),
-            Ok(image) => match forth::profile(&image) {
+            Ok(image) => match ivm::core::profile(&image) {
                 Err(e) => println!("runtime error: {e}"),
                 Ok(profile) => {
                     for tech in [Technique::Threaded, Technique::AcrossBb] {
-                        match forth::measure(&image, tech, &cpu, Some(&profile)) {
+                        match ivm::core::measure(&image, tech, &cpu, Some(&profile)) {
                             Err(e) => println!("runtime error: {e}"),
                             Ok((r, o)) => println!(
                                 "[{:<10}] out: {:<16} dispatches: {:>8} mispred: {:>7} cycles: {:>10.0}",

@@ -5,7 +5,7 @@
 
 use ivm::cache::CpuSpec;
 use ivm::core::Technique;
-use ivm::forth::{self, programs};
+use ivm::forth::programs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "p4".into());
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // The paper trains the static techniques on brainless (§7.1).
-    let training = forth::profile(&programs::BRAINLESS.image())?;
+    let training = ivm::core::profile(&programs::BRAINLESS.image())?;
 
     println!("Speedups over plain threaded code on {} (paper Figure 7/8):", cpu.name);
     print!("{:<22}", "technique");
@@ -28,14 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut plain_cycles = Vec::new();
     for b in programs::SUITE {
         let image = b.image();
-        let (r, _) = forth::measure(&image, Technique::Threaded, &cpu, Some(&training))?;
+        let (r, _) = ivm::core::measure(&image, Technique::Threaded, &cpu, Some(&training))?;
         plain_cycles.push(r.cycles);
     }
     for tech in suite {
         print!("{:<22}", tech.paper_name());
         for (b, &plain) in programs::SUITE.iter().zip(&plain_cycles) {
             let image = b.image();
-            let (r, _) = forth::measure(&image, tech, &cpu, Some(&training))?;
+            let (r, _) = ivm::core::measure(&image, tech, &cpu, Some(&training))?;
             print!(" {:>9.2}", plain / r.cycles);
         }
         println!();

@@ -5,7 +5,7 @@
 
 use ivm::cache::CpuSpec;
 use ivm::core::{Profile, Technique};
-use ivm::java::{self, programs};
+use ivm::java::programs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cpu = CpuSpec::pentium4_northwood();
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // selection is trained on the profiles of all the *other* benchmarks.
     let profiles: Vec<Profile> = programs::SUITE
         .iter()
-        .map(|b| java::profile(&(b.build)()).expect("training run"))
+        .map(|b| ivm::core::profile(&(b.build)()).expect("training run"))
         .collect();
     let trainings: Vec<Profile> = (0..programs::SUITE.len())
         .map(|i| {
@@ -38,14 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut plain_cycles = Vec::new();
     for (b, training) in programs::SUITE.iter().zip(&trainings) {
         let image = (b.build)();
-        let (r, _) = java::measure(&image, Technique::Threaded, &cpu, Some(training))?;
+        let (r, _) = ivm::core::measure(&image, Technique::Threaded, &cpu, Some(training))?;
         plain_cycles.push(r.cycles);
     }
     for tech in Technique::jvm_suite() {
         print!("{:<22}", tech.paper_name());
         for ((b, training), &plain) in programs::SUITE.iter().zip(&trainings).zip(&plain_cycles) {
             let image = (b.build)();
-            let (r, _) = java::measure(&image, tech, &cpu, Some(training))?;
+            let (r, _) = ivm::core::measure(&image, tech, &cpu, Some(training))?;
             print!(" {:>9.2}", plain / r.cycles);
         }
         println!();

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           . cr ;
         ",
     )?;
-    let profile = forth::profile(&image)?;
+    let profile = ivm::core::profile(&image)?;
 
     for cpu in [CpuSpec::celeron800(), CpuSpec::pentium4_northwood()] {
         println!("== {} ==", cpu.name);
@@ -30,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<22} {:>12} {:>10} {:>10} {:>9} {:>8}",
             "technique", "cycles", "ind.br.", "mispred", "code(B)", "speedup"
         );
-        let (plain, out) = forth::measure(&image, Technique::Threaded, &cpu, Some(&profile))?;
+        let (plain, out) = ivm::core::measure(&image, Technique::Threaded, &cpu, Some(&profile))?;
         for tech in Technique::gforth_suite() {
-            let (r, o) = forth::measure(&image, tech, &cpu, Some(&profile))?;
+            let (r, o) = ivm::core::measure(&image, tech, &cpu, Some(&profile))?;
             assert_eq!(o.text, out.text, "layout must not change semantics");
             println!(
                 "{:<22} {:>12.0} {:>10} {:>10} {:>9} {:>8.2}",

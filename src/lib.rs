@@ -4,9 +4,12 @@
 //!
 //! * [`bpred`] — BTB and indirect-predictor simulators,
 //! * [`cache`] — I-cache/trace-cache simulators and CPU cost models,
-//! * [`core`] — code layout, dispatch techniques, the measurement engine,
+//! * [`core`] — code layout, dispatch techniques, the measurement engine
+//!   and the [`core::GuestVm`] trait every frontend implements,
 //! * [`forth`] — the Gforth-analog Forth system and its benchmarks,
 //! * [`java`] — the mini-JVM and its SPECjvm98-analog benchmarks,
+//! * [`calc`] — a small stack-calculator VM, the worked example of adding
+//!   a third frontend (see `README.md`),
 //! * [`obs`] — metrics, misprediction attribution and JSON run reports.
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for how each
@@ -15,7 +18,9 @@
 //! # Examples
 //!
 //! Measure plain threaded code against dynamic superinstructions with
-//! replication across basic blocks (the paper's best portable-ish variant):
+//! replication across basic blocks (the paper's best portable-ish variant).
+//! The same [`core::profile`]/[`core::measure`] pipeline works for any
+//! frontend — anything implementing [`core::GuestVm`]:
 //!
 //! ```
 //! use ivm::cache::CpuSpec;
@@ -23,10 +28,10 @@
 //! use ivm::forth;
 //!
 //! let image = forth::compile(": main 0 200 0 do i + loop . ;")?;
-//! let profile = forth::profile(&image)?;
+//! let profile = ivm::core::profile(&image)?;
 //! let cpu = CpuSpec::pentium4_northwood();
-//! let (plain, _) = forth::measure(&image, Technique::Threaded, &cpu, Some(&profile))?;
-//! let (across, _) = forth::measure(&image, Technique::AcrossBb, &cpu, Some(&profile))?;
+//! let (plain, _) = ivm::core::measure(&image, Technique::Threaded, &cpu, Some(&profile))?;
+//! let (across, _) = ivm::core::measure(&image, Technique::AcrossBb, &cpu, Some(&profile))?;
 //! assert!(across.speedup_over(&plain) > 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -36,6 +41,7 @@
 
 pub use ivm_bpred as bpred;
 pub use ivm_cache as cache;
+pub use ivm_calc as calc;
 pub use ivm_core as core;
 pub use ivm_forth as forth;
 pub use ivm_java as java;

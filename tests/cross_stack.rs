@@ -5,7 +5,7 @@ use ivm::bpred::{Btb, BtbConfig, IdealBtb, TwoLevelConfig, TwoLevelPredictor};
 use ivm::cache::{CpuSpec, CycleCosts, PerfectIcache};
 use ivm::core::{Engine, Technique};
 use ivm::forth;
-use ivm::java::{self, Asm};
+use ivm::java::Asm;
 
 /// A small Forth workload with the Table I pathology.
 fn forth_image() -> forth::Image {
@@ -23,11 +23,11 @@ fn forth_image() -> forth::Image {
 fn forth_speedup_hierarchy_on_celeron() {
     // Paper Figures 7: plain <= dynamic super family <= across bb family.
     let image = forth_image();
-    let profile = forth::profile(&image).expect("profiles");
+    let profile = ivm::core::profile(&image).expect("profiles");
     let cpu = CpuSpec::celeron800();
     let cycles = |tech| {
         let image = forth_image();
-        forth::measure(&image, tech, &cpu, Some(&profile)).expect("runs").0.cycles
+        ivm::core::measure(&image, tech, &cpu, Some(&profile)).expect("runs").0.cycles
     };
     let plain = cycles(Technique::Threaded);
     let drepl = cycles(Technique::DynamicRepl);
@@ -48,7 +48,7 @@ fn two_level_predictor_shrinks_the_gap() {
             .expect("compiles")
     };
     let image = straightline();
-    let profile = forth::profile(&image).expect("profiles");
+    let profile = ivm::core::profile(&image).expect("profiles");
     let costs = CycleCosts::celeron();
 
     let run = |tech, two_level: bool| {
@@ -59,7 +59,7 @@ fn two_level_predictor_shrinks_the_gap() {
             Box::new(Btb::new(BtbConfig::celeron()))
         };
         let engine = Engine::new(pred, Box::new(PerfectIcache::default()), costs);
-        forth::measure_with(&image, tech, engine, Some(&profile)).expect("runs").0
+        ivm::core::measure_with(&image, tech, engine, Some(&profile)).expect("runs").0
     };
 
     let btb_gain = run(Technique::Threaded, false).cycles / run(Technique::AcrossBb, false).cycles;
@@ -111,12 +111,12 @@ fn java_quickening_interacts_with_every_technique() {
     };
 
     let image = build_image();
-    let profile = java::profile(&image).expect("profiles");
+    let profile = ivm::core::profile(&image).expect("profiles");
     let cpu = CpuSpec::pentium4_northwood();
     let mut texts = Vec::new();
     for tech in Technique::jvm_suite() {
         let image = build_image();
-        let (r, out) = java::measure(&image, tech, &cpu, Some(&profile))
+        let (r, out) = ivm::core::measure(&image, tech, &cpu, Some(&profile))
             .unwrap_or_else(|e| panic!("{tech}: {e}"));
         assert!(out.quickenings >= 4, "{tech}: quickables must quicken");
         assert!(r.counters.instructions > 0);
@@ -131,13 +131,15 @@ fn predictor_choice_only_affects_prediction_counters() {
     // Swapping the predictor must not change retired instructions,
     // dispatches, or code bytes — only (mis)predictions.
     let image = forth_image();
-    let profile = forth::profile(&image).expect("profiles");
+    let profile = ivm::core::profile(&image).expect("profiles");
     let costs = CycleCosts::celeron();
 
     let with_pred = |pred: Box<dyn ivm::bpred::IndirectPredictor>| {
         let image = forth_image();
         let engine = Engine::new(pred, Box::new(PerfectIcache::default()), costs);
-        forth::measure_with(&image, Technique::AcrossBb, engine, Some(&profile)).expect("runs").0
+        ivm::core::measure_with(&image, Technique::AcrossBb, engine, Some(&profile))
+            .expect("runs")
+            .0
     };
     let a = with_pred(Box::new(IdealBtb::new()));
     let b = with_pred(Box::new(Btb::new(BtbConfig::new(16, 1).tagless())));

@@ -1,0 +1,83 @@
+//! Differential test for the `GuestVm` refactor: the generic
+//! `ivm::core::{profile, measure}` pipeline must reproduce, counter for
+//! counter, the numbers the per-frontend pipelines produced before the
+//! refactor.
+//!
+//! `tests/fixtures/perf_goldens.txt` was captured from the pre-refactor
+//! code (one line per benchmark × CPU × technique, tab-separated
+//! `PerfCounters` fields plus cycles). Nothing here may drift: the
+//! refactor moved code, it did not change what is measured.
+
+use std::fmt::Write as _;
+
+use ivm::cache::CpuSpec;
+use ivm::core::{RunResult, Technique};
+
+const GOLDENS: &str = include_str!("fixtures/perf_goldens.txt");
+
+fn golden_line(tag: &str, cpu: &CpuSpec, r: &RunResult) -> String {
+    let c = &r.counters;
+    let mut line = String::new();
+    write!(
+        line,
+        "{tag}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        cpu.name,
+        c.instructions,
+        c.indirect_branches,
+        c.indirect_mispredicted,
+        c.icache_misses,
+        c.icache_accesses,
+        c.code_bytes,
+        c.dispatches,
+        r.cycles,
+    )
+    .expect("writing to String cannot fail");
+    line
+}
+
+/// The fixture lines whose tag starts with `prefix/`, in fixture order.
+fn golden_lines(prefix: &str) -> Vec<&'static str> {
+    GOLDENS.lines().filter(|l| l.starts_with(prefix)).collect()
+}
+
+fn assert_matches(expected: &[&str], actual: &[String]) {
+    assert_eq!(expected.len(), actual.len(), "golden line count drifted");
+    for (e, a) in expected.iter().zip(actual) {
+        assert_eq!(*e, a.as_str(), "perf counters drifted from the pre-refactor pipeline");
+    }
+}
+
+#[test]
+fn forth_counters_match_pre_refactor_pipeline() {
+    let training =
+        ivm::core::profile(&ivm::forth::programs::BRAINLESS.image()).expect("training profile");
+    let mut actual = Vec::new();
+    for name in ["micro", "gray", "bench-gc"] {
+        let image = ivm::forth::programs::find(name).expect("bundled benchmark").image();
+        for cpu in [CpuSpec::celeron800(), CpuSpec::pentium4_northwood()] {
+            for t in Technique::gforth_suite() {
+                let (r, _) = ivm::core::measure(&image, t, &cpu, Some(&training))
+                    .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
+                actual.push(golden_line(&format!("forth/{name}/{t}"), &cpu, &r));
+            }
+        }
+    }
+    assert_matches(&golden_lines("forth/"), &actual);
+}
+
+#[test]
+fn java_counters_match_pre_refactor_pipeline() {
+    let cpu = CpuSpec::pentium4_northwood();
+    let mut actual = Vec::new();
+    for name in ["db", "mpeg"] {
+        let b = ivm::java::programs::find(name).expect("bundled benchmark");
+        let image = (b.build)();
+        let training = ivm::core::profile(&image).expect("training profile");
+        for t in Technique::jvm_suite() {
+            let (r, _) = ivm::core::measure(&image, t, &cpu, Some(&training))
+                .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
+            actual.push(golden_line(&format!("java/{name}/{t}"), &cpu, &r));
+        }
+    }
+    assert_matches(&golden_lines("java/"), &actual);
+}

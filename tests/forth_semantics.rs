@@ -46,11 +46,11 @@ fn counted_loop(src: &mut Source) -> String {
 
 fn run_all_techniques(source: &str) -> Vec<String> {
     let image = forth::compile(source).expect("generated source compiles");
-    let profile = forth::profile(&image).expect("profiles");
+    let profile = ivm::core::profile(&image).expect("profiles");
     let cpu = CpuSpec::celeron800();
     let mut outputs = Vec::new();
     for tech in Technique::gforth_suite() {
-        let (_, out) = forth::measure(&image, tech, &cpu, Some(&profile))
+        let (_, out) = ivm::core::measure(&image, tech, &cpu, Some(&profile))
             .unwrap_or_else(|e| panic!("{tech}: {e}"));
         outputs.push(out.text);
     }
