@@ -4,6 +4,7 @@ use ivm_bpred::{
     Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
 };
 use ivm_cache::{FetchCache, Icache, IcacheConfig, TraceCache};
+use ivm_core::{simulate_many, DispatchTrace};
 use ivm_harness::Bencher;
 
 /// A synthetic dispatch stream: 64 branches cycling over 4 targets each.
@@ -53,9 +54,48 @@ fn bench_caches(b: &mut Bencher) {
     run("p4-trace-cache", &mut TraceCache::pentium4());
 }
 
+/// The predictor configurations a sweep evaluates together.
+fn predictor_zoo() -> Vec<Box<dyn IndirectPredictor>> {
+    vec![
+        Box::new(IdealBtb::new()),
+        Box::new(Btb::new(BtbConfig::celeron())),
+        Box::new(Btb::new(BtbConfig::pentium4())),
+        Box::new(TwoBitBtb::new()),
+        Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m())),
+    ]
+}
+
+/// Capture-then-sweep over an encoded dispatch trace: one decode + replay
+/// per predictor (how a sweep looked before `simulate_many`) versus a
+/// single decode driving every predictor in one pass over the stream.
+fn bench_sweep(b: &mut Bencher) {
+    let mut trace = DispatchTrace::new(0, "synthetic");
+    for (branch, target) in stream() {
+        trace.push(branch, target);
+    }
+    let bytes = trace.to_bytes();
+    let mut group = b.group("trace-sweep");
+    group.bench("per-predictor-decode", || {
+        let mut mispredicted = 0u64;
+        for mut p in predictor_zoo() {
+            let t = DispatchTrace::from_bytes(&bytes).expect("decodes");
+            for (branch, target) in t.iter() {
+                mispredicted += u64::from(!p.predict_and_update(branch, target));
+            }
+        }
+        mispredicted
+    });
+    group.bench("single-pass", || {
+        let t = DispatchTrace::from_bytes(&bytes).expect("decodes");
+        let stats = simulate_many(&t, &mut predictor_zoo());
+        stats.iter().map(|s| s.mispredicted).sum::<u64>()
+    });
+}
+
 fn main() {
     let mut b = Bencher::new("predictors");
     bench_predictors(&mut b);
     bench_caches(&mut b);
+    bench_sweep(&mut b);
     b.finish();
 }

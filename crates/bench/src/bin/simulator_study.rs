@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin simulator_study -- [benchmark]`
 
-use ivm_bench::{frontend, run_cells, smoke, Cell, Report, Row};
+use ivm_bench::{frontend, run_cells, smoke, trace_store, Cell, Report, Row};
 use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
-use ivm_cache::{CycleCosts, Icache, IcacheConfig, PerfectIcache};
-use ivm_core::{Engine, Technique};
+use ivm_cache::{CycleCosts, Icache, IcacheConfig};
+use ivm_core::{simulate_many, Engine, Technique};
 
 fn techniques() -> Vec<Technique> {
     vec![Technique::Threaded, Technique::DynamicRepl, Technique::DynamicSuper, Technique::AcrossBb]
@@ -44,28 +44,39 @@ fn main() {
         })
         .collect();
 
-    let cells: Vec<Cell<(BtbConfig, Technique)>> = geometries
-        .iter()
-        .flat_map(|(label, cfg)| {
-            let slug = label.replace(' ', "-");
-            techniques()
-                .into_iter()
-                .map(move |t| Cell::new(format!("simstudy/btb/{slug}/{t}"), (*cfg, t)))
-        })
+    // Capture-then-sweep: record the execution once, capture one dispatch
+    // trace per technique (cached in the trace store), then drive every
+    // BTB geometry over each frozen trace in a single pass. The dispatch
+    // stream does not depend on the predictor, so the rates are
+    // bit-identical to re-running the interpreter per geometry.
+    let image = forth.image(bench);
+    let (exec, _) = ivm_core::record(&*image).expect("recording run");
+    let capture_cells: Vec<Cell<Technique>> =
+        techniques().into_iter().map(|t| Cell::new(format!("simstudy/capture/{t}"), t)).collect();
+    let traces = run_cells(capture_cells, |cell, _| {
+        trace_store().get_or_capture("forth", bench, &*image, &exec, cell.input, Some(&training))
+    });
+    let sweep_cells: Vec<Cell<(Technique, usize)>> = techniques()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Cell::new(format!("simstudy/btb-sweep/{t}"), (t, i)))
         .collect();
-    let rates = run_cells(cells, |cell, _| {
-        let (cfg, tech) = cell.input;
-        let image = forth.image(bench);
-        let engine =
-            Engine::new(Box::new(Btb::new(cfg)), Box::new(PerfectIcache::default()), costs);
-        let (r, _) = ivm_core::measure_with(&*image, tech, engine, Some(&*training))
-            .unwrap_or_else(|e| panic!("{tech}: {e}"));
-        100.0 * r.counters.misprediction_rate()
+    let rates = run_cells(sweep_cells, |cell, _| {
+        let (_, i) = cell.input;
+        let mut predictors: Vec<Box<dyn IndirectPredictor>> = geometries
+            .iter()
+            .map(|(_, cfg)| Box::new(Btb::new(*cfg)) as Box<dyn IndirectPredictor>)
+            .collect();
+        let stats = simulate_many(traces[i].trace(), &mut predictors);
+        stats.iter().map(|s| 100.0 * s.misprediction_rate()).collect::<Vec<f64>>()
     });
     let rows: Vec<Row> = geometries
         .iter()
-        .zip(rates.chunks(techniques().len()))
-        .map(|((label, _), values)| Row { label: label.clone(), values: values.to_vec() })
+        .enumerate()
+        .map(|(gi, (label, _))| Row {
+            label: label.clone(),
+            values: rates.iter().map(|per_geometry| per_geometry[gi]).collect(),
+        })
         .collect();
     let cols: Vec<&str> = techniques()
         .iter()

@@ -32,9 +32,11 @@
 
 pub mod native_model;
 pub mod report;
+pub mod tracestore;
 
 pub use ivm_harness::par::{Cell, CellCtx};
 pub use report::{json_enabled, Report};
+pub use tracestore::{predictor_registry, trace_meta, trace_store, StoredTrace, TraceStore};
 
 use std::sync::{Arc, Mutex, OnceLock};
 

@@ -88,10 +88,14 @@ impl Report {
 
     /// Serialises the full document (manifest first). The manifest carries
     /// the parallel executor's accumulated wall-time metadata when any
-    /// cells ran through [`crate::run_cells`].
+    /// cells ran through [`crate::run_cells`], and the dispatch-trace
+    /// cache statistics when any traces were acquired through
+    /// [`crate::trace_store`].
     pub fn to_json(&self) -> Json {
-        let manifest =
-            RunManifest::capture(&self.name).with_executor(crate::executor_meta()).to_json();
+        let manifest = RunManifest::capture(&self.name)
+            .with_executor(crate::executor_meta())
+            .with_trace(crate::trace_meta())
+            .to_json();
         let mut doc = Json::obj().with("manifest", manifest);
         doc.set("tables", Json::Arr(self.tables.clone()));
         if !self.metrics.is_empty() {

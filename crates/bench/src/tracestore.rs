@@ -1,0 +1,255 @@
+//! The dispatch-trace cache: capture each cell's predictor-input stream
+//! once, memoize it to `results/traces/`, and sweep predictors over the
+//! frozen stream instead of re-running the interpreter.
+//!
+//! The cache is keyed by `(frontend, benchmark, technique)` — the
+//! [`ivm_core::Technique::id`] encodes every parameter, so two budgets of
+//! the same technique never collide — and every stored trace carries the
+//! [`ivm_core::dispatch_spec_hash`] of the translation it was captured
+//! from. A disk file whose hash no longer matches the freshly computed
+//! one (the instruction set, program, technique or training profile
+//! changed) is discarded and recaptured, so stale traces can never leak
+//! into results.
+//!
+//! Under `IVM_SMOKE` the store is purely in-memory: smoke workloads are
+//! tiny and must not pollute (or depend on) the on-disk cache. Otherwise
+//! traces live under `IVM_TRACE_DIR`, defaulting to
+//! `<workspace>/results/traces/`, which is gitignored. Setting
+//! `IVM_TRACE_DIR` explicitly re-enables persistence even under smoke —
+//! CI's determinism job uses this to byte-compare trace files across
+//! worker counts.
+
+use std::cell::Cell as StdCell;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ivm_bpred::{
+    Btb, BtbConfig, CascadedPredictor, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
+    TwoLevelPredictor,
+};
+use ivm_cache::CpuSpec;
+use ivm_core::{
+    dispatch_spec_hash, DispatchTrace, Engine, ExecutionTrace, GuestVm, Memo, Profile, RunResult,
+    SharedObserver, Technique,
+};
+use ivm_obs::TraceMeta;
+
+/// Builds one fresh predictor instance for a sweep.
+pub type PredictorBuilder = fn() -> Box<dyn IndirectPredictor>;
+
+/// Every predictor configuration the sweep studies evaluate, as
+/// fresh-instance builders with stable names. One captured dispatch
+/// trace serves all of them — `ivm_core::simulate_many` over this
+/// registry is the capture-then-sweep counterpart of re-running the
+/// interpreter once per configuration.
+pub fn predictor_registry() -> Vec<(&'static str, PredictorBuilder)> {
+    let registry: Vec<(&'static str, PredictorBuilder)> = vec![
+        ("ideal", || Box::new(IdealBtb::new())),
+        ("btb-celeron", || Box::new(Btb::new(BtbConfig::celeron()))),
+        ("btb-p4", || Box::new(Btb::new(BtbConfig::pentium4()))),
+        ("btb-256x1-tagless", || Box::new(Btb::new(BtbConfig::new(256, 1).tagless()))),
+        ("btb-2bit", || Box::new(TwoBitBtb::new())),
+        ("two-level-pentium-m", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
+        ("cascaded", || Box::new(CascadedPredictor::new(TwoLevelConfig::pentium_m(), 2))),
+        ("two-level-long-history", || {
+            Box::new(TwoLevelPredictor::new(TwoLevelConfig {
+                history_len: 8,
+                table_bits: 14,
+                target_bits: 6,
+            }))
+        }),
+    ];
+    registry
+}
+
+/// Process-wide trace-cache statistics, merged into the report manifest.
+static TRACE_META: Mutex<Option<TraceMeta>> = Mutex::new(None);
+
+/// The trace-cache statistics accumulated so far, if any traces were
+/// acquired. Attached to report manifests by [`crate::Report::finish`].
+pub fn trace_meta() -> Option<TraceMeta> {
+    TRACE_META.lock().expect("trace metadata lock").clone()
+}
+
+fn record_meta(cache_hit: bool, events: u64, bytes: u64) {
+    TRACE_META
+        .lock()
+        .expect("trace metadata lock")
+        .get_or_insert_with(TraceMeta::default)
+        .absorb(cache_hit, events, bytes);
+}
+
+/// A cached dispatch trace plus its encoded size (what it costs on disk).
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    trace: DispatchTrace,
+    bytes: u64,
+}
+
+impl StoredTrace {
+    /// The dispatch stream.
+    pub fn trace(&self) -> &DispatchTrace {
+        &self.trace
+    }
+
+    /// Size of the version-1 binary encoding, in bytes.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// The process-wide dispatch-trace cache: in-memory memoization backed by
+/// `results/traces/` (except under `IVM_SMOKE`).
+pub struct TraceStore {
+    dir: Option<PathBuf>,
+    cache: Memo<String, StoredTrace>,
+}
+
+/// The global [`TraceStore`], configured from the environment on first
+/// use (`IVM_SMOKE` → memory-only; `IVM_TRACE_DIR` overrides the
+/// default `<workspace>/results/traces/`).
+pub fn trace_store() -> &'static TraceStore {
+    static STORE: OnceLock<TraceStore> = OnceLock::new();
+    STORE.get_or_init(TraceStore::from_env)
+}
+
+impl TraceStore {
+    fn from_env() -> Self {
+        // An explicit IVM_TRACE_DIR wins even under IVM_SMOKE (CI's
+        // determinism job captures smoke-sized traces into throwaway
+        // directories); only the *default* on-disk location is disabled
+        // by smoke mode.
+        let dir = match std::env::var_os("IVM_TRACE_DIR") {
+            Some(d) => Some(PathBuf::from(d)),
+            None if crate::smoke() => None,
+            None => Some(ivm_obs::workspace_root().join("results").join("traces")),
+        };
+        Self { dir, cache: Memo::new() }
+    }
+
+    /// Where traces are persisted, if anywhere.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The dispatch trace of `vm` replaying `exec` under `technique`,
+    /// captured now or served from the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `technique` needs a profile and `training` is `None`.
+    pub fn get_or_capture<G: GuestVm + ?Sized>(
+        &self,
+        frontend: &str,
+        bench: &str,
+        vm: &G,
+        exec: &ExecutionTrace,
+        technique: Technique,
+        training: Option<&Profile>,
+    ) -> Arc<StoredTrace> {
+        self.acquire(frontend, bench, vm, exec, technique, training, None).1
+    }
+
+    /// Like [`TraceStore::get_or_capture`], but also measures the replay
+    /// on `cpu` and returns the [`RunResult`].
+    ///
+    /// The result is byte-identical whether the trace was cached or not:
+    /// a cache hit replays the measurement without an observer, a miss
+    /// replays it once with the capturing observer attached — the
+    /// observer never changes engine behaviour, only watches it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `technique` needs a profile and `training` is `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture_measured<G: GuestVm + ?Sized>(
+        &self,
+        frontend: &str,
+        bench: &str,
+        vm: &G,
+        exec: &ExecutionTrace,
+        technique: Technique,
+        cpu: &CpuSpec,
+        training: Option<&Profile>,
+    ) -> (RunResult, Arc<StoredTrace>) {
+        let (result, stored) =
+            self.acquire(frontend, bench, vm, exec, technique, training, Some(cpu));
+        let result = result.unwrap_or_else(|| {
+            // Cache hit: the capturing replay did not run, so measure now.
+            ivm_core::measure_trace(vm, exec, technique, cpu, training)
+        });
+        (result, stored)
+    }
+
+    /// Resolves one trace: memo, then disk (validated against the spec
+    /// hash), then a fresh capture. Returns the measuring replay's result
+    /// if (and only if) a capture ran with `cpu` supplied.
+    #[allow(clippy::too_many_arguments)]
+    fn acquire<G: GuestVm + ?Sized>(
+        &self,
+        frontend: &str,
+        bench: &str,
+        vm: &G,
+        exec: &ExecutionTrace,
+        technique: Technique,
+        training: Option<&Profile>,
+        cpu: Option<&CpuSpec>,
+    ) -> (Option<RunResult>, Arc<StoredTrace>) {
+        let tech_id = technique.id();
+        let key = format!("{frontend}/{bench}/{tech_id}");
+        let expected = dispatch_spec_hash(vm.spec(), vm.program(), technique, training);
+        let path = self
+            .dir
+            .as_ref()
+            .map(|d| d.join(frontend).join(bench).join(format!("{tech_id}.dtrace")));
+
+        let fresh = StdCell::new(false);
+        let measured: StdCell<Option<RunResult>> = StdCell::new(None);
+        let stored = self.cache.get_or_build(key, || {
+            if let Some(st) = path.as_deref().and_then(|p| load_valid(p, expected, &tech_id)) {
+                return st;
+            }
+            fresh.set(true);
+            let observer = Rc::new(RefCell::new(DispatchTrace::new(expected, tech_id.clone())));
+            let engine = Engine::for_cpu(cpu.unwrap_or(&CpuSpec::celeron800()))
+                .with_observer(observer.clone() as SharedObserver);
+            let result = ivm_core::measure_trace_with(vm, exec, technique, engine, training);
+            if cpu.is_some() {
+                measured.set(Some(result));
+            }
+            let trace = observer.borrow().clone();
+            let encoded = trace.to_bytes();
+            if let Some(p) = path.as_deref() {
+                persist(p, &encoded);
+            }
+            StoredTrace { bytes: encoded.len() as u64, trace }
+        });
+        record_meta(!fresh.get(), stored.trace.len() as u64, stored.bytes);
+        (measured.take(), stored)
+    }
+}
+
+/// Reads and validates a trace file; `None` (recapture) on any mismatch
+/// or decode error.
+fn load_valid(path: &Path, expected_hash: u64, tech_id: &str) -> Option<StoredTrace> {
+    let bytes = std::fs::read(path).ok()?;
+    let trace = DispatchTrace::from_bytes(&bytes).ok()?;
+    (trace.spec_hash() == expected_hash && trace.technique() == tech_id)
+        .then_some(StoredTrace { bytes: bytes.len() as u64, trace })
+}
+
+/// Writes a trace file atomically (temp file + rename), so concurrent
+/// writers and interrupted runs can never leave a torn file behind.
+/// Failures are non-fatal: the cache is an accelerator, not a result.
+fn persist(path: &Path, encoded: &[u8]) {
+    let Some(parent) = path.parent() else { return };
+    if std::fs::create_dir_all(parent).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    if std::fs::write(&tmp, encoded).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}

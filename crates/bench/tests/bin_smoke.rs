@@ -94,9 +94,40 @@ fn check_json_report(name: &str, json_dir: &std::path::Path) -> Result<(), Strin
         .get("executor")
         .ok_or_else(|| format!("{name}: manifest has no executor section"))?;
     match executor.get("jobs").and_then(Json::as_f64) {
-        Some(jobs) if jobs >= 1.0 => Ok(()),
-        other => Err(format!("{name}: executor section has bad job count {other:?}")),
+        Some(jobs) if jobs >= 1.0 => {}
+        other => return Err(format!("{name}: executor section has bad job count {other:?}")),
     }
+    check_trace_section(name, manifest)
+}
+
+/// Binaries that acquire dispatch traces through the trace store; their
+/// manifests must account for every capture (in-memory under smoke, but
+/// the accounting is identical).
+const TRACE_BINS: &[&str] = &["figure14_16", "simulator_study"];
+
+fn check_trace_section(name: &str, manifest: &Json) -> Result<(), String> {
+    if !TRACE_BINS.contains(&name) {
+        return Ok(());
+    }
+    let trace =
+        manifest.get("trace").ok_or_else(|| format!("{name}: manifest has no trace section"))?;
+    let field = |key: &str| {
+        trace
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{name}: trace section has no numeric {key:?}"))
+    };
+    let (captured, cache_hits) = (field("captured")?, field("cache_hits")?);
+    let (events, bytes) = (field("events")?, field("bytes")?);
+    if captured + cache_hits < 1.0 {
+        return Err(format!("{name}: trace section accounts for no acquisitions"));
+    }
+    if events < 1.0 || bytes < 1.0 {
+        return Err(format!(
+            "{name}: trace section reports empty traces (events {events}, bytes {bytes})"
+        ));
+    }
+    Ok(())
 }
 
 #[test]

@@ -135,13 +135,26 @@ pub struct Btb {
     config: BtbConfig,
     sets: Vec<Vec<Way>>,
     tick: u64,
+    /// Valid entries held, maintained on allocation/reset so occupancy
+    /// reads are O(1) instead of an O(entries) scan — attribution sinks
+    /// sample occupancy per dispatch, which would otherwise dominate the
+    /// simulate hot loop.
+    valid_entries: usize,
+    /// Valid entries per set, maintained alongside `valid_entries`.
+    per_set_valid: Vec<u32>,
 }
 
 impl Btb {
     /// Creates an empty BTB with the given configuration.
     pub fn new(config: BtbConfig) -> Self {
         let empty = Way { tag: 0, target: 0, valid: false, lru: 0 };
-        Self { config, sets: vec![vec![empty; config.assoc]; config.sets()], tick: 0 }
+        Self {
+            config,
+            sets: vec![vec![empty; config.assoc]; config.sets()],
+            tick: 0,
+            valid_entries: 0,
+            per_set_valid: vec![0; config.sets()],
+        }
     }
 
     /// The configuration this BTB was built with.
@@ -151,7 +164,7 @@ impl Btb {
 
     /// Number of valid entries currently held.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.valid_entries
     }
 
     fn set_index(&self, branch: Addr) -> usize {
@@ -160,7 +173,7 @@ impl Btb {
 
     /// Valid entries per set, for occupancy heatmaps.
     pub fn per_set_occupancy(&self) -> Vec<u32> {
-        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count() as u32).collect()
+        self.per_set_valid.clone()
     }
 
     fn tag(&self, branch: Addr) -> Addr {
@@ -190,6 +203,10 @@ impl IndirectPredictor for Btb {
                 .iter_mut()
                 .min_by_key(|w| if w.valid { w.lru } else { 0 })
                 .expect("sets are never empty");
+            if !victim.valid {
+                self.valid_entries += 1;
+                self.per_set_valid[idx] += 1;
+            }
             *victim = Way { tag, target, valid: true, lru: tick };
             false
         } else {
@@ -203,6 +220,10 @@ impl IndirectPredictor for Btb {
             };
             let way = &mut set[way_idx];
             let hit = way.valid && way.target == target;
+            if !way.valid {
+                self.valid_entries += 1;
+                self.per_set_valid[idx] += 1;
+            }
             *way = Way { tag, target, valid: true, lru: tick };
             hit
         }
@@ -215,6 +236,8 @@ impl IndirectPredictor for Btb {
             }
         }
         self.tick = 0;
+        self.valid_entries = 0;
+        self.per_set_valid.fill(0);
     }
 
     fn describe(&self) -> String {
@@ -270,6 +293,25 @@ mod tests {
         btb.predict_and_update(2, 1); // set 0 again, second way
         assert_eq!(btb.per_set_occupancy(), vec![2, 1]);
         assert_eq!(btb.occupancy(), 3);
+    }
+
+    #[test]
+    fn occupancy_counters_match_a_full_scan() {
+        // The O(1) counters must agree with a scan of the ways at every
+        // step, for both tagged and tagless geometries.
+        for cfg in [BtbConfig::new(8, 2), BtbConfig::new(8, 2).tagless(), BtbConfig::new(4, 4)] {
+            let mut btb = Btb::new(cfg);
+            for i in 0..64u64 {
+                btb.predict_and_update(i * 3 % 17, i);
+                let scan: Vec<u32> =
+                    btb.sets.iter().map(|s| s.iter().filter(|w| w.valid).count() as u32).collect();
+                assert_eq!(btb.per_set_occupancy(), scan);
+                assert_eq!(btb.occupancy() as u32, scan.iter().sum::<u32>());
+            }
+            btb.reset();
+            assert_eq!(btb.occupancy(), 0);
+            assert!(btb.per_set_occupancy().iter().all(|&n| n == 0));
+        }
     }
 
     #[test]

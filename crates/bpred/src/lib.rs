@@ -58,7 +58,7 @@ pub use btb::{Btb, BtbConfig};
 pub use cascaded::CascadedPredictor;
 pub use case_block::CaseBlockTable;
 pub use ideal::IdealBtb;
-pub use stats::PredictorStats;
+pub use stats::{PredStats, PredictorStats};
 pub use two_bit::TwoBitBtb;
 pub use two_level::{TwoLevelConfig, TwoLevelPredictor};
 

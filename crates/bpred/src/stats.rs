@@ -1,6 +1,48 @@
-//! Prediction statistics helper.
+//! Prediction statistics helpers.
 
 use crate::{Addr, IndirectPredictor};
+
+/// Aggregate outcome of feeding one dispatch stream through a predictor:
+/// the plain-data counterpart of [`PredictorStats`], used where many
+/// predictors are swept over a shared stream (e.g.
+/// `ivm_core::simulate_many`) and the caller only needs the counts.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_bpred::PredStats;
+///
+/// let mut s = PredStats::default();
+/// s.record(true);
+/// s.record(false);
+/// assert_eq!(s.executed, 2);
+/// assert_eq!(s.mispredicted, 1);
+/// assert!((s.misprediction_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredStats {
+    /// Branches fed to the predictor.
+    pub executed: u64,
+    /// Mispredictions, including cold misses.
+    pub mispredicted: u64,
+}
+
+impl PredStats {
+    /// Tallies one [`IndirectPredictor::predict_and_update`] outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.executed += 1;
+        self.mispredicted += u64::from(!hit);
+    }
+
+    /// Fraction of executions that mispredicted; 0.0 when nothing ran.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / self.executed as f64
+        }
+    }
+}
 
 /// Wraps any [`IndirectPredictor`] and counts executions and mispredictions.
 ///
@@ -91,6 +133,17 @@ impl<P: IndirectPredictor> IndirectPredictor for PredictorStats<P> {
 mod tests {
     use super::*;
     use crate::IdealBtb;
+
+    #[test]
+    fn pred_stats_tally_and_rate() {
+        let mut s = PredStats::default();
+        assert_eq!(s.misprediction_rate(), 0.0, "unused stats must not be NaN");
+        for hit in [true, false, false, true] {
+            s.record(hit);
+        }
+        assert_eq!(s, PredStats { executed: 4, mispredicted: 2 });
+        assert!((s.misprediction_rate() - 0.5).abs() < 1e-12);
+    }
 
     #[test]
     fn counts_and_rate() {

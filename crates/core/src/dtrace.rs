@@ -1,0 +1,597 @@
+//! Compact binary dispatch traces: capture the predictor-input stream of
+//! one run, then sweep any number of predictors over it in a single pass.
+//!
+//! A [`crate::ExecutionTrace`] records the *semantic* control flow of a
+//! run (instance indices); a [`DispatchTrace`] records what the branch
+//! predictor actually sees — the `(branch, target)` native-address pair
+//! of every executed indirect dispatch, in execution order, exactly the
+//! stream the [`crate::DispatchObserver`] hook reports. Because control
+//! flow never depends on the predictor, one captured trace replaces a
+//! re-execution of the interpreter for *every* predictor configuration a
+//! study wants to evaluate, and [`simulate_many`] feeds the decoded
+//! stream through all of them in one pass.
+//!
+//! # Binary format (version 1)
+//!
+//! ```text
+//! magic      4  b"IVMT"
+//! version    4  u32 LE
+//! spec_hash  8  u64 LE   — invalidation key (see below)
+//! tech_len   4  u32 LE   — length of the technique id
+//! technique  n  UTF-8    — Technique::id() of the captured translation
+//! count      8  u64 LE   — number of dispatch events
+//! events     …  per event: zigzag-varint delta of the branch address
+//!               from the previous event's branch, then zigzag-varint
+//!               delta of the target address from the previous target
+//! ```
+//!
+//! Dispatch branches are heavily repeated and targets cluster around the
+//! routine table, so delta + LEB128 varint encoding stores most events in
+//! 2–4 bytes instead of 16. The `spec_hash` is an FNV-1a fingerprint of
+//! everything the stream depends on (instruction set, program, technique
+//! parameters, training profile for static techniques — see
+//! [`SpecHasher`]); a store finding a trace whose header hash differs
+//! from the freshly computed one must discard and recapture.
+
+use ivm_bpred::{Addr, IndirectPredictor, PredStats};
+
+use crate::engine::DispatchObserver;
+use crate::native::InstKind;
+use crate::profile::Profile;
+use crate::program::ProgramCode;
+use crate::spec::VmSpec;
+use crate::technique::Technique;
+use crate::trace::checked_u32;
+
+/// File magic of the dispatch-trace format.
+pub const DTRACE_MAGIC: [u8; 4] = *b"IVMT";
+
+/// Current version of the dispatch-trace format. Bump on any layout
+/// change; decoders reject other versions.
+pub const DTRACE_VERSION: u32 = 1;
+
+/// Why a byte buffer failed to decode as a [`DispatchTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtraceError {
+    /// The buffer does not start with [`DTRACE_MAGIC`].
+    BadMagic,
+    /// The version field is not [`DTRACE_VERSION`].
+    BadVersion(u32),
+    /// The buffer ends before the declared header or event count.
+    Truncated,
+    /// A varint ran past 10 bytes (not a canonical u64 encoding).
+    BadVarint,
+    /// The technique id is not valid UTF-8.
+    BadTechnique,
+    /// Bytes remain after the declared number of events.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DtraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DtraceError::BadMagic => write!(f, "not a dispatch trace (bad magic)"),
+            DtraceError::BadVersion(v) => {
+                write!(f, "unsupported dispatch-trace version {v} (expected {DTRACE_VERSION})")
+            }
+            DtraceError::Truncated => write!(f, "dispatch trace is truncated"),
+            DtraceError::BadVarint => write!(f, "dispatch trace has a malformed varint"),
+            DtraceError::BadTechnique => write!(f, "dispatch trace technique id is not UTF-8"),
+            DtraceError::TrailingBytes => write!(f, "dispatch trace has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DtraceError {}
+
+/// FNV-1a accumulator for the `spec_hash` header field.
+///
+/// Deliberately not `std::hash::Hasher`: the stream hashed here must be
+/// stable across processes, platforms and Rust versions, because the hash
+/// is persisted inside trace files and compared on reload.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_core::SpecHasher;
+///
+/// let h = SpecHasher::new().str("forth").u64(42).finish();
+/// assert_eq!(h, SpecHasher::new().str("forth").u64(42).finish());
+/// assert_ne!(h, SpecHasher::new().str("forth").u64(43).finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct SpecHasher(u64);
+
+impl SpecHasher {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a length-prefixed string into the hash (prefixing keeps
+    /// `"ab" + "c"` distinct from `"a" + "bc"`).
+    pub fn str(self, s: &str) -> Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for SpecHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The invalidation hash for a dispatch trace of `program` running on
+/// `spec` translated with `technique`.
+///
+/// Folds in everything the captured `(branch, target)` stream can depend
+/// on: the instruction set (names, shapes, quickening variants), the
+/// program's opcode stream and control structure, the fully-parameterised
+/// [`Technique::id`], and — only when [`Technique::needs_profile`] — the
+/// training profile, via its canonical [`Profile::to_text`] form. A cached
+/// trace whose header hash differs from this value is stale and must be
+/// recaptured. Profile-independent techniques deliberately ignore
+/// `training`, so every caller computes the same hash for them regardless
+/// of which (unused) profile it happens to hold.
+pub fn dispatch_spec_hash(
+    spec: &VmSpec,
+    program: &ProgramCode,
+    technique: Technique,
+    training: Option<&Profile>,
+) -> u64 {
+    fn kind_tag(k: InstKind) -> u64 {
+        match k {
+            InstKind::Plain => 0,
+            InstKind::CondBranch => 1,
+            InstKind::Jump => 2,
+            InstKind::Call => 3,
+            InstKind::Return => 4,
+            InstKind::Quickable => 5,
+        }
+    }
+    let mut h = SpecHasher::new().str("ivm-dtrace-spec-v1").str(spec.vm_name());
+    h = h.u64(spec.len() as u64);
+    for (_, def) in spec.iter() {
+        h = h
+            .str(&def.name)
+            .u64(u64::from(def.native.work_instrs))
+            .u64(u64::from(def.native.work_bytes))
+            .u64(u64::from(def.native.relocatable))
+            .u64(kind_tag(def.native.kind));
+        h = h.u64(def.quick_variants.len() as u64);
+        for &q in &def.quick_variants {
+            h = h.u64(u64::from(q));
+        }
+    }
+    h = h.str(program.name()).u64(program.len() as u64);
+    for i in 0..program.len() {
+        h = h.u64(u64::from(program.op(i)));
+        // Encode Some(0) distinctly from None.
+        h = h.u64(program.target(i).map_or(0, |t| t as u64 + 1));
+    }
+    h = h.u64(program.extra_entries().len() as u64);
+    for &e in program.extra_entries() {
+        h = h.u64(u64::from(e));
+    }
+    h = h.str(&technique.id());
+    if technique.needs_profile() {
+        match training {
+            Some(p) => h = h.str("profile").str(&p.to_text()),
+            None => h = h.str("no-profile"),
+        }
+    }
+    h.finish()
+}
+
+/// The captured `(branch, target)` stream of one run's indirect
+/// dispatches, plus the identity of the translation it was captured from.
+///
+/// Capture one by attaching it (behind the usual
+/// `Rc<RefCell<…>>`-shared [`crate::SharedObserver`] handle) to an
+/// [`crate::Engine`]; every simulated dispatch is appended. Persist with
+/// [`DispatchTrace::to_bytes`] / [`DispatchTrace::from_bytes`] and sweep
+/// predictors with [`simulate_many`].
+///
+/// # Examples
+///
+/// ```
+/// use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
+/// use ivm_core::{simulate_many, DispatchTrace};
+///
+/// let mut trace = DispatchTrace::new(0xFEED, "threaded");
+/// trace.push(0x1000, 0x8000);
+/// trace.push(0x1000, 0x8000);
+/// trace.push(0x1000, 0x9000);
+///
+/// let decoded = DispatchTrace::from_bytes(&trace.to_bytes()).unwrap();
+/// assert_eq!(decoded, trace);
+///
+/// let mut zoo: Vec<Box<dyn IndirectPredictor>> =
+///     vec![Box::new(IdealBtb::new()), Box::new(Btb::new(BtbConfig::celeron()))];
+/// let stats = simulate_many(&decoded, &mut zoo);
+/// assert_eq!(stats[0].executed, 3);
+/// assert_eq!(stats[0].mispredicted, 2); // ideal: cold miss + target change
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchTrace {
+    spec_hash: u64,
+    technique: String,
+    events: Vec<(Addr, Addr)>,
+}
+
+impl DispatchTrace {
+    /// An empty trace for the translation identified by `spec_hash` and
+    /// the [`crate::Technique::id`] string `technique`.
+    pub fn new(spec_hash: u64, technique: impl Into<String>) -> Self {
+        Self { spec_hash, technique: technique.into(), events: Vec::new() }
+    }
+
+    /// Appends one executed dispatch.
+    pub fn push(&mut self, branch: Addr, target: Addr) {
+        self.events.push((branch, target));
+    }
+
+    /// Number of recorded dispatch events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The invalidation hash this trace was captured under.
+    pub fn spec_hash(&self) -> u64 {
+        self.spec_hash
+    }
+
+    /// The technique id this trace was captured under.
+    pub fn technique(&self) -> &str {
+        &self.technique
+    }
+
+    /// The recorded `(branch, target)` events in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, Addr)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Serialises the trace into the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.technique.len() + self.events.len() * 3);
+        out.extend_from_slice(&DTRACE_MAGIC);
+        out.extend_from_slice(&DTRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.spec_hash.to_le_bytes());
+        // Same checked 32-bit width policy as ExecutionTrace: error, never
+        // silently wrap (a >4 GiB technique id is always a caller bug).
+        out.extend_from_slice(
+            &checked_u32(self.technique.len(), "technique id length").to_le_bytes(),
+        );
+        out.extend_from_slice(self.technique.as_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        let (mut prev_branch, mut prev_target) = (0u64, 0u64);
+        for &(branch, target) in &self.events {
+            write_varint(&mut out, zigzag(branch.wrapping_sub(prev_branch) as i64));
+            write_varint(&mut out, zigzag(target.wrapping_sub(prev_target) as i64));
+            prev_branch = branch;
+            prev_target = target;
+        }
+        out
+    }
+
+    /// Decodes a trace previously produced by [`DispatchTrace::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong magic, unknown versions, truncation, malformed
+    /// varints, non-UTF-8 technique ids and trailing bytes — a corrupt
+    /// trace must never decode into a slightly-wrong dispatch stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DtraceError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != DTRACE_MAGIC {
+            return Err(DtraceError::BadMagic);
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        if version != DTRACE_VERSION {
+            return Err(DtraceError::BadVersion(version));
+        }
+        let spec_hash = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        let tech_len = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
+        let technique = std::str::from_utf8(r.take(tech_len)?)
+            .map_err(|_| DtraceError::BadTechnique)?
+            .to_owned();
+        let count = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        // Guard allocation: a corrupt count cannot ask for more events than
+        // the remaining bytes could possibly encode (>= 2 bytes per event).
+        if count / 2 > r.bytes.len() as u64 {
+            return Err(DtraceError::Truncated);
+        }
+        let mut events = Vec::with_capacity(count as usize);
+        let (mut prev_branch, mut prev_target) = (0u64, 0u64);
+        for _ in 0..count {
+            prev_branch = prev_branch.wrapping_add(unzigzag(r.varint()?) as u64);
+            prev_target = prev_target.wrapping_add(unzigzag(r.varint()?) as u64);
+            events.push((prev_branch, prev_target));
+        }
+        if r.pos != bytes.len() {
+            return Err(DtraceError::TrailingBytes);
+        }
+        Ok(Self { spec_hash, technique, events })
+    }
+}
+
+impl DispatchObserver for DispatchTrace {
+    fn dispatch(
+        &mut self,
+        _from: usize,
+        _to: usize,
+        branch: Addr,
+        target: Addr,
+        _mispredicted: bool,
+    ) {
+        self.push(branch, target);
+    }
+}
+
+/// Feeds every event of `trace` through all `predictors` in one pass
+/// over the stream, returning one [`PredStats`] per predictor in order.
+///
+/// This is the single-pass sweep driver: for N predictors it performs the
+/// same `predict_and_update` calls as N separate replays, but decodes the
+/// event stream once, so sweep cost is dominated by predictor work
+/// instead of stream traffic. Each predictor walks the decoded events as
+/// its own inner loop (rather than interleaving predictors per event):
+/// the event array streams linearly while the predictor's tables stay
+/// hot, and the virtual call target is constant per pass. Outcomes are
+/// bit-identical to running each predictor alone — predictors share no
+/// state, so the loop order is unobservable.
+pub fn simulate_many(
+    trace: &DispatchTrace,
+    predictors: &mut [Box<dyn IndirectPredictor>],
+) -> Vec<PredStats> {
+    predictors
+        .iter_mut()
+        .map(|p| {
+            let mut s = PredStats::default();
+            for &(branch, target) in &trace.events {
+                s.record(p.predict_and_update(branch, target));
+            }
+            s
+        })
+        .collect()
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DtraceError> {
+        let end = self.pos.checked_add(n).ok_or(DtraceError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DtraceError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, DtraceError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = *self.bytes.get(self.pos).ok_or(DtraceError::Truncated)?;
+            self.pos += 1;
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                // The 10th byte may only contribute the single top bit.
+                if shift == 63 && byte > 1 {
+                    return Err(DtraceError::BadVarint);
+                }
+                return Ok(v);
+            }
+        }
+        Err(DtraceError::BadVarint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_bpred::IdealBtb;
+
+    fn sample() -> DispatchTrace {
+        let mut t = DispatchTrace::new(0xDEAD_BEEF, "static-repl-b400-rr");
+        t.push(0x1000, 0x8000);
+        t.push(0x1040, 0x8000);
+        t.push(0x1000, 0x9000);
+        t.push(u64::MAX, 0); // extreme deltas must round-trip
+        t.push(0, u64::MAX);
+        t
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let t = sample();
+        let decoded = DispatchTrace::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(decoded, t);
+        assert_eq!(decoded.spec_hash(), 0xDEAD_BEEF);
+        assert_eq!(decoded.technique(), "static-repl-b400-rr");
+        assert_eq!(decoded.len(), 5);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = DispatchTrace::new(7, "threaded");
+        let decoded = DispatchTrace::from_bytes(&t.to_bytes()).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn delta_encoding_is_compact_for_repetitive_streams() {
+        let mut t = DispatchTrace::new(0, "threaded");
+        for i in 0..1000u64 {
+            t.push(0x1000, 0x8000 + (i % 4) * 0x40);
+        }
+        let bytes = t.to_bytes();
+        // 16 bytes/event raw; delta+varint must stay under 4.
+        assert!(bytes.len() < 36 + 4 * 1000, "encoded {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let good = sample().to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(DispatchTrace::from_bytes(&bad_magic), Err(DtraceError::BadMagic));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_eq!(DispatchTrace::from_bytes(&bad_version), Err(DtraceError::BadVersion(99)));
+
+        for cut in [0, 3, 7, 12, 19, good.len() - 1] {
+            assert_eq!(
+                DispatchTrace::from_bytes(&good[..cut]),
+                Err(DtraceError::Truncated),
+                "cut at {cut}"
+            );
+        }
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(DispatchTrace::from_bytes(&trailing), Err(DtraceError::TrailingBytes));
+
+        assert!(DispatchTrace::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_event_count_is_rejected_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&DTRACE_MAGIC);
+        bytes.extend_from_slice(&DTRACE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd count
+        assert_eq!(DispatchTrace::from_bytes(&bytes), Err(DtraceError::Truncated));
+    }
+
+    #[test]
+    fn observer_hook_appends_the_predictor_view() {
+        let mut t = DispatchTrace::new(0, "threaded");
+        t.dispatch(3, 4, 0x100, 0x200, true);
+        t.dispatch(4, 5, 0x110, 0x210, false);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0x100, 0x200), (0x110, 0x210)]);
+    }
+
+    #[test]
+    fn simulate_many_matches_individual_runs() {
+        let t = sample();
+        let mut alone: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
+        let mut expect = PredStats::default();
+        for (b, tg) in t.iter() {
+            expect.record(alone.predict_and_update(b, tg));
+        }
+        let mut preds: Vec<Box<dyn IndirectPredictor>> =
+            vec![Box::new(IdealBtb::new()), Box::new(IdealBtb::new())];
+        let stats = simulate_many(&t, &mut preds);
+        assert_eq!(stats, vec![expect, expect], "shared pass must not couple predictors");
+    }
+
+    #[test]
+    fn varint_zigzag_round_trip_edges() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 0x7F, -0x80, 1 << 62] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+            let mut buf = Vec::new();
+            write_varint(&mut buf, zigzag(v));
+            let mut r = Reader { bytes: &buf, pos: 0 };
+            assert_eq!(unzigzag(r.varint().unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn spec_hash_tracks_parameters_and_gates_the_profile() {
+        use crate::native::NativeSpec;
+        use crate::technique::ReplicaSelection;
+
+        let mut b = VmSpec::builder("demo");
+        let work = b.inst("work", NativeSpec::new(3, 9, InstKind::Plain));
+        let brn = b.inst("loop", NativeSpec::new(3, 12, InstKind::CondBranch));
+        let spec = b.build();
+        let mut p = ProgramCode::builder("spin");
+        p.push(work, None);
+        p.push(brn, Some(0));
+        let program = p.finish(&spec);
+        let mut profile = Profile::from_static(&program);
+
+        let hash =
+            |t: Technique, prof: Option<&Profile>| dispatch_spec_hash(&spec, &program, t, prof);
+        let repl =
+            |budget| Technique::StaticRepl { budget, selection: ReplicaSelection::RoundRobin };
+
+        // Deterministic, and distinct across technique parameters that
+        // paper_name() cannot distinguish.
+        assert_eq!(hash(repl(400), Some(&profile)), hash(repl(400), Some(&profile)));
+        assert_ne!(hash(repl(400), Some(&profile)), hash(repl(100), Some(&profile)));
+
+        // Profile-independent techniques ignore the training profile...
+        assert_eq!(hash(Technique::Threaded, Some(&profile)), hash(Technique::Threaded, None));
+        // ...while static techniques are invalidated when it changes.
+        let with_old = hash(repl(400), Some(&profile));
+        profile.record_op(work, 1000);
+        assert_ne!(with_old, hash(repl(400), Some(&profile)));
+    }
+
+    #[test]
+    fn spec_hasher_is_order_and_boundary_sensitive() {
+        let a = SpecHasher::new().str("ab").str("c").finish();
+        let b = SpecHasher::new().str("a").str("bc").finish();
+        assert_ne!(a, b);
+        assert_ne!(
+            SpecHasher::new().u64(1).u64(2).finish(),
+            SpecHasher::new().u64(2).u64(1).finish()
+        );
+    }
+}

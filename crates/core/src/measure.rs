@@ -126,8 +126,26 @@ pub fn measure_trace<G: GuestVm + ?Sized>(
     cpu: &CpuSpec,
     training: Option<&Profile>,
 ) -> RunResult {
+    measure_trace_with(vm, trace, technique, Engine::for_cpu(cpu), training)
+}
+
+/// Like [`measure_trace`], but with a caller-supplied [`Engine`] — the
+/// trace-replay counterpart of [`measure_with`]. Attach a
+/// [`crate::SharedObserver`] to the engine to capture the replay's
+/// dispatch stream (e.g. into a [`crate::DispatchTrace`]) while measuring.
+///
+/// # Panics
+///
+/// Panics if `technique` needs a profile and `training` is `None`.
+pub fn measure_trace_with<G: GuestVm + ?Sized>(
+    vm: &G,
+    trace: &ExecutionTrace,
+    technique: Technique,
+    engine: Engine,
+    training: Option<&Profile>,
+) -> RunResult {
     let translation = translate(vm.spec(), vm.program(), technique, training, vm.super_selection());
-    let mut measurement = Measurement::new(translation, Runner::new(Engine::for_cpu(cpu)));
+    let mut measurement = Measurement::new(translation, Runner::new(engine));
     trace.replay(&mut measurement);
     measurement.finish()
 }

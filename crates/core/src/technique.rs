@@ -120,6 +120,60 @@ impl Technique {
         }
     }
 
+    /// A filesystem-safe identifier that, unlike [`Technique::paper_name`],
+    /// encodes every parameter — two techniques with different budgets,
+    /// selection policies or cover algorithms get different ids. Used to
+    /// key cached dispatch traces, where `"static repl"` at budget 100 and
+    /// budget 400 must never collide.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ivm_core::{ReplicaSelection, Technique};
+    ///
+    /// let t = Technique::StaticRepl { budget: 400, selection: ReplicaSelection::RoundRobin };
+    /// assert_eq!(t.id(), "static-repl-b400-rr");
+    /// assert_eq!(Technique::AcrossBb.id(), "across-bb");
+    /// ```
+    pub fn id(&self) -> String {
+        fn sel(s: &ReplicaSelection) -> String {
+            match s {
+                ReplicaSelection::RoundRobin => "rr".to_owned(),
+                ReplicaSelection::Random { seed } => format!("rand{seed}"),
+            }
+        }
+        fn algo(a: &CoverAlgorithm) -> &'static str {
+            match a {
+                CoverAlgorithm::Greedy => "greedy",
+                CoverAlgorithm::Optimal => "optimal",
+            }
+        }
+        match self {
+            Technique::Switch => "switch".to_owned(),
+            Technique::Threaded => "threaded".to_owned(),
+            Technique::StaticRepl { budget, selection } => {
+                format!("static-repl-b{budget}-{}", sel(selection))
+            }
+            Technique::StaticSuper { budget, algo: a } => {
+                format!("static-super-b{budget}-{}", algo(a))
+            }
+            Technique::StaticBoth { replicas, supers, selection, algo: a } => {
+                format!("static-both-r{replicas}-s{supers}-{}-{}", sel(selection), algo(a))
+            }
+            Technique::DynamicRepl => "dynamic-repl".to_owned(),
+            Technique::DynamicSuper => "dynamic-super".to_owned(),
+            Technique::DynamicBoth => "dynamic-both".to_owned(),
+            Technique::AcrossBb => "across-bb".to_owned(),
+            Technique::WithStaticSuper { supers, algo: a } => {
+                format!("with-static-super-s{supers}-{}", algo(a))
+            }
+            Technique::WithStaticSuperAcross { supers, algo: a } => {
+                format!("with-static-super-across-s{supers}-{}", algo(a))
+            }
+            Technique::SubroutineThreading => "subroutine-threading".to_owned(),
+        }
+    }
+
     /// Whether this technique needs a training [`crate::Profile`].
     pub fn needs_profile(&self) -> bool {
         matches!(
@@ -286,6 +340,29 @@ mod tests {
         for t in all {
             let parsed: Technique = t.paper_name().parse().expect("parses");
             assert_eq!(parsed.paper_name(), t.paper_name());
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_filesystem_safe() {
+        let mut all = Technique::gforth_suite();
+        all.extend(Technique::jvm_suite());
+        all.push(Technique::Switch);
+        all.push(Technique::SubroutineThreading);
+        all.push(Technique::StaticRepl { budget: 100, selection: ReplicaSelection::RoundRobin });
+        all.push(Technique::StaticRepl {
+            budget: 100,
+            selection: ReplicaSelection::Random { seed: 7 },
+        });
+        all.push(Technique::StaticSuper { budget: 400, algo: CoverAlgorithm::Optimal });
+        let ids: std::collections::BTreeSet<String> = all.iter().map(Technique::id).collect();
+        // paper_name collides across budgets; id must not.
+        assert_eq!(ids.len(), all.iter().collect::<std::collections::HashSet<_>>().len());
+        for id in &ids {
+            assert!(
+                id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "id `{id}` is not filesystem-safe"
+            );
         }
     }
 

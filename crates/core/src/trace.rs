@@ -11,6 +11,26 @@
 use crate::events::VmEvents;
 use crate::spec::OpId;
 
+/// Narrows a recorded event field to the trace's 32-bit storage width.
+///
+/// Traces store instance indices as `u32` to halve memory traffic during
+/// replay. Indices at or past 2^32 cannot be represented, and silently
+/// wrapping them (the old `as u32` behaviour) would corrupt the replayed
+/// control flow, so the policy is *error, not saturate*: the conversion
+/// panics — `debug_assert!` first for a precise message in debug builds,
+/// then a checked conversion that also fires in release builds. The same
+/// policy guards every width-narrowing write in the binary
+/// [`crate::DispatchTrace`] encoder.
+pub(crate) fn checked_u32(value: usize, what: &str) -> u32 {
+    debug_assert!(
+        u32::try_from(value).is_ok(),
+        "{what} {value} exceeds the trace's 32-bit event width"
+    );
+    u32::try_from(value).unwrap_or_else(|_| {
+        panic!("{what} {value} exceeds the trace's 32-bit event width (max {})", u32::MAX)
+    })
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Begin { entry: u32 },
@@ -79,15 +99,20 @@ impl ExecutionTrace {
 
 impl VmEvents for ExecutionTrace {
     fn begin(&mut self, entry: usize) {
-        self.events.push(Event::Begin { entry: entry as u32 });
+        self.events.push(Event::Begin { entry: checked_u32(entry, "begin entry") });
     }
 
     fn transfer(&mut self, from: usize, to: usize, taken: bool) {
-        self.events.push(Event::Transfer { from: from as u32, to: to as u32, taken });
+        self.events.push(Event::Transfer {
+            from: checked_u32(from, "transfer source"),
+            to: checked_u32(to, "transfer target"),
+            taken,
+        });
     }
 
     fn quicken(&mut self, instance: usize, quick_op: OpId) {
-        self.events.push(Event::Quicken { instance: instance as u32, quick_op });
+        self.events
+            .push(Event::Quicken { instance: checked_u32(instance, "quicken instance"), quick_op });
     }
 }
 
@@ -139,6 +164,14 @@ mod tests {
         }
         assert_eq!(trace.len(), 2);
         assert_eq!(log.0.len(), 2);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "exceeds the trace's 32-bit event width")]
+    fn oversized_instance_index_is_rejected_not_wrapped() {
+        let mut trace = ExecutionTrace::new();
+        trace.begin(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod ring;
 
 pub use attrib::{AttributedPredictor, DispatchAttribution, OpTally, SetConflict, Tally};
 pub use json::{parse, Json, ParseError};
-pub use manifest::{smoke_enabled, CellWall, ExecutorMeta, RunManifest};
+pub use manifest::{smoke_enabled, CellWall, ExecutorMeta, RunManifest, TraceMeta};
 pub use metrics::{Histogram, Registry};
 pub use ring::{DispatchRecord, DispatchRing};
 

@@ -9,12 +9,22 @@ Usage:
     scripts/bench_gate.py --baseline-dir . --fresh-dir /tmp/fresh \
         --suites dispatch predictors [--tol 0.25]
 
-The tolerance is a fraction: 0.25 means "fail if the fresh median is more
-than 25% above the baseline median". It can also be set with the
-IVM_BENCH_GATE_TOL environment variable (the --tol flag wins). Benchmarks
-present in the baseline but missing from the fresh run fail the gate;
-benchmarks only present in the fresh run are reported but pass (the
-baseline should be refreshed to include them — see EXPERIMENTS.md).
+The allowed band above the baseline median is
+
+    max(tol * median, mad_k * mad)
+
+so it adapts to each benchmark's own measured noise: a relative
+tolerance alone flags fast, jittery benchmarks whose MAD is a large
+fraction of the median, while a MAD multiple alone would be too lax for
+slow, stable benchmarks. `tol` is a fraction (0.20 = "20% above the
+baseline median"); `mad_k` multiplies the baseline's median absolute
+deviation (`mad_ns` in BENCH_*.json). Both can be set by flag or
+environment (IVM_BENCH_GATE_TOL / IVM_BENCH_GATE_MAD_K; flags win).
+Baselines recorded before mad_ns existed fall back to the pure relative
+band. Benchmarks present in the baseline but missing from the fresh run
+fail the gate; benchmarks only present in the fresh run are reported but
+pass (the baseline should be refreshed to include them — see
+EXPERIMENTS.md).
 
 Exit status: 0 when the gate passes, 1 on any regression or missing
 benchmark, 2 on unreadable/malformed input.
@@ -28,7 +38,8 @@ import os
 import sys
 from pathlib import Path
 
-DEFAULT_TOL = 0.25
+DEFAULT_TOL = 0.20
+DEFAULT_MAD_K = 6.0
 
 
 def load_suite(path: Path) -> dict[str, dict]:
@@ -51,7 +62,9 @@ def load_suite(path: Path) -> dict[str, dict]:
     return by_id
 
 
-def gate_suite(suite: str, baseline_dir: Path, fresh_dir: Path, tol: float) -> list[str]:
+def gate_suite(
+    suite: str, baseline_dir: Path, fresh_dir: Path, tol: float, mad_k: float
+) -> list[str]:
     """Returns a list of failure descriptions for one suite (empty = pass)."""
     name = f"BENCH_{suite}.json"
     base = load_suite(baseline_dir / name)
@@ -63,17 +76,21 @@ def gate_suite(suite: str, baseline_dir: Path, fresh_dir: Path, tol: float) -> l
             failures.append(f"{suite}/{bench_id}: missing from the fresh run")
             continue
         base_med = float(base_row["median_ns"])
+        base_mad = float(base_row.get("mad_ns", 0.0))
         fresh_med = float(fresh_row["median_ns"])
-        limit = base_med * (1.0 + tol)
+        band = max(tol * base_med, mad_k * base_mad)
+        limit = base_med + band
         status = "ok"
         if fresh_med > limit:
             ratio = fresh_med / base_med if base_med > 0 else float("inf")
             failures.append(
                 f"{suite}/{bench_id}: median {fresh_med:.0f}ns vs baseline "
-                f"{base_med:.0f}ns ({ratio:.2f}x, limit {1.0 + tol:.2f}x)"
+                f"{base_med:.0f}ns ({ratio:.2f}x, limit {limit:.0f}ns = "
+                f"median + max({tol:.2f}*median, {mad_k:.1f}*{base_mad:.0f}ns MAD))"
             )
             status = "REGRESSED"
-        print(f"  {suite}/{bench_id}: {base_med:.0f}ns -> {fresh_med:.0f}ns [{status}]")
+        print(f"  {suite}/{bench_id}: {base_med:.0f}ns -> {fresh_med:.0f}ns "
+              f"(limit {limit:.0f}ns) [{status}]")
     for bench_id in sorted(set(fresh) - set(base)):
         print(f"  {suite}/{bench_id}: new benchmark, not in baseline (refresh BENCH_{suite}.json)")
     return failures
@@ -90,23 +107,30 @@ def main() -> int:
     parser.add_argument("--tol", type=float, default=None,
                         help=f"regression tolerance fraction (default {DEFAULT_TOL}, "
                              "or IVM_BENCH_GATE_TOL)")
+    parser.add_argument("--mad-k", type=float, default=None,
+                        help=f"noise-band multiple of the baseline MAD (default {DEFAULT_MAD_K}, "
+                             "or IVM_BENCH_GATE_MAD_K)")
     args = parser.parse_args()
 
-    tol = args.tol
-    if tol is None:
+    def resolve(flag_value, env_var, default, what):
+        if flag_value is not None:
+            return flag_value
         try:
-            tol = float(os.environ.get("IVM_BENCH_GATE_TOL", DEFAULT_TOL))
+            return float(os.environ.get(env_var, default))
         except ValueError:
-            print("bench-gate: IVM_BENCH_GATE_TOL is not a number", file=sys.stderr)
-            return 2
-    if tol < 0:
-        print("bench-gate: tolerance must be non-negative", file=sys.stderr)
+            print(f"bench-gate: {env_var} is not a number", file=sys.stderr)
+            sys.exit(2)
+
+    tol = resolve(args.tol, "IVM_BENCH_GATE_TOL", DEFAULT_TOL, "tolerance")
+    mad_k = resolve(args.mad_k, "IVM_BENCH_GATE_MAD_K", DEFAULT_MAD_K, "MAD multiple")
+    if tol < 0 or mad_k < 0:
+        print("bench-gate: tolerance and MAD multiple must be non-negative", file=sys.stderr)
         return 2
 
-    print(f"bench-gate: tolerance {tol:.2f} ({tol * 100:.0f}%)")
+    print(f"bench-gate: band = max({tol:.2f} * median, {mad_k:.1f} * MAD)")
     failures = []
     for suite in args.suites:
-        failures.extend(gate_suite(suite, args.baseline_dir, args.fresh_dir, tol))
+        failures.extend(gate_suite(suite, args.baseline_dir, args.fresh_dir, tol, mad_k))
     if failures:
         print("\nbench-gate: FAIL", file=sys.stderr)
         for f in failures:

@@ -6,16 +6,22 @@ count: running a report binary with IVM_JOBS=1 and IVM_JOBS=N must produce
 identical results. This script compares two output directories produced by
 such runs and fails on any difference. Stdlib only.
 
-Two manifest sections are excluded from the comparison, because they are
-*supposed* to differ between runs:
+Three manifest sections are excluded from the comparison, because they
+are *supposed* to differ between runs:
 
 * manifest.env      — records the IVM_* environment (contains IVM_JOBS)
 * manifest.executor — wall-clock timing of the parallel executor
+* manifest.trace    — dispatch-trace cache hit/miss counters (depend on
+                      what an earlier run left in the cache, not on the
+                      results themselves)
 
 Everything else — every table value, metric, attribution breakdown and
 JSONL trace byte — must be identical. *.json files are compared after
 dropping the excluded sections and re-serialising canonically (sorted
-keys); all other files are compared byte for byte.
+keys); all other files — including the binary `.dtrace` dispatch traces
+captured under IVM_TRACE_DIR — are compared byte for byte. `.dtrace`
+files are additionally required to start with the `IVMT` format magic,
+so a comparison of two identically-torn files cannot pass silently.
 
 Usage:
     scripts/check_determinism.py <dir-a> <dir-b>
@@ -38,6 +44,7 @@ def strip_nondeterministic(doc):
         if isinstance(manifest, dict):
             manifest.pop("env", None)
             manifest.pop("executor", None)
+            manifest.pop("trace", None)
     return doc
 
 
@@ -59,11 +66,13 @@ def compare(dir_a: Path, dir_b: Path) -> list[str]:
         if rel.suffix == ".json":
             try:
                 if canonical_json(a) != canonical_json(b):
-                    problem = "JSON differs outside manifest.env/manifest.executor"
+                    problem = "JSON differs outside manifest.{env,executor,trace}"
             except json.JSONDecodeError as e:
                 problem = f"not valid JSON: {e}"
         elif a.read_bytes() != b.read_bytes():
             problem = "bytes differ"
+        elif rel.suffix == ".dtrace" and not a.read_bytes().startswith(b"IVMT"):
+            problem = "dispatch trace lacks the IVMT format magic"
         if problem:
             diffs.append(f"{rel}: {problem}")
         print(f"  {rel}: {'DIFFERS' if problem else 'ok'}")
