@@ -226,7 +226,10 @@ impl Frontend {
     /// cells for the same program share one image instead of
     /// re-translating it per (technique × predictor × cache) cell.
     pub fn image(&self, name: &'static str) -> SharedImage {
-        Arc::unwrap_or_clone(self.images.get_or_build(name, || (self.find(name).build)()))
+        Arc::unwrap_or_clone(self.images.get_or_build(name, || {
+            let _span = ivm_obs::span::enter("image_build");
+            (self.find(name).build)()
+        }))
     }
 
     /// The benchmark's training profile, collected once per process.

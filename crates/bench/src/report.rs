@@ -52,6 +52,7 @@ impl Report {
     /// Prints a table exactly like [`crate::print_table`] and records it in
     /// the report.
     pub fn table(&mut self, title: &str, columns: &[&str], rows: &[Row], precision: usize) {
+        let _span = ivm_obs::span::enter("report_render");
         crate::print_table(title, columns, rows, precision);
         if !self.enabled {
             return;
@@ -88,13 +89,16 @@ impl Report {
 
     /// Serialises the full document (manifest first). The manifest carries
     /// the parallel executor's accumulated wall-time metadata when any
-    /// cells ran through [`crate::run_cells`], and the dispatch-trace
+    /// cells ran through [`crate::run_cells`], the dispatch-trace
     /// cache statistics when any traces were acquired through
-    /// [`crate::trace_store`].
+    /// [`crate::trace_store`], and the per-phase span wall-time
+    /// aggregates recorded so far (the `phases` section).
     pub fn to_json(&self) -> Json {
+        let phases = ivm_obs::span::aggregate(&ivm_obs::span::snapshot());
         let manifest = RunManifest::capture(&self.name)
             .with_executor(crate::executor_meta())
             .with_trace(crate::trace_meta())
+            .with_phases(Some(phases))
             .to_json();
         let mut doc = Json::obj().with("manifest", manifest);
         doc.set("tables", Json::Arr(self.tables.clone()));
@@ -107,16 +111,39 @@ impl Report {
         doc
     }
 
-    /// Writes `results/json/<name>.json` when enabled; a no-op otherwise.
+    /// Writes `results/json/<name>.json` when enabled (a no-op
+    /// otherwise), and — independently, under `IVM_TRACE_JSON=1` — the
+    /// Chrome trace-event export `results/json/<name>.trace.json`.
     /// Write failures are reported on stderr but do not abort the binary —
     /// the text output already happened.
     pub fn finish(self) {
+        if ivm_obs::span::trace_json_enabled() {
+            self.write_chrome_trace();
+        }
         if !self.enabled {
             return;
         }
         let dir = ivm_obs::results_json_dir();
         let path = dir.join(format!("{}.json", self.name));
         let doc = format!("{}\n", self.to_json());
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(&path, doc.as_bytes())
+        };
+        match write() {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    /// Writes `results/json/<name>.trace.json`: every span recorded so
+    /// far as a Chrome trace-event document, one track per executor
+    /// worker (load it in Perfetto or `chrome://tracing`).
+    fn write_chrome_trace(&self) {
+        let records = ivm_obs::span::snapshot();
+        let doc = format!("{}\n", ivm_obs::span::chrome_trace(&records, &self.name));
+        let dir = ivm_obs::results_json_dir();
+        let path = dir.join(format!("{}.trace.json", self.name));
         let write = || -> std::io::Result<()> {
             std::fs::create_dir_all(&dir)?;
             std::fs::write(&path, doc.as_bytes())

@@ -212,6 +212,7 @@ impl TraceStore {
                 return st;
             }
             fresh.set(true);
+            let _span = ivm_obs::span::enter("trace_capture");
             let observer = Rc::new(RefCell::new(DispatchTrace::new(expected, tech_id.clone())));
             let engine = Engine::for_cpu(cpu.unwrap_or(&CpuSpec::celeron800()))
                 .with_observer(observer.clone() as SharedObserver);

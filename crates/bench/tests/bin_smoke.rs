@@ -1,8 +1,10 @@
 //! Smoke test: every bin target in `src/bin/` must run end to end on the
 //! reduced `IVM_SMOKE` workload, exit successfully, print at least one
-//! parseable table row, and (with `IVM_JSON=1`) write a JSON report that
-//! parses and carries a matching run manifest. This is what keeps the 16
-//! report harnesses honest between full `results/` regenerations.
+//! parseable table row, and (with `IVM_JSON=1 IVM_TRACE_JSON=1`) write a
+//! JSON report that parses, carries a matching run manifest with a
+//! phase-time section, and a Chrome trace-event file that round-trips
+//! through the in-tree parser. This is what keeps the 17 report
+//! harnesses honest between full `results/` regenerations.
 
 use std::process::Command;
 
@@ -28,6 +30,7 @@ const BINS: &[(&str, &str)] = &[
     ("table5", env!("CARGO_BIN_EXE_table5")),
     ("table8", env!("CARGO_BIN_EXE_table8")),
     ("table9_10", env!("CARGO_BIN_EXE_table9_10")),
+    ("where_time_goes", env!("CARGO_BIN_EXE_where_time_goes")),
 ];
 
 /// A line is a table row if it has a label and its last column parses as
@@ -51,6 +54,7 @@ fn run_smoke(name: &str, path: &str) -> Result<(), String> {
     let out = Command::new(path)
         .env("IVM_SMOKE", "1")
         .env("IVM_JSON", "1")
+        .env("IVM_TRACE_JSON", "1")
         .env("IVM_JSON_DIR", &json_dir)
         .output()
         .map_err(|e| format!("{name}: failed to spawn: {e}"))?;
@@ -97,7 +101,78 @@ fn check_json_report(name: &str, json_dir: &std::path::Path) -> Result<(), Strin
         Some(jobs) if jobs >= 1.0 => {}
         other => return Err(format!("{name}: executor section has bad job count {other:?}")),
     }
+    check_phases_section(name, manifest)?;
+    check_chrome_trace(name, json_dir)?;
     check_trace_section(name, manifest)
+}
+
+/// Every binary routes work through span-instrumented phases, so the
+/// manifest must carry a non-empty `phases` section whose entries are
+/// well formed: a name, a positive call count, and numeric wall times
+/// with `self <= total`.
+fn check_phases_section(name: &str, manifest: &Json) -> Result<(), String> {
+    let phases = manifest
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{name}: manifest has no phases array"))?;
+    if phases.is_empty() {
+        return Err(format!("{name}: manifest phases section is empty"));
+    }
+    for phase in phases {
+        let pname = phase
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}: phase entry without a name: {phase}"))?;
+        let field = |key: &str| {
+            phase
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{name}: phase {pname:?} has no numeric {key:?}"))
+        };
+        if field("count")? < 1.0 {
+            return Err(format!("{name}: phase {pname:?} has a zero call count"));
+        }
+        let (total, own, in_cell) =
+            (field("total_ms")?, field("self_ms")?, field("in_cell_self_ms")?);
+        if own > total || in_cell > own {
+            return Err(format!(
+                "{name}: phase {pname:?} times are inconsistent \
+                 (total {total}, self {own}, in-cell {in_cell})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Under `IVM_TRACE_JSON=1` every binary must write a Chrome trace-event
+/// export that parses with the in-tree parser, where every event is a
+/// complete (`"ph": "X"`) event carrying `ts`, `dur`, `pid` and `tid`.
+fn check_chrome_trace(name: &str, json_dir: &std::path::Path) -> Result<(), String> {
+    let path = json_dir.join(format!("{name}.trace.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{name}: missing Chrome trace {}: {e}", path.display()))?;
+    let doc = ivm_obs::parse(&text).map_err(|e| format!("{name}: invalid Chrome trace: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{name}: Chrome trace has no traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{name}: Chrome trace has no events"));
+    }
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) != Some("X") {
+            return Err(format!("{name}: trace event is not a complete event: {event}"));
+        }
+        if event.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("{name}: trace event without a name: {event}"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if event.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("{name}: trace event has no numeric {key:?}: {event}"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Binaries that acquire dispatch traces through the trace store; their

@@ -1,0 +1,131 @@
+//! Differential proof that span instrumentation is observation-only:
+//! measured statistics and report bytes are identical with tracing on
+//! and off, and the artifacts the tracer *does* produce are well formed
+//! (percentages that account for the full cell wall, one Chrome-trace
+//! track per executor worker).
+
+use std::process::Command;
+
+use ivm_bench::frontend;
+use ivm_cache::CpuSpec;
+use ivm_obs::{span, Json};
+
+/// Measuring a grid with spans enabled and disabled must produce
+/// bit-identical results: cycle counts, dispatch counters, predictor and
+/// cache statistics. The guard only reads clocks — it must never steer
+/// the simulation.
+#[test]
+fn span_instrumentation_changes_no_measured_statistic() {
+    let f = frontend("calc");
+    let image = f.image("triangle");
+    let training = f.training_for("triangle");
+    let cpu = CpuSpec::celeron800();
+
+    let mut runs = Vec::new();
+    for on in [true, false] {
+        span::set_enabled(on);
+        let per_technique: Vec<String> = f
+            .techniques()
+            .into_iter()
+            .map(|t| {
+                let (result, _) = ivm_core::measure(&*image, t, &cpu, Some(&training))
+                    .expect("bundled benchmark runs");
+                format!("{t}: {result:?}")
+            })
+            .collect();
+        runs.push(per_technique);
+    }
+    span::set_enabled(true);
+    assert_eq!(runs[0], runs[1], "tracing on vs off changed a measured statistic");
+}
+
+/// Running a report binary with `IVM_SPANS=0` must reproduce its stdout
+/// byte for byte — the committed `results/*.txt` files cannot depend on
+/// whether tracing is compiled in or active.
+#[test]
+fn report_binary_stdout_is_byte_identical_with_spans_disabled() {
+    let run = |spans: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_section3"))
+            .env("IVM_SMOKE", "1")
+            .env("IVM_JOBS", "2")
+            .env("IVM_SPANS", spans)
+            .env_remove("IVM_JSON")
+            .env_remove("IVM_TRACE_JSON")
+            .output()
+            .expect("section3 spawns");
+        assert!(out.status.success(), "section3 failed with IVM_SPANS={spans}");
+        out.stdout
+    };
+    assert_eq!(run("1"), run("0"), "stdout differs between spans on and off");
+}
+
+/// The `where_time_goes` table must account for the entire cell wall:
+/// its `% cellwall` column (every phase's in-cell self time plus the
+/// untracked remainder) sums to 100%.
+#[test]
+fn where_time_goes_percentages_sum_to_the_whole_cell_wall() {
+    let json_dir =
+        std::env::temp_dir().join(format!("ivm-span-differential-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&json_dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_where_time_goes"))
+        .env("IVM_SMOKE", "1")
+        .env("IVM_JOBS", "3")
+        .env("IVM_TRACE_JSON", "1")
+        .env("IVM_JSON_DIR", &json_dir)
+        .output()
+        .expect("where_time_goes spawns");
+    assert!(
+        out.status.success(),
+        "where_time_goes failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // The phase table: skip down to its title, then its header, then sum
+    // the last (percentage) column of every row until the blank line.
+    let mut lines = stdout.lines();
+    lines.find(|l| l.starts_with("Where the time goes")).expect("phase table title printed");
+    let _header = lines.next().expect("phase table header printed");
+    let mut sum = 0.0;
+    let mut rows = 0;
+    for line in lines.by_ref() {
+        if line.trim().is_empty() {
+            break;
+        }
+        let pct: f64 = line
+            .split_whitespace()
+            .next_back()
+            .expect("table row has columns")
+            .parse()
+            .expect("last column is the percentage");
+        sum += pct;
+        rows += 1;
+    }
+    assert!(rows >= 5, "expected several phase rows, got {rows}:\n{stdout}");
+    assert!((sum - 100.0).abs() < 0.5, "phase percentages sum to {sum}, not ~100:\n{stdout}");
+
+    check_chrome_trace_tracks(&json_dir);
+    let _ = std::fs::remove_dir_all(&json_dir);
+}
+
+/// The Chrome trace from that run must have one track per `IVM_JOBS`
+/// worker (plus track 0 for the calling thread) and at least six
+/// distinct phase names.
+fn check_chrome_trace_tracks(json_dir: &std::path::Path) {
+    let path = json_dir.join("where_time_goes.trace.json");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = ivm_obs::parse(&text).expect("trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    let tids: std::collections::BTreeSet<i64> = events
+        .iter()
+        .map(|e| e.get("tid").and_then(Json::as_f64).expect("tid on every event") as i64)
+        .collect();
+    assert_eq!(
+        tids,
+        [0, 1, 2, 3].into(),
+        "expected the calling thread plus one track per IVM_JOBS=3 worker"
+    );
+    let names: std::collections::BTreeSet<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+    assert!(names.len() >= 6, "expected at least six distinct phase names, got {names:?}");
+}

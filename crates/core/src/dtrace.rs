@@ -279,6 +279,7 @@ impl DispatchTrace {
 
     /// Serialises the trace into the version-1 binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _span = ivm_harness::span::enter("trace_encode");
         let mut out = Vec::with_capacity(32 + self.technique.len() + self.events.len() * 3);
         out.extend_from_slice(&DTRACE_MAGIC);
         out.extend_from_slice(&DTRACE_VERSION.to_le_bytes());
@@ -308,6 +309,7 @@ impl DispatchTrace {
     /// varints, non-UTF-8 technique ids and trailing bytes — a corrupt
     /// trace must never decode into a slightly-wrong dispatch stream.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DtraceError> {
+        let _span = ivm_harness::span::enter("trace_decode");
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != DTRACE_MAGIC {
             return Err(DtraceError::BadMagic);
@@ -370,6 +372,7 @@ pub fn simulate_many(
     trace: &DispatchTrace,
     predictors: &mut [Box<dyn IndirectPredictor>],
 ) -> Vec<PredStats> {
+    let _span = ivm_harness::span::enter("predictor_sweep");
     predictors
         .iter_mut()
         .map(|p| {

@@ -5,8 +5,14 @@
 //! over the [`GuestVm`] seam now, so every interpreter — Forth, mini-JVM,
 //! the calculator VM, and whatever comes next — is profiled, translated
 //! and measured by exactly the same code.
+//!
+//! Every phase is wrapped in an `ivm_harness::span` guard (`train`,
+//! `translate`, `execute`, `simulate`, `record`), so pipeline runs are
+//! wall-time-attributable end to end; the spans only watch the clock and
+//! never influence a measured statistic.
 
 use ivm_cache::CpuSpec;
+use ivm_harness::span;
 
 use crate::engine::{Engine, RunResult, Runner};
 use crate::events::{Measurement, NullEvents, Tee, VmEvents};
@@ -26,6 +32,7 @@ use crate::translate::translate;
 ///
 /// Propagates any [`VmError`] from the training run.
 pub fn profile<G: GuestVm + ?Sized>(vm: &G) -> Result<Profile, VmError> {
+    let _span = span::enter("train");
     let mut collector = ProfileCollector::new(vm.program());
     vm.execute(&mut collector, vm.default_fuel())?;
     Ok(collector.into_profile())
@@ -93,11 +100,17 @@ pub fn measure_observed<G: GuestVm + ?Sized>(
     training: Option<&Profile>,
     extra: &mut dyn VmEvents,
 ) -> Result<(RunResult, VmOutput), VmError> {
-    let translation = translate(vm.spec(), vm.program(), technique, training, vm.super_selection());
+    let translation = {
+        let _span = span::enter("translate");
+        translate(vm.spec(), vm.program(), technique, training, vm.super_selection())
+    };
     let runner = Runner::new(engine);
     let mut measurement = Measurement::new(translation, runner);
     let mut tee = Tee { a: &mut measurement, b: extra };
-    let output = vm.execute(&mut tee, vm.default_fuel())?;
+    let output = {
+        let _span = span::enter("execute");
+        vm.execute(&mut tee, vm.default_fuel())?
+    };
     Ok((measurement.finish(), output))
 }
 
@@ -109,6 +122,7 @@ pub fn measure_observed<G: GuestVm + ?Sized>(
 ///
 /// Propagates any [`VmError`] from the recording run.
 pub fn record<G: GuestVm + ?Sized>(vm: &G) -> Result<(ExecutionTrace, VmOutput), VmError> {
+    let _span = span::enter("record");
     let mut trace = ExecutionTrace::new();
     let output = vm.execute(&mut trace, vm.default_fuel())?;
     Ok((trace, output))
@@ -144,8 +158,14 @@ pub fn measure_trace_with<G: GuestVm + ?Sized>(
     engine: Engine,
     training: Option<&Profile>,
 ) -> RunResult {
-    let translation = translate(vm.spec(), vm.program(), technique, training, vm.super_selection());
+    let translation = {
+        let _span = span::enter("translate");
+        translate(vm.spec(), vm.program(), technique, training, vm.super_selection())
+    };
     let mut measurement = Measurement::new(translation, Runner::new(engine));
-    trace.replay(&mut measurement);
+    {
+        let _span = span::enter("simulate");
+        trace.replay(&mut measurement);
+    }
     measurement.finish()
 }

@@ -25,6 +25,12 @@
 //!   `IVM_JOBS` threads, pins each cell's RNG stream to its stable id,
 //!   and merges results in canonical order, so reports are bit-identical
 //!   at any job count.
+//! * [`span`] — low-overhead wall-time span tracing (scoped guards,
+//!   monotonic clocks, thread-local stacks). The primitive under
+//!   `ivm-obs::span`'s phase attribution and Chrome-trace export; it
+//!   lives here so `ivm-core`'s measurement pipeline and the [`par`]
+//!   executor can open spans without depending on the observability
+//!   crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +39,7 @@ pub mod bench;
 pub mod par;
 pub mod prop;
 pub mod rng;
+pub mod span;
 
 pub use bench::Bencher;
 pub use par::{run_cells, run_cells_with, Cell, CellCtx, CellError, CellStat, ExecStats};

@@ -234,11 +234,16 @@ where
         std::thread::scope(|scope| {
             for worker in 0..jobs {
                 let (next, slots, f) = (&next, &slots, &f);
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let outcome = execute(cell, seed, worker, f);
-                    *slots[i].lock().expect("slot lock") = Some(outcome);
+                scope.spawn(move || {
+                    // Span tracks are 1-based per worker; track 0 is the
+                    // calling thread (which runs the serial path itself).
+                    crate::span::set_track(worker as u32 + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        let outcome = execute(cell, seed, worker, f);
+                        *slots[i].lock().expect("slot lock") = Some(outcome);
+                    }
                 });
             }
         });
@@ -281,7 +286,11 @@ where
 {
     let mut ctx = CellCtx::new(&cell.id, seed);
     let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| f(cell, &mut ctx))).map_err(|payload| {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _span = crate::span::enter("cell");
+        f(cell, &mut ctx)
+    }))
+    .map_err(|payload| {
         payload
             .downcast_ref::<String>()
             .cloned()

@@ -13,11 +13,17 @@
 //!   exportable as JSONL for offline analysis.
 //! * [`RunManifest`] — the provenance block (workspace version, smoke
 //!   mode, seed, `IVM_*` env overrides) attached to every report.
+//! * [`span`] — phase-attributed wall-time profiling of the pipeline
+//!   itself: aggregation of the span stream recorded through
+//!   `ivm_harness::span` guards into per-phase statistics (the
+//!   manifest's `phases` section) and Chrome trace-event export
+//!   (`IVM_TRACE_JSON=1`).
 //! * [`Json`] — the zero-dependency JSON value/writer/parser everything
 //!   above serialises through.
 //!
 //! "Zero-dependency" here means no crates from outside this workspace:
-//! the only dependencies are `ivm-bpred`, `ivm-cache` and `ivm-core`.
+//! the only dependencies are `ivm-bpred`, `ivm-cache`, `ivm-core` and
+//! `ivm-harness`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,12 +33,14 @@ mod json;
 mod manifest;
 mod metrics;
 mod ring;
+pub mod span;
 
 pub use attrib::{AttributedPredictor, DispatchAttribution, OpTally, SetConflict, Tally};
 pub use json::{parse, Json, ParseError};
 pub use manifest::{smoke_enabled, CellWall, ExecutorMeta, RunManifest, TraceMeta};
 pub use metrics::{Histogram, Registry};
 pub use ring::{DispatchRecord, DispatchRing};
+pub use span::PhaseAgg;
 
 use ivm_core::{OpId, VmEvents};
 use std::path::PathBuf;

@@ -1,6 +1,7 @@
 //! Run manifests: the provenance block attached to every JSON report.
 
 use crate::json::Json;
+use crate::span::PhaseAgg;
 
 /// Captures how a report was produced: workspace version, smoke mode, seed
 /// and every `IVM_*` environment override in effect.
@@ -10,9 +11,10 @@ use crate::json::Json;
 /// changes. The exceptions are the `env` section (which records
 /// machine-local `IVM_*` overrides such as `IVM_JOBS`), the optional
 /// `executor` section (which records wall-clock timing of the parallel
-/// experiment executor), and the optional `trace` section (whose cache
-/// hit/miss counts depend on what `results/traces/` already held);
-/// determinism comparisons exclude all three — see
+/// experiment executor), the optional `trace` section (whose cache
+/// hit/miss counts depend on what `results/traces/` already held), and
+/// the optional `phases` section (per-phase span wall times);
+/// determinism comparisons exclude all four — see
 /// `scripts/check_determinism.py`.
 ///
 /// # Examples
@@ -44,6 +46,10 @@ pub struct RunManifest {
     /// cached dispatch traces. Depends on prior disk state (hit/miss
     /// counts) and is therefore excluded from determinism comparisons.
     pub trace: Option<TraceMeta>,
+    /// Per-phase span wall-time aggregates ([`crate::span::aggregate`]),
+    /// when any spans were recorded. Wall-time-bearing and therefore
+    /// excluded from determinism comparisons.
+    pub phases: Option<Vec<PhaseAgg>>,
 }
 
 /// How the dispatch-trace cache behaved during one run: captures versus
@@ -171,6 +177,7 @@ impl RunManifest {
             env,
             executor: None,
             trace: None,
+            phases: None,
         }
     }
 
@@ -185,6 +192,14 @@ impl RunManifest {
     #[must_use]
     pub fn with_trace(mut self, trace: Option<TraceMeta>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches per-phase span aggregates (builder style). `None` and
+    /// an empty vector both omit the section.
+    #[must_use]
+    pub fn with_phases(mut self, phases: Option<Vec<PhaseAgg>>) -> Self {
+        self.phases = phases.filter(|p| !p.is_empty());
         self
     }
 
@@ -205,6 +220,9 @@ impl RunManifest {
         }
         if let Some(trace) = &self.trace {
             j.set("trace", trace.to_json());
+        }
+        if let Some(phases) = &self.phases {
+            j.set("phases", crate::span::phases_json(phases));
         }
         j
     }
@@ -231,6 +249,7 @@ mod tests {
             env: vec![("IVM_SMOKE".into(), "1".into())],
             executor: None,
             trace: None,
+            phases: None,
         };
         let j = parse(&m.to_json().to_json()).unwrap();
         assert_eq!(j.get("report").and_then(Json::as_str), Some("demo"));
@@ -249,6 +268,7 @@ mod tests {
             env: Vec::new(),
             executor: None,
             trace: None,
+            phases: None,
         };
         assert_eq!(m.to_json().get("seed"), Some(&Json::Null));
         assert_eq!(m.to_json().get("executor"), None, "no executor section when absent");
@@ -305,6 +325,28 @@ mod tests {
             None,
             "no trace section when absent"
         );
+    }
+
+    #[test]
+    fn phases_section_serialises_and_empty_is_omitted() {
+        let phases = vec![PhaseAgg {
+            name: "execute",
+            count: 3,
+            total_us: 4_500,
+            self_us: 4_000,
+            in_cell_self_us: 4_000,
+        }];
+        let m = RunManifest::capture("demo").with_phases(Some(phases));
+        let j = parse(&m.to_json().to_json()).unwrap();
+        let rows = j.get("phases").and_then(Json::as_arr).expect("phases array");
+        assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("execute"));
+        assert_eq!(rows[0].get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(rows[0].get("total_ms").and_then(Json::as_f64), Some(4.5));
+        assert_eq!(rows[0].get("self_ms").and_then(Json::as_f64), Some(4.0));
+
+        let empty = RunManifest::capture("demo").with_phases(Some(Vec::new()));
+        assert_eq!(empty.to_json().get("phases"), None, "empty phases omitted");
+        assert_eq!(RunManifest::capture("demo").to_json().get("phases"), None);
     }
 
     #[test]

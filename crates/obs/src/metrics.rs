@@ -53,12 +53,62 @@ impl Histogram {
         &self.counts
     }
 
+    /// The `q`-quantile (`0 < q <= 1`) as a bucket upper bound: the bound
+    /// of the first bucket at which the cumulative count reaches
+    /// `ceil(q * total)`. Fixed buckets only know bounds, so this is the
+    /// conventional conservative estimate — the true quantile is `<=` the
+    /// returned bound. Observations in the overflow bucket have no upper
+    /// bound and report [`f64::INFINITY`] (serialised as `null` by
+    /// [`Json`]). Returns `None` while the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `(0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        // ceil without floating the (potentially huge) total: the rank of
+        // the wanted observation, clamped to at least the first one.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        unreachable!("cumulative bucket counts always reach the total")
+    }
+
+    /// Median bucket bound ([`Histogram::percentile`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// 90th-percentile bucket bound.
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(0.9)
+    }
+
+    /// 99th-percentile bucket bound.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(0.99)
+    }
+
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut out = Json::obj()
             .with("bounds", Json::Arr(self.bounds.iter().map(|&b| Json::Num(b)).collect()))
             .with("counts", Json::Arr(self.counts.iter().map(|&c| c.into()).collect()))
             .with("sum", self.sum)
-            .with("count", self.total)
+            .with("count", self.total);
+        if let (Some(p50), Some(p90), Some(p99)) = (self.p50(), self.p90(), self.p99()) {
+            out.set("p50", Json::Num(p50));
+            out.set("p90", Json::Num(p90));
+            out.set("p99", Json::Num(p99));
+        }
+        out
     }
 }
 
@@ -194,6 +244,52 @@ mod tests {
     #[should_panic(expected = "never registered")]
     fn observing_unregistered_histogram_panics() {
         Registry::new().observe("nope", 1.0);
+    }
+
+    #[test]
+    fn percentiles_resolve_to_bucket_bounds_at_rank_edges() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        assert_eq!(h.p50(), None, "empty histogram has no percentiles");
+        h.observe(1.0); // bucket 0, exactly on the bound
+        h.observe(7.0); // bucket 1
+                        // total = 2: p50 wants rank ceil(0.5 * 2) = 1 -> first bucket;
+                        // anything past half wants rank 2 -> second bucket.
+        assert_eq!(h.p50(), Some(1.0));
+        assert_eq!(h.percentile(0.51), Some(10.0));
+        assert_eq!(h.percentile(1.0), Some(10.0));
+        // One observation in the last bounded bucket moves the tail there.
+        h.observe(50.0);
+        assert_eq!(h.p50(), Some(10.0), "rank ceil(1.5) = 2 lands in bucket 1");
+        assert_eq!(h.p99(), Some(100.0));
+    }
+
+    #[test]
+    fn percentile_of_overflow_bucket_is_unbounded() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(5.0); // overflow: no upper bound to report
+        assert_eq!(h.p50(), Some(f64::INFINITY));
+        // The JSON encoding carries non-finite numbers as null.
+        let text = Registry { histograms: [("h".to_owned(), h)].into(), ..Default::default() }
+            .to_json()
+            .to_json();
+        assert!(text.contains("\"p50\":null"), "overflow percentile serialises as null: {text}");
+    }
+
+    #[test]
+    fn single_observation_pins_every_percentile() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.2);
+        for q in [0.001, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(1.0), "q = {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn zero_quantile_rejected() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        let _ = h.percentile(0.0);
     }
 
     #[test]

@@ -177,6 +177,62 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_at_exact_capacity_exports_every_record_unevicted() {
+        let mut ring = DispatchRing::new(4);
+        for i in 0..4u64 {
+            ring.record(i as usize, i as usize + 1, 0x40 + i, 0x80 + i, false);
+        }
+        // Exactly full: nothing evicted yet, the export is the whole
+        // history in insertion order with a trailing newline.
+        assert_eq!(ring.len(), ring.capacity());
+        assert_eq!(ring.total_recorded(), 4);
+        let text = ring.to_jsonl();
+        assert!(text.ends_with('\n'));
+        let seqs: Vec<f64> = text
+            .lines()
+            .map(|l| parse(l).unwrap().get("seq").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn jsonl_one_past_capacity_drops_exactly_the_oldest() {
+        let mut ring = DispatchRing::new(4);
+        for i in 0..5u64 {
+            ring.record(0, 1, i, i, i == 4);
+        }
+        // One wraparound step: seq 0 fell out, 1..=4 remain, and the
+        // export agrees with the iterator line for line.
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 5);
+        let parsed: Vec<Json> = ring.to_jsonl().lines().map(|l| parse(l).unwrap()).collect();
+        let seqs: Vec<f64> =
+            parsed.iter().map(|r| r.get("seq").and_then(Json::as_f64).unwrap()).collect();
+        assert_eq!(seqs, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(parsed.len(), ring.iter().count());
+        assert_eq!(
+            parsed.last().unwrap().get("mispredicted"),
+            Some(&Json::Bool(true)),
+            "the newest record is the export's last line"
+        );
+    }
+
+    #[test]
+    fn jsonl_after_many_wraparounds_stays_a_contiguous_window() {
+        let mut ring = DispatchRing::new(3);
+        for i in 0..100u64 {
+            ring.record(i as usize % 7, i as usize % 5, i, i + 1, false);
+        }
+        let seqs: Vec<f64> = ring
+            .to_jsonl()
+            .lines()
+            .map(|l| parse(l).unwrap().get("seq").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(seqs, vec![97.0, 98.0, 99.0], "the window is the last `capacity` dispatches");
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1.0), "no gaps inside the window");
+    }
+
+    #[test]
     fn clear_resets_sequence() {
         let mut ring = DispatchRing::new(2);
         ring.record(0, 0, 0, 0, false);
