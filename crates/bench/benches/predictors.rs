@@ -1,7 +1,8 @@
 //! Microbenchmarks of the predictor and cache simulators.
 
 use ivm_bpred::{
-    Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
+    AnyPredictor, Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
+    TwoLevelPredictor,
 };
 use ivm_cache::{FetchCache, Icache, IcacheConfig, TraceCache};
 use ivm_core::{simulate_many, DispatchTrace};
@@ -55,13 +56,13 @@ fn bench_caches(b: &mut Bencher) {
 }
 
 /// The predictor configurations a sweep evaluates together.
-fn predictor_zoo() -> Vec<Box<dyn IndirectPredictor>> {
+fn predictor_zoo() -> Vec<AnyPredictor> {
     vec![
-        Box::new(IdealBtb::new()),
-        Box::new(Btb::new(BtbConfig::celeron())),
-        Box::new(Btb::new(BtbConfig::pentium4())),
-        Box::new(TwoBitBtb::new()),
-        Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m())),
+        IdealBtb::new().into(),
+        Btb::new(BtbConfig::celeron()).into(),
+        Btb::new(BtbConfig::pentium4()).into(),
+        TwoBitBtb::new().into(),
+        TwoLevelPredictor::new(TwoLevelConfig::pentium_m()).into(),
     ]
 }
 

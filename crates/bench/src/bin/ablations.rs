@@ -15,13 +15,12 @@
 
 use ivm_bench::{frontend, run_cells, smoke, Cell, Report, Row};
 use ivm_bpred::{
-    Btb, BtbConfig, CascadedPredictor, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
-    TwoLevelPredictor,
+    AnyPredictor, Btb, BtbConfig, CascadedPredictor, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
 };
 use ivm_cache::{CpuSpec, Icache, IcacheConfig};
 use ivm_core::{CoverAlgorithm, Engine, Profile, ReplicaSelection, Technique};
 
-fn engine_with(pred: Box<dyn IndirectPredictor>, cpu: &CpuSpec) -> Engine {
+fn engine_with(pred: AnyPredictor, cpu: &CpuSpec) -> Engine {
     Engine::new(pred, cpu.fetch_cache(), cpu.costs)
 }
 
@@ -125,12 +124,12 @@ fn cover_algorithms(out: &mut Report, training: &Profile) {
 fn predictor_family(out: &mut Report, training: &Profile) {
     let cpu = CpuSpec::celeron800();
     let forth = frontend("forth");
-    type MakePredictor = fn() -> Box<dyn IndirectPredictor>;
+    type MakePredictor = fn() -> AnyPredictor;
     let families: [(&str, MakePredictor); 4] = [
-        ("btb", || Box::new(Btb::new(BtbConfig::celeron()))),
-        ("btb-2bit", || Box::new(TwoBitBtb::new())),
-        ("two-level", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
-        ("cascaded", || Box::new(CascadedPredictor::with_defaults())),
+        ("btb", || Btb::new(BtbConfig::celeron()).into()),
+        ("btb-2bit", || TwoBitBtb::new().into()),
+        ("two-level", || TwoLevelPredictor::new(TwoLevelConfig::pentium_m()).into()),
+        ("cascaded", || CascadedPredictor::with_defaults().into()),
     ];
     let cells: Vec<Cell<(&'static str, &str, MakePredictor)>> = forth
         .benches()
@@ -184,7 +183,7 @@ fn btb_size_sweep(out: &mut Report, training: &Profile) {
     let mispreds = run_cells(cells, |cell, _| {
         let (tech, entries) = cell.input;
         let image = forth.image(name);
-        let pred = Box::new(Btb::new(BtbConfig::new(entries, 4)));
+        let pred = Btb::new(BtbConfig::new(entries, 4));
         let engine =
             Engine::new(pred, Box::new(Icache::new(IcacheConfig::celeron_l1i())), cpu.costs);
         let (r, _) = ivm_core::measure_with(&*image, tech, engine, Some(training)).expect("runs");

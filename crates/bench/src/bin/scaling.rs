@@ -82,7 +82,7 @@ fn prediction_only(out: &mut Report) {
         let mut values = vec![image.program.len() as f64];
         for tech in [Technique::Threaded, static_repl(), Technique::DynamicRepl] {
             let engine = Engine::new(
-                Box::new(Btb::new(BtbConfig::pentium4())),
+                Btb::new(BtbConfig::pentium4()),
                 Box::new(PerfectIcache::default()),
                 cpu.costs,
             );

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin simulator_study -- [benchmark]`
 
 use ivm_bench::{frontend, run_cells, smoke, trace_store, Cell, Report, Row};
-use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
+use ivm_bpred::{AnyPredictor, Btb, BtbConfig, IdealBtb};
 use ivm_cache::{CycleCosts, Icache, IcacheConfig};
 use ivm_core::{simulate_many, Engine, Technique};
 
@@ -63,10 +63,8 @@ fn main() {
         .collect();
     let rates = run_cells(sweep_cells, |cell, _| {
         let (_, i) = cell.input;
-        let mut predictors: Vec<Box<dyn IndirectPredictor>> = geometries
-            .iter()
-            .map(|(_, cfg)| Box::new(Btb::new(*cfg)) as Box<dyn IndirectPredictor>)
-            .collect();
+        let mut predictors: Vec<AnyPredictor> =
+            geometries.iter().map(|(_, cfg)| Btb::new(*cfg).into()).collect();
         let stats = simulate_many(traces[i].trace(), &mut predictors);
         stats.iter().map(|s| 100.0 * s.misprediction_rate()).collect::<Vec<f64>>()
     });
@@ -106,9 +104,8 @@ fn main() {
     let misses = run_cells(cells, |cell, _| {
         let (kb, tech) = cell.input;
         let image = forth.image(bench);
-        let pred: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
         let engine = Engine::new(
-            pred,
+            IdealBtb::new(),
             Box::new(Icache::new(IcacheConfig { capacity: kb * 1024, line_size: 32, assoc: 4 })),
             costs,
         );

@@ -19,7 +19,7 @@
 //! Run with: `cargo run --release -p ivm-bench --bin where_time_goes`
 
 use ivm_bench::{frontend, predictor_registry, run_cells, smoke, trace_store, Cell, Report, Row};
-use ivm_bpred::IndirectPredictor;
+use ivm_bpred::AnyPredictor;
 use ivm_cache::CpuSpec;
 use ivm_core::{simulate_many, Technique};
 use ivm_obs::span;
@@ -87,7 +87,7 @@ fn run_plan(plan: &Plan) {
     .pop()
     .expect("one capture cell");
     run_cells(one("sweep"), |_, _| {
-        let mut predictors: Vec<Box<dyn IndirectPredictor>> =
+        let mut predictors: Vec<AnyPredictor> =
             predictor_registry().iter().map(|(_, build)| build()).collect();
         simulate_many(stored.trace(), &mut predictors).len()
     });

@@ -26,7 +26,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ivm_bpred::{
-    Btb, BtbConfig, CascadedPredictor, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
+    AnyPredictor, Btb, BtbConfig, CascadedPredictor, IdealBtb, TwoBitBtb, TwoLevelConfig,
     TwoLevelPredictor,
 };
 use ivm_cache::CpuSpec;
@@ -36,8 +36,11 @@ use ivm_core::{
 };
 use ivm_obs::TraceMeta;
 
-/// Builds one fresh predictor instance for a sweep.
-pub type PredictorBuilder = fn() -> Box<dyn IndirectPredictor>;
+/// Builds one fresh predictor instance for a sweep. Returning the
+/// enum-dispatched [`AnyPredictor`] keeps the sweep's inner loops
+/// monomorphized — `simulate_many` runs each variant without a virtual
+/// call per event.
+pub type PredictorBuilder = fn() -> AnyPredictor;
 
 /// Every predictor configuration the sweep studies evaluate, as
 /// fresh-instance builders with stable names. One captured dispatch
@@ -46,19 +49,20 @@ pub type PredictorBuilder = fn() -> Box<dyn IndirectPredictor>;
 /// interpreter once per configuration.
 pub fn predictor_registry() -> Vec<(&'static str, PredictorBuilder)> {
     let registry: Vec<(&'static str, PredictorBuilder)> = vec![
-        ("ideal", || Box::new(IdealBtb::new())),
-        ("btb-celeron", || Box::new(Btb::new(BtbConfig::celeron()))),
-        ("btb-p4", || Box::new(Btb::new(BtbConfig::pentium4()))),
-        ("btb-256x1-tagless", || Box::new(Btb::new(BtbConfig::new(256, 1).tagless()))),
-        ("btb-2bit", || Box::new(TwoBitBtb::new())),
-        ("two-level-pentium-m", || Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m()))),
-        ("cascaded", || Box::new(CascadedPredictor::new(TwoLevelConfig::pentium_m(), 2))),
+        ("ideal", || IdealBtb::new().into()),
+        ("btb-celeron", || Btb::new(BtbConfig::celeron()).into()),
+        ("btb-p4", || Btb::new(BtbConfig::pentium4()).into()),
+        ("btb-256x1-tagless", || Btb::new(BtbConfig::new(256, 1).tagless()).into()),
+        ("btb-2bit", || TwoBitBtb::new().into()),
+        ("two-level-pentium-m", || TwoLevelPredictor::new(TwoLevelConfig::pentium_m()).into()),
+        ("cascaded", || CascadedPredictor::new(TwoLevelConfig::pentium_m(), 2).into()),
         ("two-level-long-history", || {
-            Box::new(TwoLevelPredictor::new(TwoLevelConfig {
+            TwoLevelPredictor::new(TwoLevelConfig {
                 history_len: 8,
                 table_bits: 14,
                 target_bits: 6,
-            }))
+            })
+            .into()
         }),
     ];
     registry

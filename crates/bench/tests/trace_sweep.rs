@@ -38,12 +38,9 @@ fn simulate_many_is_bit_identical_to_per_predictor_reexecution() {
         // seam the trace store uses (the capture engine's predictor is
         // irrelevant — the stream must not depend on it).
         let observer = Rc::new(RefCell::new(DispatchTrace::new(0, technique.id())));
-        let capture_engine = Engine::new(
-            Box::new(ivm_bpred::IdealBtb::new()),
-            Box::new(PerfectIcache::default()),
-            costs,
-        )
-        .with_observer(observer.clone() as SharedObserver);
+        let capture_engine =
+            Engine::new(ivm_bpred::IdealBtb::new(), Box::new(PerfectIcache::default()), costs)
+                .with_observer(observer.clone() as SharedObserver);
         let _ = ivm_core::measure_trace_with(
             &*image,
             &exec,

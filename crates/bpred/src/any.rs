@@ -1,0 +1,243 @@
+//! Enum dispatch over the in-tree predictors.
+//!
+//! `Box<dyn IndirectPredictor>` costs a virtual call per simulated
+//! dispatch, which the compiler can neither inline nor hoist out of the
+//! simulate loops. [`AnyPredictor`] closes that hole for the predictors
+//! this crate ships: an enum whose [`IndirectPredictor`] impl is a single
+//! inlined `match`, so a monomorphic call site (the engine's hot loop, a
+//! sweep's per-predictor inner loop) compiles down to direct calls into
+//! the variant's update code. External or wrapped predictors still fit
+//! through the [`AnyPredictor::Boxed`] escape hatch, which keeps exactly
+//! the old dynamic-dispatch behaviour.
+
+use crate::{
+    Addr, Btb, CascadedPredictor, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelPredictor,
+};
+
+/// Every in-tree predictor behind one statically-dispatched type, plus a
+/// boxed escape hatch for everything else.
+///
+/// Construct via `From`/`Into` from any concrete predictor (or from a
+/// `Box<dyn IndirectPredictor>`); behaviour is bit-identical to calling
+/// the wrapped predictor directly — the enum adds dispatch, never state.
+///
+/// # Examples
+///
+/// ```
+/// use ivm_bpred::{AnyPredictor, IdealBtb, IndirectPredictor};
+///
+/// let mut p: AnyPredictor = IdealBtb::new().into();
+/// assert!(!p.predict_and_update(4, 100)); // cold miss
+/// assert!(p.predict_and_update(4, 100));
+/// assert_eq!(p.describe(), "ideal-btb");
+/// ```
+pub enum AnyPredictor {
+    /// An unbounded last-target BTB ([`IdealBtb`]).
+    Ideal(IdealBtb),
+    /// A finite set-associative BTB ([`Btb`]).
+    Btb(Btb),
+    /// A BTB with two-bit hysteresis counters ([`TwoBitBtb`]).
+    TwoBit(TwoBitBtb),
+    /// A two-level history predictor ([`TwoLevelPredictor`]).
+    TwoLevel(TwoLevelPredictor),
+    /// A cascaded filter + history predictor ([`CascadedPredictor`]).
+    Cascaded(CascadedPredictor),
+    /// Anything else, behind the old dynamic dispatch.
+    Boxed(Box<dyn IndirectPredictor>),
+}
+
+impl std::fmt::Debug for AnyPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AnyPredictor").field(&self.describe()).finish()
+    }
+}
+
+impl From<IdealBtb> for AnyPredictor {
+    fn from(p: IdealBtb) -> Self {
+        Self::Ideal(p)
+    }
+}
+
+impl From<Btb> for AnyPredictor {
+    fn from(p: Btb) -> Self {
+        Self::Btb(p)
+    }
+}
+
+impl From<TwoBitBtb> for AnyPredictor {
+    fn from(p: TwoBitBtb) -> Self {
+        Self::TwoBit(p)
+    }
+}
+
+impl From<TwoLevelPredictor> for AnyPredictor {
+    fn from(p: TwoLevelPredictor) -> Self {
+        Self::TwoLevel(p)
+    }
+}
+
+impl From<CascadedPredictor> for AnyPredictor {
+    fn from(p: CascadedPredictor) -> Self {
+        Self::Cascaded(p)
+    }
+}
+
+impl From<Box<dyn IndirectPredictor>> for AnyPredictor {
+    fn from(p: Box<dyn IndirectPredictor>) -> Self {
+        Self::Boxed(p)
+    }
+}
+
+impl IndirectPredictor for AnyPredictor {
+    #[inline]
+    fn predict_and_update(&mut self, branch: Addr, target: Addr) -> bool {
+        match self {
+            Self::Ideal(p) => p.predict_and_update(branch, target),
+            Self::Btb(p) => p.predict_and_update(branch, target),
+            Self::TwoBit(p) => p.predict_and_update(branch, target),
+            Self::TwoLevel(p) => p.predict_and_update(branch, target),
+            Self::Cascaded(p) => p.predict_and_update(branch, target),
+            Self::Boxed(p) => p.predict_and_update(branch, target),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Self::Ideal(p) => p.reset(),
+            Self::Btb(p) => p.reset(),
+            Self::TwoBit(p) => p.reset(),
+            Self::TwoLevel(p) => p.reset(),
+            Self::Cascaded(p) => p.reset(),
+            Self::Boxed(p) => p.reset(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Self::Ideal(p) => p.describe(),
+            Self::Btb(p) => p.describe(),
+            Self::TwoBit(p) => p.describe(),
+            Self::TwoLevel(p) => p.describe(),
+            Self::Cascaded(p) => p.describe(),
+            Self::Boxed(p) => p.describe(),
+        }
+    }
+}
+
+impl AnyPredictor {
+    /// Runs `f` with the wrapped predictor as a concrete (monomorphized)
+    /// `&mut impl IndirectPredictor` — the match happens once here, so a
+    /// loop inside `f` pays no per-iteration dispatch. This is how
+    /// `simulate_many` hoists predictor dispatch out of its inner loop.
+    #[inline]
+    pub fn with_monomorphized<R>(&mut self, f: impl FnOnce(&mut dyn Monomorphized) -> R) -> R {
+        match self {
+            Self::Ideal(p) => f(p),
+            Self::Btb(p) => f(p),
+            Self::TwoBit(p) => f(p),
+            Self::TwoLevel(p) => f(p),
+            Self::Cascaded(p) => f(p),
+            Self::Boxed(p) => f(p),
+        }
+    }
+}
+
+/// Object-safe view used by [`AnyPredictor::with_monomorphized`]: each
+/// concrete predictor gets one specialised [`Monomorphized::run_stream`]
+/// whose inner loop calls its `predict_and_update` directly (inlined),
+/// instead of re-dispatching per event.
+pub trait Monomorphized {
+    /// Feeds every `(branch, target)` event through the predictor,
+    /// returning `(executed, mispredicted)` counts.
+    fn run_stream(&mut self, events: &[(Addr, Addr)]) -> (u64, u64);
+}
+
+impl<P: IndirectPredictor> Monomorphized for P {
+    #[inline]
+    fn run_stream(&mut self, events: &[(Addr, Addr)]) -> (u64, u64) {
+        let mut mispredicted = 0u64;
+        for &(branch, target) in events {
+            mispredicted += u64::from(!self.predict_and_update(branch, target));
+        }
+        (events.len() as u64, mispredicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BtbConfig, TwoLevelConfig};
+
+    fn zoo() -> Vec<AnyPredictor> {
+        vec![
+            IdealBtb::new().into(),
+            Btb::new(BtbConfig::new(8, 2)).into(),
+            TwoBitBtb::new().into(),
+            TwoLevelPredictor::new(TwoLevelConfig::pentium_m()).into(),
+            CascadedPredictor::with_defaults().into(),
+            AnyPredictor::from(Box::new(IdealBtb::new()) as Box<dyn IndirectPredictor>),
+        ]
+    }
+
+    #[test]
+    fn every_variant_matches_its_wrapped_predictor() {
+        // The same stream through the enum and through a fresh copy of the
+        // concrete predictor must produce identical verdicts.
+        let stream: Vec<(Addr, Addr)> =
+            (0..200).map(|i| (i % 7, 100 + i % 3)).chain((0..50).map(|i| (3, i))).collect();
+        let fresh: Vec<Box<dyn IndirectPredictor>> = vec![
+            Box::new(IdealBtb::new()),
+            Box::new(Btb::new(BtbConfig::new(8, 2))),
+            Box::new(TwoBitBtb::new()),
+            Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m())),
+            Box::new(CascadedPredictor::with_defaults()),
+            Box::new(IdealBtb::new()),
+        ];
+        for (mut any, mut plain) in zoo().into_iter().zip(fresh) {
+            assert_eq!(any.describe(), plain.describe());
+            for &(b, t) in &stream {
+                assert_eq!(
+                    any.predict_and_update(b, t),
+                    plain.predict_and_update(b, t),
+                    "{} diverged at ({b}, {t})",
+                    plain.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_every_variant() {
+        for mut p in zoo() {
+            // Monomorphic warmup long enough for the history predictors to
+            // converge on a steady hit.
+            for _ in 0..8 {
+                p.predict_and_update(1, 10);
+            }
+            assert!(p.predict_and_update(1, 10), "{}: warm hit before reset", p.describe());
+            p.reset();
+            assert!(!p.predict_and_update(1, 10), "{}: reset must cold-miss", p.describe());
+        }
+    }
+
+    #[test]
+    fn run_stream_counts_match_per_event_calls() {
+        let stream: Vec<(Addr, Addr)> = (0..100).map(|i| (i % 5, i % 2)).collect();
+        for (mut streamed, mut stepped) in zoo().into_iter().zip(zoo()) {
+            let desc = stepped.describe();
+            let mut expect = 0u64;
+            for &(b, t) in &stream {
+                expect += u64::from(!stepped.predict_and_update(b, t));
+            }
+            let (executed, mispredicted) = streamed.with_monomorphized(|m| m.run_stream(&stream));
+            assert_eq!(executed, stream.len() as u64);
+            assert_eq!(mispredicted, expect, "{desc}");
+        }
+    }
+
+    #[test]
+    fn debug_shows_description() {
+        let p: AnyPredictor = TwoBitBtb::new().into();
+        assert!(format!("{p:?}").contains("btb-2bit"));
+    }
+}

@@ -102,15 +102,6 @@ impl BtbConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way {
-    tag: Addr,
-    target: Addr,
-    valid: bool,
-    /// Higher = more recently used.
-    lru: u64,
-}
-
 /// A finite set-associative BTB with LRU replacement.
 ///
 /// Models the predictors in all the paper's hardware: the prediction for a
@@ -118,6 +109,13 @@ struct Way {
 /// actual target after every execution. Finite capacity produces the
 /// capacity and conflict mispredictions the paper observes once dynamic
 /// replication inflates the number of dispatch branches past the BTB size.
+///
+/// Storage is struct-of-arrays (`tags`/`targets`/`lru`, ways of a set
+/// contiguous) and the set scan is branchless: validity is encoded as
+/// `lru != 0` (the use tick pre-increments, so a valid way's tick is
+/// always ≥ 1) and the hit/victim scans are arithmetic selects over the
+/// ways instead of `Option`-per-way control flow, so the lookup runs at a
+/// fixed short instruction count regardless of which way matches.
 ///
 /// # Examples
 ///
@@ -133,7 +131,13 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Btb {
     config: BtbConfig,
-    sets: Vec<Vec<Way>>,
+    /// Way tags, `assoc` consecutive entries per set.
+    tags: Vec<Addr>,
+    /// Way targets, parallel to `tags`.
+    targets: Vec<Addr>,
+    /// Way use ticks, parallel to `tags`; `0` encodes an invalid way
+    /// (the tick counter pre-increments, so live ways are always ≥ 1).
+    lru: Vec<u64>,
     tick: u64,
     /// Valid entries held, maintained on allocation/reset so occupancy
     /// reads are O(1) instead of an O(entries) scan — attribution sinks
@@ -147,10 +151,11 @@ pub struct Btb {
 impl Btb {
     /// Creates an empty BTB with the given configuration.
     pub fn new(config: BtbConfig) -> Self {
-        let empty = Way { tag: 0, target: 0, valid: false, lru: 0 };
         Self {
             config,
-            sets: vec![vec![empty; config.assoc]; config.sets()],
+            tags: vec![0; config.entries],
+            targets: vec![0; config.entries],
+            lru: vec![0; config.entries],
             tick: 0,
             valid_entries: 0,
             per_set_valid: vec![0; config.sets()],
@@ -179,62 +184,86 @@ impl Btb {
     fn tag(&self, branch: Addr) -> Addr {
         branch >> self.config.index_shift
     }
+
+    /// Installs `(tag, target)` into way `w` of set `idx`, keeping the
+    /// O(1) occupancy counters in step when the way was invalid.
+    #[inline]
+    fn allocate(&mut self, w: usize, idx: usize, tag: Addr, target: Addr, tick: u64) {
+        if self.lru[w] == 0 {
+            self.valid_entries += 1;
+            self.per_set_valid[idx] += 1;
+        }
+        self.tags[w] = tag;
+        self.targets[w] = target;
+        self.lru[w] = tick;
+    }
 }
 
 impl IndirectPredictor for Btb {
+    #[inline]
     fn predict_and_update(&mut self, branch: Addr, target: Addr) -> bool {
         self.tick += 1;
         let tick = self.tick;
         let tag = self.tag(branch);
         let idx = self.set_index(branch);
-        let tagged = self.config.tagged;
-        let set = &mut self.sets[idx];
+        let assoc = self.config.assoc;
+        let base = idx * assoc;
 
-        if tagged {
-            // Look for a matching valid way.
-            if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-                let hit = way.target == target;
-                way.target = target;
-                way.lru = tick;
-                return hit;
+        let way = if self.config.tagged {
+            // Slice the set once so the way scans index fixed-length
+            // slices (bounds checks hoisted out of the loops).
+            let set_lru = &self.lru[base..base + assoc];
+            let set_tags = &self.tags[base..base + assoc];
+            // Branchless hit scan: a way matches iff it is valid
+            // (lru != 0) and its tag equals ours. Valid tags within a set
+            // are distinct, so at most one way matches and the select
+            // order is immaterial.
+            let mut way = usize::MAX;
+            for w in 0..assoc {
+                let matches = (set_lru[w] != 0) & (set_tags[w] == tag);
+                way = if matches { base + w } else { way };
             }
-            // Miss: allocate over an invalid way or the LRU way.
-            let victim = set
-                .iter_mut()
-                .min_by_key(|w| if w.valid { w.lru } else { 0 })
-                .expect("sets are never empty");
-            if !victim.valid {
-                self.valid_entries += 1;
-                self.per_set_valid[idx] += 1;
+            if way == usize::MAX {
+                // Miss: allocate over the way with the smallest tick. The
+                // lru == 0 invalid encoding makes invalid ways sort first
+                // for free, and the strict `<` keeps the first minimum —
+                // the same victim the old `min_by_key` scan chose.
+                let mut victim = 0;
+                let mut best = set_lru[0];
+                for (w, &t) in set_lru.iter().enumerate().skip(1) {
+                    let better = t < best;
+                    best = if better { t } else { best };
+                    victim = if better { w } else { victim };
+                }
+                self.allocate(base + victim, idx, tag, target, tick);
+                return false;
             }
-            *victim = Way { tag, target, valid: true, lru: tick };
-            false
+            way
         } else {
             // Tagless: direct use of the indexed way; with associativity > 1
             // the ways within a set are sub-indexed by tag bits so aliasing
             // is still possible but less frequent.
-            let way_idx = if self.config.assoc == 1 {
-                0
-            } else {
-                (tag as usize / self.config.sets()) % self.config.assoc
-            };
-            let way = &mut set[way_idx];
-            let hit = way.valid && way.target == target;
-            if !way.valid {
-                self.valid_entries += 1;
-                self.per_set_valid[idx] += 1;
+            let way_idx = if assoc == 1 { 0 } else { (tag as usize / self.config.sets()) % assoc };
+            let w = base + way_idx;
+            if self.lru[w] == 0 || self.tags[w] != tag {
+                // Invalid or aliased way: (re)allocate. An aliased target
+                // can still coincide, which is exactly the silent-sharing
+                // hit the tagless model intends.
+                let hit = self.lru[w] != 0 && self.targets[w] == target;
+                self.allocate(w, idx, tag, target, tick);
+                return hit;
             }
-            *way = Way { tag, target, valid: true, lru: tick };
-            hit
-        }
+            w
+        };
+
+        let hit = self.targets[way] == target;
+        self.targets[way] = target;
+        self.lru[way] = tick;
+        hit
     }
 
     fn reset(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.valid = false;
-            }
-        }
+        self.lru.fill(0);
         self.tick = 0;
         self.valid_entries = 0;
         self.per_set_valid.fill(0);
@@ -303,8 +332,11 @@ mod tests {
             let mut btb = Btb::new(cfg);
             for i in 0..64u64 {
                 btb.predict_and_update(i * 3 % 17, i);
-                let scan: Vec<u32> =
-                    btb.sets.iter().map(|s| s.iter().filter(|w| w.valid).count() as u32).collect();
+                let scan: Vec<u32> = btb
+                    .lru
+                    .chunks(cfg.assoc())
+                    .map(|set| set.iter().filter(|&&t| t != 0).count() as u32)
+                    .collect();
                 assert_eq!(btb.per_set_occupancy(), scan);
                 assert_eq!(btb.occupancy() as u32, scan.iter().sum::<u32>());
             }

@@ -1,7 +1,6 @@
 //! Multi-stage cascaded indirect branch prediction (Driesen & Hölzle).
 
-use std::collections::HashMap;
-
+use crate::hash::{AddrHashBuilder, AddrMap};
 use crate::two_level::{TwoLevelConfig, TwoLevelPredictor};
 use crate::{Addr, IndirectPredictor};
 
@@ -25,11 +24,11 @@ use crate::{Addr, IndirectPredictor};
 pub struct CascadedPredictor {
     /// First stage: last-target table (an ideal BTB keeps the filter's
     /// behaviour free of capacity noise).
-    stage1: HashMap<Addr, Addr>,
+    stage1: AddrMap<Addr>,
     /// Mispredictions per branch in stage 1 before promotion.
-    strikes: HashMap<Addr, u32>,
+    strikes: AddrMap<u32>,
     /// Branches promoted to the history stage.
-    promoted: std::collections::HashSet<Addr>,
+    promoted: std::collections::HashSet<Addr, AddrHashBuilder>,
     stage2: TwoLevelPredictor,
     promote_after: u32,
 }
@@ -51,9 +50,9 @@ impl CascadedPredictor {
     pub fn new(second_stage: TwoLevelConfig, promote_after: u32) -> Self {
         assert!(promote_after > 0, "promotion threshold must be at least 1");
         Self {
-            stage1: HashMap::new(),
-            strikes: HashMap::new(),
-            promoted: std::collections::HashSet::new(),
+            stage1: AddrMap::default(),
+            strikes: AddrMap::default(),
+            promoted: std::collections::HashSet::default(),
             stage2: TwoLevelPredictor::new(second_stage),
             promote_after,
         }

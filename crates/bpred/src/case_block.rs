@@ -1,5 +1,6 @@
 //! Kaeli and Emma's case block table.
 
+use crate::hash::AddrHashBuilder;
 use crate::Addr;
 use std::collections::HashMap;
 
@@ -29,7 +30,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CaseBlockTable {
-    entries: HashMap<(Addr, u64), Addr>,
+    entries: HashMap<(Addr, u64), Addr, AddrHashBuilder>,
 }
 
 impl CaseBlockTable {

@@ -1,7 +1,8 @@
 //! The idealised branch target buffer of paper Figure 3.
 
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
 
+use crate::hash::AddrMap;
 use crate::{Addr, IndirectPredictor};
 
 /// An idealised BTB: one entry per branch, no capacity or conflict misses.
@@ -23,7 +24,7 @@ use crate::{Addr, IndirectPredictor};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IdealBtb {
-    entries: HashMap<Addr, Addr>,
+    entries: AddrMap<Addr>,
 }
 
 impl IdealBtb {
@@ -49,9 +50,19 @@ impl IdealBtb {
 
 impl IndirectPredictor for IdealBtb {
     fn predict_and_update(&mut self, branch: Addr, target: Addr) -> bool {
-        let hit = self.entries.get(&branch) == Some(&target);
-        self.entries.insert(branch, target);
-        hit
+        // One hash lookup per dispatch: probe and update through the
+        // same entry.
+        match self.entries.entry(branch) {
+            Entry::Occupied(mut e) => {
+                let hit = *e.get() == target;
+                e.insert(target);
+                hit
+            }
+            Entry::Vacant(v) => {
+                v.insert(target);
+                false
+            }
+        }
     }
 
     fn reset(&mut self) {

@@ -22,6 +22,9 @@
 //! * [`CaseBlockTable`] — Kaeli and Emma's predictor for `switch` statements,
 //!   indexed by the switch operand (the VM opcode) rather than the branch
 //!   address (paper §8).
+//! * [`AnyPredictor`] — enum dispatch over the predictors above (plus a
+//!   boxed escape hatch), so simulate hot loops pay an inlined `match`
+//!   instead of a virtual call per dispatch.
 //!
 //! All predictors implement [`IndirectPredictor`]: feed every executed
 //! indirect branch through [`IndirectPredictor::predict_and_update`] and it
@@ -46,14 +49,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod any;
 mod btb;
 mod cascaded;
 mod case_block;
+mod hash;
 mod ideal;
 mod stats;
 mod two_bit;
 mod two_level;
 
+pub use any::{AnyPredictor, Monomorphized};
 pub use btb::{Btb, BtbConfig};
 pub use cascaded::CascadedPredictor;
 pub use case_block::CaseBlockTable;

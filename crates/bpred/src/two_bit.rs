@@ -1,7 +1,7 @@
 //! BTB with two-bit hysteresis counters.
 
+use crate::hash::AddrMap;
 use crate::{Addr, IndirectPredictor};
-use std::collections::HashMap;
 
 /// A BTB whose entries carry a two-bit confidence counter.
 ///
@@ -29,7 +29,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TwoBitBtb {
-    entries: HashMap<Addr, Entry>,
+    entries: AddrMap<Entry>,
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -33,7 +33,7 @@
 //! [`SpecHasher`]); a store finding a trace whose header hash differs
 //! from the freshly computed one must discard and recapture.
 
-use ivm_bpred::{Addr, IndirectPredictor, PredStats};
+use ivm_bpred::{Addr, AnyPredictor, PredStats};
 
 use crate::engine::DispatchObserver;
 use crate::native::InstKind;
@@ -216,7 +216,7 @@ pub fn dispatch_spec_hash(
 /// # Examples
 ///
 /// ```
-/// use ivm_bpred::{Btb, BtbConfig, IdealBtb, IndirectPredictor};
+/// use ivm_bpred::{AnyPredictor, Btb, BtbConfig, IdealBtb};
 /// use ivm_core::{simulate_many, DispatchTrace};
 ///
 /// let mut trace = DispatchTrace::new(0xFEED, "threaded");
@@ -227,8 +227,8 @@ pub fn dispatch_spec_hash(
 /// let decoded = DispatchTrace::from_bytes(&trace.to_bytes()).unwrap();
 /// assert_eq!(decoded, trace);
 ///
-/// let mut zoo: Vec<Box<dyn IndirectPredictor>> =
-///     vec![Box::new(IdealBtb::new()), Box::new(Btb::new(BtbConfig::celeron()))];
+/// let mut zoo: Vec<AnyPredictor> =
+///     vec![IdealBtb::new().into(), Btb::new(BtbConfig::celeron()).into()];
 /// let stats = simulate_many(&decoded, &mut zoo);
 /// assert_eq!(stats[0].executed, 3);
 /// assert_eq!(stats[0].mispredicted, 2); // ideal: cold miss + target change
@@ -354,6 +354,12 @@ impl DispatchObserver for DispatchTrace {
     ) {
         self.push(branch, target);
     }
+
+    fn dispatch_batch(&mut self, batch: &crate::engine::DispatchBatch) {
+        // Batch-native capture: zip the two address columns straight into
+        // the event vector, no per-event observer call.
+        self.events.extend(batch.branches().iter().copied().zip(batch.targets().iter().copied()));
+    }
 }
 
 /// Feeds every event of `trace` through all `predictors` in one pass
@@ -363,30 +369,31 @@ impl DispatchObserver for DispatchTrace {
 /// same `predict_and_update` calls as N separate replays, but decodes the
 /// event stream once, so sweep cost is dominated by predictor work
 /// instead of stream traffic. Each predictor walks the decoded events as
-/// its own inner loop (rather than interleaving predictors per event):
-/// the event array streams linearly while the predictor's tables stay
-/// hot, and the virtual call target is constant per pass. Outcomes are
+/// its own inner loop (rather than interleaving predictors per event),
+/// and the [`AnyPredictor`] variant is matched *once* per pass — the
+/// inner loop is monomorphized against the concrete predictor type, so
+/// in-tree predictors pay no per-event dispatch at all (boxed externals
+/// keep the old one-virtual-call-per-event behaviour). Outcomes are
 /// bit-identical to running each predictor alone — predictors share no
 /// state, so the loop order is unobservable.
-pub fn simulate_many(
-    trace: &DispatchTrace,
-    predictors: &mut [Box<dyn IndirectPredictor>],
-) -> Vec<PredStats> {
+pub fn simulate_many(trace: &DispatchTrace, predictors: &mut [AnyPredictor]) -> Vec<PredStats> {
     let _span = ivm_harness::span::enter("predictor_sweep");
     predictors
         .iter_mut()
         .map(|p| {
-            let mut s = PredStats::default();
-            for &(branch, target) in &trace.events {
-                s.record(p.predict_and_update(branch, target));
-            }
-            s
+            let (executed, mispredicted) = p.with_monomorphized(|m| m.run_stream(&trace.events));
+            PredStats { executed, mispredicted }
         })
         .collect()
 }
 
 fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    // Shift as unsigned: `v << 1` on the signed value would be lost-bit
+    // overflow for deltas with the top bit set (i64::MIN, u64-wrapped
+    // address gaps), while the unsigned shift is defined for every input
+    // and produces the identical bit pattern. The arithmetic `v >> 63`
+    // sign-fill (0 or -1) supplies the XOR mask.
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
 }
 
 fn unzigzag(v: u64) -> i64 {
@@ -531,16 +538,39 @@ mod tests {
 
     #[test]
     fn simulate_many_matches_individual_runs() {
+        use ivm_bpred::IndirectPredictor;
+
         let t = sample();
-        let mut alone: Box<dyn IndirectPredictor> = Box::new(IdealBtb::new());
+        let mut alone = IdealBtb::new();
         let mut expect = PredStats::default();
         for (b, tg) in t.iter() {
             expect.record(alone.predict_and_update(b, tg));
         }
-        let mut preds: Vec<Box<dyn IndirectPredictor>> =
-            vec![Box::new(IdealBtb::new()), Box::new(IdealBtb::new())];
+        // One enum-dispatched and one boxed instance of the same predictor:
+        // the monomorphized pass and the dyn escape hatch must agree with a
+        // hand-stepped run and with each other.
+        let mut preds: Vec<AnyPredictor> =
+            vec![IdealBtb::new().into(), AnyPredictor::Boxed(Box::new(IdealBtb::new()))];
         let stats = simulate_many(&t, &mut preds);
         assert_eq!(stats, vec![expect, expect], "shared pass must not couple predictors");
+    }
+
+    #[test]
+    fn dispatch_batch_capture_matches_per_event_capture() {
+        use crate::engine::DispatchBatch;
+
+        let mut batch = DispatchBatch::new(8);
+        batch.push(1, 2, 0x100, 0x200, true);
+        batch.push(2, 3, 0x110, 0x210, false);
+        batch.push(3, 1, 0x100, 0x200, false);
+
+        let mut batched = DispatchTrace::new(0, "threaded");
+        batched.dispatch_batch(&batch);
+        let mut stepped = DispatchTrace::new(0, "threaded");
+        for (f, t, b, tg, m) in batch.iter() {
+            stepped.dispatch(f, t, b, tg, m);
+        }
+        assert_eq!(batched, stepped, "column capture must equal per-event capture");
     }
 
     #[test]

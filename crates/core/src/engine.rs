@@ -1,12 +1,124 @@
 //! The instrumented dispatch engine: predictors, caches and counters glued
 //! to an executing interpreter.
 
-use ivm_bpred::{Addr, IndirectPredictor};
+use ivm_bpred::{Addr, AnyPredictor, IndirectPredictor};
 use ivm_cache::{CpuSpec, CycleCosts, FetchCache, PerfCounters};
 
 use crate::slots::{AltCode, DispatchPoint};
 use crate::technique::Technique;
 use crate::translate::Translation;
+
+/// Default capacity of the engine's dispatch event batch, in events.
+///
+/// Large enough to amortise the per-flush `RefCell` borrow and virtual
+/// call over ~1k dispatches, small enough (~33 KiB of parallel arrays)
+/// to stay cache-resident next to the predictor tables.
+pub const DISPATCH_BATCH_CAPACITY: usize = 1024;
+
+/// A fixed-capacity struct-of-arrays batch of dispatch events.
+///
+/// The [`Engine`] accumulates every observed dispatch —
+/// `(from, to, branch, target, mispredicted)` — into these parallel
+/// arrays and hands the whole batch to the observer in one
+/// [`DispatchObserver::dispatch_batch`] call, instead of paying a
+/// `RefCell` borrow plus a virtual call per dispatch. Batch-native
+/// observers consume the column slices directly; everyone else gets the
+/// default per-event replay, which preserves exact `dispatch` order.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchBatch {
+    from: Vec<usize>,
+    to: Vec<usize>,
+    branches: Vec<Addr>,
+    targets: Vec<Addr>,
+    mispredicted: Vec<bool>,
+    capacity: usize,
+}
+
+impl DispatchBatch {
+    /// An empty batch that flushes after `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be at least 1");
+        Self {
+            from: Vec::with_capacity(capacity),
+            to: Vec::with_capacity(capacity),
+            branches: Vec::with_capacity(capacity),
+            targets: Vec::with_capacity(capacity),
+            mispredicted: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends one dispatch event.
+    #[inline]
+    pub fn push(&mut self, from: usize, to: usize, branch: Addr, target: Addr, miss: bool) {
+        self.from.push(from);
+        self.to.push(to);
+        self.branches.push(branch);
+        self.targets.push(target);
+        self.mispredicted.push(miss);
+    }
+
+    /// Events currently batched.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// Whether the batch has reached its flush capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.branches.len() >= self.capacity
+    }
+
+    /// Drops all events, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.from.clear();
+        self.to.clear();
+        self.branches.clear();
+        self.targets.clear();
+        self.mispredicted.clear();
+    }
+
+    /// Dispatching instances (the instance owning each dispatch branch).
+    pub fn from_instances(&self) -> &[usize] {
+        &self.from
+    }
+
+    /// Entered instances.
+    pub fn to_instances(&self) -> &[usize] {
+        &self.to
+    }
+
+    /// Dispatch branch addresses.
+    pub fn branches(&self) -> &[Addr] {
+        &self.branches
+    }
+
+    /// Dispatch target addresses.
+    pub fn targets(&self) -> &[Addr] {
+        &self.targets
+    }
+
+    /// Per-event predictor verdicts (`true` = mispredicted).
+    pub fn mispredicted(&self) -> &[bool] {
+        &self.mispredicted
+    }
+
+    /// The batched events in execution order, row at a time.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Addr, Addr, bool)> + '_ {
+        (0..self.len()).map(|i| {
+            (self.from[i], self.to[i], self.branches[i], self.targets[i], self.mispredicted[i])
+        })
+    }
+}
 
 /// Observes every simulated indirect dispatch with full context.
 ///
@@ -18,9 +130,25 @@ use crate::translate::Translation;
 /// [`ivm_cache::PerfCounters::dispatches`], in execution order —
 /// attribution sinks (see the `ivm-obs` crate) build per-opcode and
 /// per-BTB-set breakdowns from this stream.
+///
+/// The engine delivers events in [`DispatchBatch`]es (one virtual call
+/// per up-to-[`DISPATCH_BATCH_CAPACITY`] events, flushed when full and at
+/// run end); the default [`DispatchObserver::dispatch_batch`] replays a
+/// batch through `dispatch` one event at a time, so an observer that only
+/// implements `dispatch` sees the exact per-event stream it always did —
+/// just no earlier than the enclosing flush.
 pub trait DispatchObserver {
     /// Called once per executed indirect dispatch.
     fn dispatch(&mut self, from: usize, to: usize, branch: Addr, target: Addr, mispredicted: bool);
+
+    /// Called once per flushed batch. Override to consume the
+    /// struct-of-arrays columns directly; the default forwards every
+    /// event to [`DispatchObserver::dispatch`] in execution order.
+    fn dispatch_batch(&mut self, batch: &DispatchBatch) {
+        for (from, to, branch, target, miss) in batch.iter() {
+            self.dispatch(from, to, branch, target, miss);
+        }
+    }
 }
 
 /// A shareable [`DispatchObserver`] handle: the caller keeps one clone to
@@ -29,13 +157,14 @@ pub type SharedObserver = std::rc::Rc<std::cell::RefCell<dyn DispatchObserver>>;
 
 /// Simulated microarchitectural state fed by an interpreter run.
 pub struct Engine {
-    predictor: Box<dyn IndirectPredictor>,
+    predictor: AnyPredictor,
     fetch: Box<dyn FetchCache>,
     counters: PerfCounters,
     costs: CycleCosts,
     cpu_name: String,
     branch_stats: Option<std::collections::BTreeMap<Addr, (u64, u64)>>,
     observer: Option<SharedObserver>,
+    batch: DispatchBatch,
 }
 
 impl std::fmt::Debug for Engine {
@@ -58,24 +187,29 @@ impl Engine {
             cpu_name: cpu.name.to_owned(),
             branch_stats: None,
             observer: None,
+            batch: DispatchBatch::new(DISPATCH_BATCH_CAPACITY),
         }
     }
 
     /// An engine with explicit components (for experiments mixing
-    /// predictors and caches).
+    /// predictors and caches). Accepts any concrete in-tree predictor (or
+    /// an [`AnyPredictor`], or a `Box<dyn IndirectPredictor>` for
+    /// external ones) — in-tree predictors run enum-dispatched in the hot
+    /// loop, with no virtual call per dispatch.
     pub fn new(
-        predictor: Box<dyn IndirectPredictor>,
+        predictor: impl Into<AnyPredictor>,
         fetch: Box<dyn FetchCache>,
         costs: CycleCosts,
     ) -> Self {
         Self {
-            predictor,
+            predictor: predictor.into(),
             fetch,
             counters: PerfCounters::default(),
             costs,
             cpu_name: "custom".into(),
             branch_stats: None,
             observer: None,
+            batch: DispatchBatch::new(DISPATCH_BATCH_CAPACITY),
         }
     }
 
@@ -116,12 +250,41 @@ impl Engine {
     }
 
     /// Attaches a [`DispatchObserver`]; keep a clone of the handle to read
-    /// the observer's state after the run. Costs one dynamic call per
-    /// dispatch, so it is off by default.
+    /// the observer's state after the run. Events are delivered in
+    /// [`DispatchBatch`]es (flushed when full and by [`Runner::finish`]),
+    /// so the cost is one dynamic call per batch, not per dispatch; it is
+    /// off entirely by default.
     #[must_use]
     pub fn with_observer(mut self, observer: SharedObserver) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Overrides the observer batch capacity (default
+    /// [`DISPATCH_BATCH_CAPACITY`]). A capacity of 1 flushes every event
+    /// immediately — the old per-dispatch delivery, useful for
+    /// differential tests and observers that must see events live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_batch_capacity(mut self, capacity: usize) -> Self {
+        self.batch = DispatchBatch::new(capacity);
+        self
+    }
+
+    /// Delivers any batched-but-unflushed dispatch events to the observer
+    /// now. [`Runner::finish`] calls this; call it directly only when
+    /// reading an observer mid-run.
+    pub fn flush_observer(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().dispatch_batch(&self.batch);
+        }
+        self.batch.clear();
     }
 
     /// The `n` branches with the most mispredictions, as
@@ -159,8 +322,11 @@ impl Engine {
             entry.0 += 1;
             entry.1 += u64::from(!hit);
         }
-        if let Some(obs) = &self.observer {
-            obs.borrow_mut().dispatch(from, to, branch, target, !hit);
+        if self.observer.is_some() {
+            self.batch.push(from, to, branch, target, !hit);
+            if self.batch.is_full() {
+                self.flush_observer();
+            }
         }
     }
 }
@@ -304,8 +470,10 @@ impl Runner {
         self.enter(t, to);
     }
 
-    /// Finalises the run, attributing the translation's generated code size.
+    /// Finalises the run, attributing the translation's generated code size
+    /// and flushing any batched dispatch events to the observer.
     pub fn finish(mut self, t: &Translation) -> RunResult {
+        self.engine.flush_observer();
         self.engine.counters.code_bytes = t.code_bytes();
         let cycles = self.engine.counters.cycles(&self.engine.costs);
         RunResult {
@@ -326,7 +494,7 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::new(
-            Box::new(IdealBtb::new()),
+            IdealBtb::new(),
             Box::new(PerfectIcache::default()),
             CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
         )
@@ -384,9 +552,71 @@ mod tests {
         e.indirect(0, 1, 100, 7); // cold: miss
         e.indirect(0, 1, 100, 7); // warm, monomorphic: hit
         e.indirect(0, 2, 100, 8); // target changed: miss
+        assert!(log.borrow().0.is_empty(), "events stay batched until a flush");
+        e.flush_observer();
         let seen = log.borrow();
         assert_eq!(seen.0, vec![(0, 1, 100, 7, true), (0, 1, 100, 7, false), (0, 2, 100, 8, true)]);
         assert_eq!(e.counters().indirect_mispredicted, 2, "counters agree with observer");
+    }
+
+    #[test]
+    fn full_batches_flush_automatically_and_preserve_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Log {
+            events: Vec<(usize, usize, Addr, Addr, bool)>,
+            batches: usize,
+        }
+        impl DispatchObserver for Log {
+            fn dispatch(&mut self, f: usize, t: usize, b: Addr, tg: Addr, m: bool) {
+                self.events.push((f, t, b, tg, m));
+            }
+            fn dispatch_batch(&mut self, batch: &DispatchBatch) {
+                self.batches += 1;
+                for (f, t, b, tg, m) in batch.iter() {
+                    self.dispatch(f, t, b, tg, m);
+                }
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Log::default()));
+        let mut e = engine().with_batch_capacity(4).with_observer(log.clone());
+        for i in 0..10u64 {
+            e.indirect(i as usize, 0, 50 + i, 7);
+        }
+        assert_eq!(log.borrow().batches, 2, "two full batches of 4 flushed mid-run");
+        assert_eq!(log.borrow().events.len(), 8);
+        e.flush_observer();
+        assert_eq!(log.borrow().batches, 3, "the 2-event remainder flushed on demand");
+        let seen = &log.borrow().events;
+        assert_eq!(seen.len(), 10);
+        for (i, &(f, _, b, _, m)) in seen.iter().enumerate() {
+            assert_eq!((f, b), (i, 50 + i as u64), "event {i} out of order");
+            assert!(m, "distinct cold branches all mispredict");
+        }
+    }
+
+    #[test]
+    fn batch_capacity_one_delivers_per_dispatch() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Count(usize);
+        impl DispatchObserver for Count {
+            fn dispatch(&mut self, _: usize, _: usize, _: Addr, _: Addr, _: bool) {
+                self.0 += 1;
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Count::default()));
+        let mut e = engine().with_batch_capacity(1).with_observer(log.clone());
+        e.indirect(0, 1, 100, 7);
+        assert_eq!(log.borrow().0, 1, "capacity 1 flushes every event immediately");
+        e.indirect(0, 1, 100, 7);
+        assert_eq!(log.borrow().0, 2);
     }
 
     #[test]

@@ -72,9 +72,17 @@ impl Routine {
 
 /// The static interpreter text: every `(unit-op, copy)` routine with its
 /// address, plus the shared switch dispatcher when built for switch mode.
+///
+/// Routines live in one flat arena — a single allocation regardless of
+/// how many unit-ops are replicated — with a per-unit-op `(start, count)`
+/// range index into it. The arena groups all copies of a unit-op
+/// contiguously; the *addresses* still follow the original emission
+/// order (base copies first, then replicas in sorted unit-op order), so
+/// layouts are bit-identical to the per-op-vector representation.
 #[derive(Debug, Clone)]
 pub struct RoutineTable {
-    copies: HashMap<UnitOp, Vec<Routine>>,
+    arena: Vec<Routine>,
+    index: HashMap<UnitOp, (u32, u32)>,
     switch_head: Option<(Addr, Addr)>,
     static_bytes: u64,
 }
@@ -97,7 +105,32 @@ impl RoutineTable {
             (addr, addr + u64::from(SWITCH_DISPATCH_BYTES) - 4)
         });
 
-        let mut copies: HashMap<UnitOp, Vec<Routine>> = HashMap::new();
+        // Base emission order: all plain instructions, then all
+        // superinstructions — the order the build system would emit them.
+        let base: Vec<(UnitOp, NativeSpec)> = spec
+            .iter()
+            .map(|(op, def)| (UnitOp::Op(op), def.native))
+            .chain(table.iter().map(|(sid, def)| (UnitOp::Super(sid), def.native)))
+            .collect();
+
+        // Reserve each unit-op's contiguous arena range up front (copy
+        // counts are known from `extra`), so the arena is sized once.
+        let mut index: HashMap<UnitOp, (u32, u32)> = HashMap::with_capacity(base.len());
+        let mut total = 0u32;
+        for &(uop, _) in &base {
+            let count = 1 + extra.get(&uop).copied().unwrap_or(0) as u32;
+            index.insert(uop, (total, count));
+            total += count;
+        }
+        let placeholder = Routine {
+            addr: 0,
+            work_instrs: 0,
+            work_bytes: 0,
+            kind: InstKind::Plain,
+            relocatable: false,
+        };
+        let mut arena = vec![placeholder; total as usize];
+
         let alloc_one = |space: &mut CodeSpace, native: NativeSpec| Routine {
             addr: space.alloc(native.work_bytes + DISPATCH_BYTES),
             work_instrs: native.work_instrs,
@@ -106,16 +139,13 @@ impl RoutineTable {
             relocatable: native.relocatable,
         };
 
-        // Base copies: all plain instructions, then all superinstructions —
-        // the order the build system would emit them.
-        for (op, def) in spec.iter() {
-            copies.insert(UnitOp::Op(op), vec![alloc_one(&mut space, def.native)]);
-        }
-        for (sid, def) in table.iter() {
-            copies.insert(UnitOp::Super(sid), vec![alloc_one(&mut space, def.native)]);
+        // Address assignment pass 1: base copies, in emission order.
+        for &(uop, native) in &base {
+            arena[index[&uop].0 as usize] = alloc_one(&mut space, native);
         }
 
-        // Replicas, in deterministic unit-op order.
+        // Pass 2: replicas, in deterministic unit-op order. Each lands in
+        // its unit-op's reserved range, right after the base copy.
         let mut extras: Vec<(UnitOp, usize)> = extra.iter().map(|(&u, &n)| (u, n)).collect();
         extras.sort();
         for (uop, n) in extras {
@@ -123,13 +153,13 @@ impl RoutineTable {
                 UnitOp::Op(op) => spec.native(op),
                 UnitOp::Super(sid) => table.def(sid).native,
             };
-            for _ in 0..n {
-                let r = alloc_one(&mut space, native);
-                copies.get_mut(&uop).expect("base copy exists").push(r);
+            let start = index[&uop].0 as usize;
+            for copy in 1..=n {
+                arena[start + copy] = alloc_one(&mut space, native);
             }
         }
 
-        Self { copies, switch_head, static_bytes: space.used() }
+        Self { arena, index, switch_head, static_bytes: space.used() }
     }
 
     /// The routine for copy `copy` of `uop`.
@@ -138,12 +168,22 @@ impl RoutineTable {
     ///
     /// Panics if the unit-op or copy index is unknown.
     pub fn routine(&self, uop: UnitOp, copy: usize) -> Routine {
-        self.copies[&uop][copy]
+        self.routines(uop)[copy]
+    }
+
+    /// All copies (base + replicas) of `uop`, in copy order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit-op is unknown.
+    pub fn routines(&self, uop: UnitOp) -> &[Routine] {
+        let (start, count) = self.index[&uop];
+        &self.arena[start as usize..(start + count) as usize]
     }
 
     /// Number of copies (base + replicas) of `uop`; zero if unknown.
     pub fn copies(&self, uop: UnitOp) -> usize {
-        self.copies.get(&uop).map_or(0, Vec::len)
+        self.index.get(&uop).map_or(0, |&(_, count)| count as usize)
     }
 
     /// `(dispatcher_addr, indirect_branch_addr)` of the shared switch head,
@@ -230,6 +270,26 @@ mod tests {
         assert_eq!(head, STATIC_BASE);
         assert!(branch > head);
         assert!(t.routine(UnitOp::Op(a), 0).addr > head);
+    }
+
+    #[test]
+    fn arena_slices_preserve_emission_order_addresses() {
+        // Two replicated ops: base copies get the low addresses (emission
+        // order), replicas follow in sorted unit-op order — so a's
+        // replicas all precede c's — while each op's arena slice stays
+        // contiguous.
+        let (spec, a, c) = spec();
+        let extra = HashMap::from([(UnitOp::Op(a), 2usize), (UnitOp::Op(c), 2usize)]);
+        let t = RoutineTable::build(&spec, &SuperTable::empty(), &extra, false);
+        let ra = t.routines(UnitOp::Op(a));
+        let rc = t.routines(UnitOp::Op(c));
+        assert_eq!((ra.len(), rc.len()), (3, 3));
+        assert!(ra[0].addr < rc[0].addr, "base copies in emission order");
+        assert!(rc[0].addr < ra[1].addr, "replicas come after all base copies");
+        assert!(ra[2].addr < rc[1].addr, "replica blocks in sorted unit-op order");
+        for w in [ra, rc] {
+            assert!(w.windows(2).all(|p| p[0].addr < p[1].addr));
+        }
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub use dtrace::{
     dispatch_spec_hash, simulate_many, DispatchTrace, DtraceError, SpecHasher, DTRACE_MAGIC,
     DTRACE_VERSION,
 };
-pub use engine::{DispatchObserver, Engine, RunResult, Runner, SharedObserver};
+pub use engine::{
+    DispatchBatch, DispatchObserver, Engine, RunResult, Runner, SharedObserver,
+    DISPATCH_BATCH_CAPACITY,
+};
 pub use events::{Measurement, NullEvents, Tee, VmEvents};
 pub use guest::{GuestVm, VmError, VmOutput};
 pub use layout::{CodeSpace, Routine, RoutineTable, DYNAMIC_BASE, STATIC_BASE};

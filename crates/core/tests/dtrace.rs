@@ -39,6 +39,39 @@ fn encoded_traces_round_trip_exactly() {
 }
 
 #[test]
+fn extreme_deltas_round_trip_exactly() {
+    // The zigzag step encodes the *signed* gap between consecutive
+    // addresses; a signed `v << 1` would shift the top bit out for gaps
+    // like `u64::MAX` (delta -1 wrapped) or exactly `i64::MIN`. Walk
+    // address sequences built purely from extreme jumps — every boundary
+    // of the i64 delta space — and require an exact round trip.
+    prop::check("dtrace_extreme_deltas", prop::Config::from_env(), |src| {
+        let extremes: [u64; 8] = [
+            0,
+            1,
+            u64::MAX,
+            u64::MAX - 1,
+            1u64 << 63,       // delta from 0 is exactly i64::MIN
+            (1u64 << 63) - 1, // ... and i64::MAX
+            (1u64 << 63) + 1,
+            0x8000_0000_0000_0040,
+        ];
+        let mut trace = DispatchTrace::new(src.full::<u32>() as u64, "threaded");
+        let events = src.vec_of(1..64, |s| {
+            let addr = |s: &mut prop::Source| extremes[s.int_in(0..extremes.len())];
+            (addr(s), addr(s))
+        });
+        for (branch, target) in events {
+            trace.push(branch, target);
+        }
+        let decoded = DispatchTrace::from_bytes(&trace.to_bytes())
+            .map_err(|e| format!("extreme-delta trace failed to decode: {e}"))?;
+        prop_assert_eq!(&decoded, &trace, "extreme deltas corrupted the stream");
+        Ok(())
+    });
+}
+
+#[test]
 fn truncations_never_decode() {
     prop::check("dtrace_truncation_rejected", prop::Config::from_env(), |src| {
         let trace = arbitrary_trace(src);

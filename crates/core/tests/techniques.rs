@@ -66,7 +66,7 @@ fn drive(events: &mut dyn VmEvents, iters: usize) {
 fn run(m: &Mini, program: &ProgramCode, tech: Technique, profile: &Profile) -> RunResult {
     let t = translate(&m.spec, program, tech, Some(profile), SuperSelection::gforth());
     let engine = Engine::new(
-        Box::new(IdealBtb::new()),
+        IdealBtb::new(),
         Box::new(PerfectIcache::default()),
         CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
     );
@@ -281,7 +281,7 @@ fn finite_btb_shows_conflicts_under_replication() {
     let program = looped_program(&m);
     let t = translate(&m.spec, &program, Technique::DynamicRepl, None, SuperSelection::gforth());
     let tiny = Engine::new(
-        Box::new(Btb::new(BtbConfig::new(4, 1).tagless())),
+        Btb::new(BtbConfig::new(4, 1).tagless()),
         Box::new(PerfectIcache::default()),
         CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
     );
@@ -291,7 +291,7 @@ fn finite_btb_shows_conflicts_under_replication() {
 
     let t = translate(&m.spec, &program, Technique::DynamicRepl, None, SuperSelection::gforth());
     let big = Engine::new(
-        Box::new(IdealBtb::new()),
+        IdealBtb::new(),
         Box::new(PerfectIcache::default()),
         CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
     );

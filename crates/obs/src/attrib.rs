@@ -288,6 +288,32 @@ impl DispatchObserver for DispatchAttribution {
             ring.record(from, to, branch, target, miss);
         }
     }
+
+    fn dispatch_batch(&mut self, batch: &ivm_core::DispatchBatch) {
+        // Batch-native path: grow the per-instance table once for the
+        // whole batch, then tally straight out of the columnar arrays.
+        // Event order inside a batch matches dispatch order, so the ring
+        // and set views see exactly what per-event delivery produced.
+        let max_from = batch.from_instances().iter().copied().max();
+        if let Some(max_from) = max_from {
+            if max_from >= self.per_instance.len() {
+                self.per_instance.resize(max_from + 1, Tally::default());
+            }
+        }
+        for (&from, &miss) in batch.from_instances().iter().zip(batch.mispredicted()) {
+            self.per_instance[from].bump(miss);
+        }
+        if let Some(sets) = &mut self.sets {
+            for (&branch, &miss) in batch.branches().iter().zip(batch.mispredicted()) {
+                sets.record(branch, miss);
+            }
+        }
+        if let Some(ring) = &mut self.ring {
+            for (from, to, branch, target, miss) in batch.iter() {
+                ring.record(from, to, branch, target, miss);
+            }
+        }
+    }
 }
 
 /// A predictor wrapper attributing executions and mispredictions per

@@ -48,12 +48,13 @@ fn steady_state_attribution(
     let program = table1_program(&spec);
     let translation = translate(&spec, &program, technique, None, SuperSelection::gforth());
     let sink = DispatchAttribution::new().with_btb_sets(BtbConfig::celeron()).shared();
-    let engine = Engine::new(
-        Box::new(IdealBtb::new()),
-        Box::new(PerfectIcache::default()),
-        CycleCosts::celeron(),
-    )
-    .with_observer(sink.clone());
+    // This test snapshots and clears the observer *mid-run* (after the
+    // warm-up iteration), so it opts out of event batching: capacity 1
+    // delivers every dispatch to the sink immediately.
+    let engine =
+        Engine::new(IdealBtb::new(), Box::new(PerfectIcache::default()), CycleCosts::celeron())
+            .with_batch_capacity(1)
+            .with_observer(sink.clone());
     let mut m = Measurement::new(translation, Runner::new(engine));
 
     m.begin(0);

@@ -1,6 +1,6 @@
 //! Named machine configurations.
 
-use ivm_bpred::{Btb, BtbConfig, IndirectPredictor, TwoLevelConfig, TwoLevelPredictor};
+use ivm_bpred::{AnyPredictor, Btb, BtbConfig, TwoLevelConfig, TwoLevelPredictor};
 
 use crate::cost::CycleCosts;
 use crate::icache::{FetchCache, Icache, IcacheConfig};
@@ -22,6 +22,7 @@ pub enum PredictorKind {
 /// # Examples
 ///
 /// ```
+/// use ivm_bpred::IndirectPredictor;
 /// use ivm_cache::CpuSpec;
 ///
 /// let cpu = CpuSpec::celeron800();
@@ -91,11 +92,13 @@ impl CpuSpec {
         }
     }
 
-    /// Instantiates a fresh predictor of this machine's kind.
-    pub fn predictor(&self) -> Box<dyn IndirectPredictor> {
+    /// Instantiates a fresh predictor of this machine's kind, as an
+    /// enum-dispatched [`AnyPredictor`] — the engine's hot loop runs it
+    /// without a virtual call per dispatch.
+    pub fn predictor(&self) -> AnyPredictor {
         match self.predictor {
-            PredictorKind::Btb(cfg) => Box::new(Btb::new(cfg)),
-            PredictorKind::TwoLevel(cfg) => Box::new(TwoLevelPredictor::new(cfg)),
+            PredictorKind::Btb(cfg) => Btb::new(cfg).into(),
+            PredictorKind::TwoLevel(cfg) => TwoLevelPredictor::new(cfg).into(),
         }
     }
 
@@ -111,6 +114,7 @@ impl CpuSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ivm_bpred::IndirectPredictor;
 
     #[test]
     fn all_presets_instantiate() {

@@ -26,8 +26,17 @@ fail the gate; benchmarks only present in the fresh run are reported but
 pass (the baseline should be refreshed to include them — see
 EXPERIMENTS.md).
 
-Exit status: 0 when the gate passes, 1 on any regression or missing
-benchmark, 2 on unreadable/malformed input.
+Per-suite tolerances live in `scripts/bench_tolerances.json`
+(`{"dispatch": {"tol": 0.15, "mad_k": 5.0}, ...}`): when present (or
+named via --tolerances), a suite's entry overrides the defaults, and
+explicit flags/environment override both. `--ratchet` additionally
+enforces that the tolerance file only ever tightens: it must exist,
+cover every gated suite, and hold values no looser than the stock
+defaults — so a PR cannot quietly relax the gate by editing or
+dropping the file.
+
+Exit status: 0 when the gate passes, 1 on any regression, missing
+benchmark, or ratchet violation, 2 on unreadable/malformed input.
 """
 
 from __future__ import annotations
@@ -40,6 +49,55 @@ from pathlib import Path
 
 DEFAULT_TOL = 0.20
 DEFAULT_MAD_K = 6.0
+DEFAULT_TOLERANCE_FILE = Path(__file__).resolve().parent / "bench_tolerances.json"
+
+
+def load_tolerances(path: Path, required: bool) -> dict[str, dict]:
+    """Loads the per-suite tolerance file; empty dict if absent and optional."""
+    if not path.exists():
+        if required:
+            print(f"bench-gate: --ratchet requires the tolerance file {path}", file=sys.stderr)
+            sys.exit(1)
+        return {}
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench-gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"bench-gate: {path} must map suite names to tolerance objects", file=sys.stderr)
+        sys.exit(2)
+    for suite, entry in doc.items():
+        if not isinstance(entry, dict):
+            print(f"bench-gate: {path}: suite {suite!r} entry must be an object", file=sys.stderr)
+            sys.exit(2)
+        for key in ("tol", "mad_k"):
+            if key in entry and not isinstance(entry[key], (int, float)):
+                print(f"bench-gate: {path}: {suite}.{key} is not a number", file=sys.stderr)
+                sys.exit(2)
+    return doc
+
+
+def ratchet_violations(suites: list[str], tolerances: dict[str, dict]) -> list[str]:
+    """Checks the tolerance file only tightens: every gated suite covered,
+    no value looser than the stock defaults."""
+    problems = []
+    for suite in suites:
+        entry = tolerances.get(suite)
+        if entry is None:
+            problems.append(f"{suite}: missing from the tolerance file (ratchet mode)")
+            continue
+        tol = float(entry.get("tol", DEFAULT_TOL))
+        mad_k = float(entry.get("mad_k", DEFAULT_MAD_K))
+        if tol > DEFAULT_TOL:
+            problems.append(
+                f"{suite}: tol {tol} is looser than the default {DEFAULT_TOL} (ratchet mode)"
+            )
+        if mad_k > DEFAULT_MAD_K:
+            problems.append(
+                f"{suite}: mad_k {mad_k} is looser than the default {DEFAULT_MAD_K} (ratchet mode)"
+            )
+    return problems
 
 
 def load_suite(path: Path) -> dict[str, dict]:
@@ -110,6 +168,11 @@ def main() -> int:
     parser.add_argument("--mad-k", type=float, default=None,
                         help=f"noise-band multiple of the baseline MAD (default {DEFAULT_MAD_K}, "
                              "or IVM_BENCH_GATE_MAD_K)")
+    parser.add_argument("--tolerances", type=Path, default=DEFAULT_TOLERANCE_FILE,
+                        help="per-suite tolerance file (default scripts/bench_tolerances.json)")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="fail unless the tolerance file exists, covers every gated suite, "
+                             "and is no looser than the stock defaults")
     args = parser.parse_args()
 
     def resolve(flag_value, env_var, default, what):
@@ -121,15 +184,24 @@ def main() -> int:
             print(f"bench-gate: {env_var} is not a number", file=sys.stderr)
             sys.exit(2)
 
-    tol = resolve(args.tol, "IVM_BENCH_GATE_TOL", DEFAULT_TOL, "tolerance")
-    mad_k = resolve(args.mad_k, "IVM_BENCH_GATE_MAD_K", DEFAULT_MAD_K, "MAD multiple")
-    if tol < 0 or mad_k < 0:
-        print("bench-gate: tolerance and MAD multiple must be non-negative", file=sys.stderr)
-        return 2
+    tolerances = load_tolerances(args.tolerances, required=args.ratchet)
 
-    print(f"bench-gate: band = max({tol:.2f} * median, {mad_k:.1f} * MAD)")
     failures = []
+    if args.ratchet:
+        failures.extend(ratchet_violations(args.suites, tolerances))
+
     for suite in args.suites:
+        per_suite = tolerances.get(suite, {})
+        # Precedence: explicit flag/environment, then the suite's entry in
+        # the tolerance file, then the stock default.
+        tol = resolve(args.tol, "IVM_BENCH_GATE_TOL",
+                      per_suite.get("tol", DEFAULT_TOL), "tolerance")
+        mad_k = resolve(args.mad_k, "IVM_BENCH_GATE_MAD_K",
+                        per_suite.get("mad_k", DEFAULT_MAD_K), "MAD multiple")
+        if tol < 0 or mad_k < 0:
+            print("bench-gate: tolerance and MAD multiple must be non-negative", file=sys.stderr)
+            return 2
+        print(f"bench-gate: {suite}: band = max({tol:.2f} * median, {mad_k:.1f} * MAD)")
         failures.extend(gate_suite(suite, args.baseline_dir, args.fresh_dir, tol, mad_k))
     if failures:
         print("\nbench-gate: FAIL", file=sys.stderr)

@@ -231,7 +231,7 @@ fn run_technique(
     let t = translate(&vm.spec, program, tech, Some(profile), SuperSelection::gforth());
     assert_eq!(t.validate(), program.len(), "{tech}: layout invariants");
     let engine = Engine::new(
-        Box::new(IdealBtb::new()),
+        IdealBtb::new(),
         Box::new(PerfectIcache::default()),
         CycleCosts { cpi: 1.0, mispredict_penalty: 10.0, icache_miss_penalty: 27.0 },
     );
