@@ -1,8 +1,8 @@
 //! Microbenchmarks of the predictor and cache simulators.
 
 use ivm_bpred::{
-    AnyPredictor, Btb, BtbConfig, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelConfig,
-    TwoLevelPredictor,
+    AnyPredictor, Btb, BtbConfig, IdealBtb, IndirectPredictor, Ittage, IttageConfig, PathHybrid,
+    PathHybridConfig, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
 };
 use ivm_cache::{FetchCache, Icache, IcacheConfig, TraceCache};
 use ivm_core::{simulate_many, DispatchTrace};
@@ -38,6 +38,10 @@ fn bench_predictors(b: &mut Bencher) {
     run("btb-p4", &mut Btb::new(BtbConfig::pentium4()));
     run("btb-2bit", &mut TwoBitBtb::new());
     run("two-level", &mut TwoLevelPredictor::new(TwoLevelConfig::pentium_m()));
+    run("path-hybrid", &mut PathHybrid::new(PathHybridConfig::classic()));
+    run("ittage-small", &mut Ittage::new(IttageConfig::small()));
+    run("ittage-firestorm", &mut Ittage::new(IttageConfig::firestorm()));
+    run("ittage-64kb", &mut Ittage::new(IttageConfig::seznec_64kb()));
 }
 
 fn bench_caches(b: &mut Bencher) {

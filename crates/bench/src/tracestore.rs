@@ -26,8 +26,8 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ivm_bpred::{
-    AnyPredictor, Btb, BtbConfig, CascadedPredictor, IdealBtb, TwoBitBtb, TwoLevelConfig,
-    TwoLevelPredictor,
+    AnyPredictor, Btb, BtbConfig, CascadedPredictor, IdealBtb, Ittage, IttageConfig, PathHybrid,
+    PathHybridConfig, TwoBitBtb, TwoLevelConfig, TwoLevelPredictor,
 };
 use ivm_cache::CpuSpec;
 use ivm_core::{
@@ -64,6 +64,13 @@ pub fn predictor_registry() -> Vec<(&'static str, PredictorBuilder)> {
             })
             .into()
         }),
+        // The modern zoo: path-history hybrid (mid-2010s class) and the
+        // ITTAGE family (current high-end cores), smallest budget first.
+        ("path-hybrid", || PathHybrid::new(PathHybridConfig::classic()).into()),
+        ("ittage-small", || Ittage::new(IttageConfig::small()).into()),
+        ("ittage-medium", || Ittage::new(IttageConfig::medium()).into()),
+        ("ittage-firestorm", || Ittage::new(IttageConfig::firestorm()).into()),
+        ("ittage-64kb", || Ittage::new(IttageConfig::seznec_64kb()).into()),
     ];
     registry
 }

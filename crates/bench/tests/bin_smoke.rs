@@ -3,7 +3,7 @@
 //! parseable table row, and (with `IVM_JSON=1 IVM_TRACE_JSON=1`) write a
 //! JSON report that parses, carries a matching run manifest with a
 //! phase-time section, and a Chrome trace-event file that round-trips
-//! through the in-tree parser. This is what keeps the 17 report
+//! through the in-tree parser. This is what keeps the 18 report
 //! harnesses honest between full `results/` regenerations.
 
 use std::process::Command;
@@ -21,6 +21,7 @@ const BINS: &[(&str, &str)] = &[
     ("figure10_13", env!("CARGO_BIN_EXE_figure10_13")),
     ("figure14_16", env!("CARGO_BIN_EXE_figure14_16")),
     ("frontends", env!("CARGO_BIN_EXE_frontends")),
+    ("modern_zoo", env!("CARGO_BIN_EXE_modern_zoo")),
     ("related_work", env!("CARGO_BIN_EXE_related_work")),
     ("scaling", env!("CARGO_BIN_EXE_scaling")),
     ("section3", env!("CARGO_BIN_EXE_section3")),
@@ -178,7 +179,7 @@ fn check_chrome_trace(name: &str, json_dir: &std::path::Path) -> Result<(), Stri
 /// Binaries that acquire dispatch traces through the trace store; their
 /// manifests must account for every capture (in-memory under smoke, but
 /// the accounting is identical).
-const TRACE_BINS: &[&str] = &["figure14_16", "simulator_study"];
+const TRACE_BINS: &[&str] = &["figure14_16", "modern_zoo", "simulator_study"];
 
 fn check_trace_section(name: &str, manifest: &Json) -> Result<(), String> {
     if !TRACE_BINS.contains(&name) {

@@ -25,6 +25,29 @@ fn techniques() -> Vec<Technique> {
     ]
 }
 
+/// The registry must keep covering the modern zoo: the bit-identical
+/// sweep proof below iterates the registry, so dropping an entry would
+/// silently shrink its coverage. The ITTAGE entries must also expose
+/// their provider breakdown through the `AnyPredictor` seam — that is
+/// what `modern_zoo` reads for its attribution section.
+#[test]
+fn registry_covers_the_modern_zoo_with_breakdowns() {
+    let registry = predictor_registry();
+    for name in ["path-hybrid", "ittage-small", "ittage-medium", "ittage-firestorm", "ittage-64kb"]
+    {
+        let (_, build) = registry
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name} missing from the predictor registry"));
+        let predictor = build();
+        assert_eq!(
+            predictor.ittage_breakdown().is_some(),
+            name.starts_with("ittage"),
+            "{name}: breakdown exposure does not match the predictor family"
+        );
+    }
+}
+
 #[test]
 fn simulate_many_is_bit_identical_to_per_predictor_reexecution() {
     let forth = frontend("forth");

@@ -11,7 +11,8 @@
 //! the old dynamic-dispatch behaviour.
 
 use crate::{
-    Addr, Btb, CascadedPredictor, IdealBtb, IndirectPredictor, TwoBitBtb, TwoLevelPredictor,
+    Addr, Btb, CascadedPredictor, IdealBtb, IndirectPredictor, Ittage, PathHybrid, TwoBitBtb,
+    TwoLevelPredictor,
 };
 
 /// Every in-tree predictor behind one statically-dispatched type, plus a
@@ -42,6 +43,10 @@ pub enum AnyPredictor {
     TwoLevel(TwoLevelPredictor),
     /// A cascaded filter + history predictor ([`CascadedPredictor`]).
     Cascaded(CascadedPredictor),
+    /// A last-target + folded-path-history hybrid ([`PathHybrid`]).
+    PathHybrid(PathHybrid),
+    /// An ITTAGE-style tagged geometric-history predictor ([`Ittage`]).
+    Ittage(Ittage),
     /// Anything else, behind the old dynamic dispatch.
     Boxed(Box<dyn IndirectPredictor>),
 }
@@ -82,6 +87,18 @@ impl From<CascadedPredictor> for AnyPredictor {
     }
 }
 
+impl From<PathHybrid> for AnyPredictor {
+    fn from(p: PathHybrid) -> Self {
+        Self::PathHybrid(p)
+    }
+}
+
+impl From<Ittage> for AnyPredictor {
+    fn from(p: Ittage) -> Self {
+        Self::Ittage(p)
+    }
+}
+
 impl From<Box<dyn IndirectPredictor>> for AnyPredictor {
     fn from(p: Box<dyn IndirectPredictor>) -> Self {
         Self::Boxed(p)
@@ -97,6 +114,8 @@ impl IndirectPredictor for AnyPredictor {
             Self::TwoBit(p) => p.predict_and_update(branch, target),
             Self::TwoLevel(p) => p.predict_and_update(branch, target),
             Self::Cascaded(p) => p.predict_and_update(branch, target),
+            Self::PathHybrid(p) => p.predict_and_update(branch, target),
+            Self::Ittage(p) => p.predict_and_update(branch, target),
             Self::Boxed(p) => p.predict_and_update(branch, target),
         }
     }
@@ -108,6 +127,8 @@ impl IndirectPredictor for AnyPredictor {
             Self::TwoBit(p) => p.reset(),
             Self::TwoLevel(p) => p.reset(),
             Self::Cascaded(p) => p.reset(),
+            Self::PathHybrid(p) => p.reset(),
+            Self::Ittage(p) => p.reset(),
             Self::Boxed(p) => p.reset(),
         }
     }
@@ -119,6 +140,8 @@ impl IndirectPredictor for AnyPredictor {
             Self::TwoBit(p) => p.describe(),
             Self::TwoLevel(p) => p.describe(),
             Self::Cascaded(p) => p.describe(),
+            Self::PathHybrid(p) => p.describe(),
+            Self::Ittage(p) => p.describe(),
             Self::Boxed(p) => p.describe(),
         }
     }
@@ -137,7 +160,19 @@ impl AnyPredictor {
             Self::TwoBit(p) => f(p),
             Self::TwoLevel(p) => f(p),
             Self::Cascaded(p) => f(p),
+            Self::PathHybrid(p) => f(p),
+            Self::Ittage(p) => f(p),
             Self::Boxed(p) => f(p),
+        }
+    }
+
+    /// The ITTAGE provider/alternate breakdown, when this predictor is an
+    /// [`Ittage`] (directly, not boxed). Lets sweeps surface tagged-table
+    /// attribution without downcasting.
+    pub fn ittage_breakdown(&self) -> Option<&crate::IttageBreakdown> {
+        match self {
+            Self::Ittage(p) => Some(p.breakdown()),
+            _ => None,
         }
     }
 }
@@ -166,7 +201,7 @@ impl<P: IndirectPredictor> Monomorphized for P {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BtbConfig, TwoLevelConfig};
+    use crate::{BtbConfig, IttageConfig, PathHybridConfig, TwoLevelConfig};
 
     fn zoo() -> Vec<AnyPredictor> {
         vec![
@@ -175,6 +210,8 @@ mod tests {
             TwoBitBtb::new().into(),
             TwoLevelPredictor::new(TwoLevelConfig::pentium_m()).into(),
             CascadedPredictor::with_defaults().into(),
+            PathHybrid::new(PathHybridConfig::classic()).into(),
+            Ittage::new(IttageConfig::small()).into(),
             AnyPredictor::from(Box::new(IdealBtb::new()) as Box<dyn IndirectPredictor>),
         ]
     }
@@ -191,6 +228,8 @@ mod tests {
             Box::new(TwoBitBtb::new()),
             Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m())),
             Box::new(CascadedPredictor::with_defaults()),
+            Box::new(PathHybrid::new(PathHybridConfig::classic())),
+            Box::new(Ittage::new(IttageConfig::small())),
             Box::new(IdealBtb::new()),
         ];
         for (mut any, mut plain) in zoo().into_iter().zip(fresh) {
@@ -239,5 +278,17 @@ mod tests {
     fn debug_shows_description() {
         let p: AnyPredictor = TwoBitBtb::new().into();
         assert!(format!("{p:?}").contains("btb-2bit"));
+    }
+
+    #[test]
+    fn ittage_breakdown_only_on_ittage_variant() {
+        let mut p: AnyPredictor = Ittage::new(IttageConfig::small()).into();
+        for i in 0..20u64 {
+            p.predict_and_update(i % 3, 100 + i % 2);
+        }
+        let bd = p.ittage_breakdown().expect("ittage variant exposes its breakdown");
+        assert_eq!(bd.total(), 20, "breakdown must account every event");
+        let other: AnyPredictor = IdealBtb::new().into();
+        assert!(other.ittage_breakdown().is_none());
     }
 }

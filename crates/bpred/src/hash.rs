@@ -52,6 +52,22 @@ impl Hasher for AddrHasher {
 /// The deterministic fast-hash state all predictor maps share.
 pub type AddrHashBuilder = BuildHasherDefault<AddrHasher>;
 
+/// Hashes a sequence of words through one [`AddrHasher`] stream.
+///
+/// The tagged-table predictors (ITTAGE, the path hybrid) derive both
+/// their table indexes and their partial tags from `(branch, folded
+/// history, table id)` tuples; routing every such derivation through
+/// this helper keeps all predictor hashing on the single deterministic
+/// hash family instead of growing ad-hoc mixers per table.
+#[inline]
+pub(crate) fn hash_words(words: &[u64]) -> u64 {
+    let mut h = AddrHasher::default();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
 /// A `HashMap` keyed by branch address with the fast deterministic hash.
 pub(crate) type AddrMap<V> = HashMap<Addr, V, AddrHashBuilder>;
 

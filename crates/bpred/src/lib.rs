@@ -22,6 +22,13 @@
 //! * [`CaseBlockTable`] — Kaeli and Emma's predictor for `switch` statements,
 //!   indexed by the switch operand (the VM opcode) rather than the branch
 //!   address (paper §8).
+//! * [`PathHybrid`] — a last-target table plus a folded path-history table
+//!   behind a two-bit chooser: the mid-2010s intermediate point between the
+//!   paper's predictors and the TAGE family.
+//! * [`Ittage`] — Seznec/Michaud ITTAGE: N tagged tables over geometric
+//!   history lengths with usefulness-guided allocation, the predictor class
+//!   in current high-end cores (Apple Firestorm, Qualcomm Oryon). Models
+//!   what the paper's conclusions look like on 2025 silicon.
 //! * [`AnyPredictor`] — enum dispatch over the predictors above (plus a
 //!   boxed escape hatch), so simulate hot loops pay an inlined `match`
 //!   instead of a virtual call per dispatch.
@@ -53,8 +60,11 @@ mod any;
 mod btb;
 mod cascaded;
 mod case_block;
+mod folded;
 mod hash;
 mod ideal;
+mod ittage;
+mod path_hybrid;
 mod stats;
 mod two_bit;
 mod two_level;
@@ -63,7 +73,10 @@ pub use any::{AnyPredictor, Monomorphized};
 pub use btb::{Btb, BtbConfig};
 pub use cascaded::CascadedPredictor;
 pub use case_block::CaseBlockTable;
+pub use folded::{FoldedHistory, GlobalHistory};
 pub use ideal::IdealBtb;
+pub use ittage::{Ittage, IttageBreakdown, IttageConfig};
+pub use path_hybrid::{PathHybrid, PathHybridConfig};
 pub use stats::{PredStats, PredictorStats};
 pub use two_bit::TwoBitBtb;
 pub use two_level::{TwoLevelConfig, TwoLevelPredictor};

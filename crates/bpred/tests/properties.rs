@@ -4,8 +4,9 @@ use ivm_harness::prop::{self, Source};
 use ivm_harness::{prop_assert, prop_assert_eq};
 
 use ivm_bpred::{
-    Btb, BtbConfig, CaseBlockTable, IdealBtb, IndirectPredictor, PredictorStats, TwoBitBtb,
-    TwoLevelConfig, TwoLevelPredictor,
+    Btb, BtbConfig, CaseBlockTable, FoldedHistory, GlobalHistory, IdealBtb, IndirectPredictor,
+    Ittage, IttageConfig, PathHybrid, PathHybridConfig, PredictorStats, TwoBitBtb, TwoLevelConfig,
+    TwoLevelPredictor,
 };
 
 /// A random dispatch stream: branch/target pairs drawn from small pools so
@@ -23,6 +24,9 @@ fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
         Box::new(Btb::new(BtbConfig::celeron())),
         Box::new(TwoBitBtb::new()),
         Box::new(TwoLevelPredictor::new(TwoLevelConfig::pentium_m())),
+        Box::new(PathHybrid::new(PathHybridConfig::classic())),
+        Box::new(Ittage::new(IttageConfig::small())),
+        Box::new(Ittage::new(IttageConfig::firestorm())),
     ]
 }
 
@@ -113,6 +117,94 @@ fn occupancy_bounded() {
             btb.predict_and_update(b, t);
             prop_assert!(btb.occupancy() <= cfg.entries());
         }
+        Ok(())
+    });
+}
+
+/// The O(1) circular-shift fold equals the O(L) from-scratch fold of
+/// the raw history ring after every push, for arbitrary (length, width)
+/// geometries and bit streams.
+#[test]
+fn folded_history_matches_reference_recompute() {
+    prop::check("folded_history_matches_reference_recompute", prop::Config::from_env(), |src| {
+        let width = src.int_in(1usize..16);
+        let length = src.int_in(1usize..64);
+        let mut hist = GlobalHistory::new(length.max(1));
+        let mut fold = FoldedHistory::new(length, width);
+        let bits = src.vec_of(1..200, |s| s.bool());
+        for &bit in &bits {
+            let outgoing = hist.bit(length - 1);
+            hist.push(bit);
+            fold.update(bit, outgoing);
+            prop_assert_eq!(
+                fold.value(),
+                FoldedHistory::recompute(&hist, length, width),
+                "fold (len {}, width {}) diverged from reference",
+                length,
+                width
+            );
+            prop_assert!(fold.value() < (1 << width), "fold exceeded its width");
+        }
+        Ok(())
+    });
+}
+
+/// ITTAGE's provider/alternate breakdown accounts for every event, and
+/// its realised history lengths stay within the configured bounds
+/// (table-index safety: folds and ring sizes derive from these).
+#[test]
+fn ittage_breakdown_accounts_every_event() {
+    prop::check("ittage_breakdown_accounts_every_event", prop::Config::from_env(), |src| {
+        let stream = stream(src);
+        let cfg =
+            src.pick(&[IttageConfig::small(), IttageConfig::medium(), IttageConfig::firestorm()]);
+        let mut p = Ittage::new(cfg);
+        let lengths = p.history_lengths().to_vec();
+        prop_assert_eq!(lengths.len(), cfg.tables);
+        prop_assert!(lengths.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(*lengths.last().unwrap() <= cfg.max_history.max(cfg.tables));
+        let mut mispredicted = 0u64;
+        for &(b, t) in &stream {
+            if !p.predict_and_update(b, t) {
+                mispredicted += 1;
+            }
+        }
+        let bd = p.breakdown();
+        prop_assert_eq!(bd.total(), stream.len() as u64, "every event must be attributed");
+        prop_assert_eq!(
+            bd.base_misses + bd.alt_misses + bd.provider_misses.iter().sum::<u64>(),
+            mispredicted,
+            "attributed misses must equal observed mispredictions"
+        );
+        Ok(())
+    });
+}
+
+/// Tag aliasing: two branches whose streams are interleaved never make
+/// ITTAGE's verdicts depend on *untracked* state — replaying the exact
+/// stream after reset is bit-identical even when tags alias (the
+/// aliasing itself must be a deterministic function of the stream).
+#[test]
+fn ittage_aliasing_is_deterministic() {
+    prop::check("ittage_aliasing_is_deterministic", prop::Config::from_env(), |src| {
+        // A tiny table forces tag/index aliasing between the pools.
+        let cfg = IttageConfig {
+            base_bits: 3,
+            table_bits: 2,
+            tag_bits: 3,
+            min_history: 2,
+            max_history: 8,
+            tables: 2,
+            useful_reset_period: 64,
+        };
+        let stream = stream(src);
+        let mut p = Ittage::new(cfg);
+        let first: Vec<bool> = stream.iter().map(|&(b, t)| p.predict_and_update(b, t)).collect();
+        let bd_first = p.breakdown().clone();
+        p.reset();
+        let second: Vec<bool> = stream.iter().map(|&(b, t)| p.predict_and_update(b, t)).collect();
+        prop_assert_eq!(&first, &second, "aliased ittage diverged after reset");
+        prop_assert_eq!(&bd_first, p.breakdown(), "breakdown must replay identically");
         Ok(())
     });
 }

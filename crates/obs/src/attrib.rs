@@ -397,6 +397,31 @@ impl<P: IndirectPredictor> IndirectPredictor for AttributedPredictor<P> {
     }
 }
 
+/// Renders an ITTAGE provider/alternate breakdown as JSON for report
+/// attribution sections: which component (base table, tagged table by
+/// history depth, or an alternate override) supplied each prediction,
+/// split by outcome, plus the allocation traffic. All counts come from
+/// the predictor's deterministic accounting, so the emitted JSON is
+/// byte-identical across replays and job counts.
+pub fn ittage_breakdown_json(bd: &ivm_bpred::IttageBreakdown) -> Json {
+    let tables: Vec<Json> = bd
+        .provider_hits
+        .iter()
+        .zip(&bd.provider_misses)
+        .enumerate()
+        .map(|(i, (&hits, &misses))| {
+            Json::obj().with("table", i).with("hits", hits).with("misses", misses)
+        })
+        .collect();
+    Json::obj()
+        .with("base", Json::obj().with("hits", bd.base_hits).with("misses", bd.base_misses))
+        .with("providers", tables)
+        .with("alt", Json::obj().with("hits", bd.alt_hits).with("misses", bd.alt_misses))
+        .with("allocations", bd.allocations)
+        .with("allocation_failures", bd.allocation_failures)
+        .with("total", bd.total())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +431,31 @@ mod tests {
         for &(f, t, b, tg, m) in events {
             sink.dispatch(f, t, b, tg, m);
         }
+    }
+
+    #[test]
+    fn ittage_breakdown_json_accounts_every_event() {
+        use ivm_bpred::{Ittage, IttageConfig};
+        let mut p = Ittage::new(IttageConfig::small());
+        for i in 0..200u64 {
+            p.predict_and_update(0x40 + (i % 3) * 8, 0x1000 + (i % 5) * 64);
+        }
+        let j = ittage_breakdown_json(p.breakdown());
+        assert_eq!(j.get("total").and_then(Json::as_f64), Some(200.0));
+        let providers = j.get("providers").and_then(Json::as_arr).unwrap();
+        assert_eq!(providers.len(), IttageConfig::small().tables);
+        // Rendered twice, the JSON must be byte-identical (determinism).
+        assert_eq!(j.to_json(), ittage_breakdown_json(p.breakdown()).to_json());
+        // And the component counts must sum to the total.
+        let f = |o: &Json, k: &str| o.get(k).and_then(Json::as_f64).unwrap();
+        let base = j.get("base").unwrap();
+        let alt = j.get("alt").unwrap();
+        let sum = f(base, "hits")
+            + f(base, "misses")
+            + f(alt, "hits")
+            + f(alt, "misses")
+            + providers.iter().map(|t| f(t, "hits") + f(t, "misses")).sum::<f64>();
+        assert_eq!(sum, 200.0);
     }
 
     #[test]

@@ -35,7 +35,9 @@ mod metrics;
 mod ring;
 pub mod span;
 
-pub use attrib::{AttributedPredictor, DispatchAttribution, OpTally, SetConflict, Tally};
+pub use attrib::{
+    ittage_breakdown_json, AttributedPredictor, DispatchAttribution, OpTally, SetConflict, Tally,
+};
 pub use json::{parse, Json, ParseError};
 pub use manifest::{smoke_enabled, CellWall, ExecutorMeta, RunManifest, TraceMeta};
 pub use metrics::{Histogram, Registry};

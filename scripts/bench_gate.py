@@ -29,9 +29,13 @@ EXPERIMENTS.md).
 Per-suite tolerances live in `scripts/bench_tolerances.json`
 (`{"dispatch": {"tol": 0.15, "mad_k": 5.0}, ...}`): when present (or
 named via --tolerances), a suite's entry overrides the defaults, and
-explicit flags/environment override both. `--ratchet` additionally
-enforces that the tolerance file only ever tightens: it must exist,
-cover every gated suite, and hold values no looser than the stock
+explicit flags/environment override both. Keys containing a slash are
+per-benchmark glob patterns within a suite — `"predictors/ittage*"`
+overrides the `predictors` suite entry for every bench id whose full
+`group/name` id or final `name` segment matches `ittage*` (fnmatch
+rules; the most specific — longest — matching pattern wins). `--ratchet` additionally enforces that the tolerance
+file only ever tightens: it must exist, cover every gated suite, and
+hold values (suite and pattern entries alike) no looser than the stock
 defaults — so a PR cannot quietly relax the gate by editing or
 dropping the file.
 
@@ -42,6 +46,7 @@ benchmark, or ratchet violation, 2 on unreadable/malformed input.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -78,24 +83,57 @@ def load_tolerances(path: Path, required: bool) -> dict[str, dict]:
     return doc
 
 
+def split_tolerances(
+    tolerances: dict[str, dict],
+) -> tuple[dict[str, dict], dict[str, list[tuple[str, dict]]]]:
+    """Splits the tolerance file into plain suite entries and per-benchmark
+    glob-pattern entries (`"suite/pattern"` keys), the latter grouped by
+    suite and ordered most-specific (longest pattern) first."""
+    suites: dict[str, dict] = {}
+    patterns: dict[str, list[tuple[str, dict]]] = {}
+    for key, entry in tolerances.items():
+        if "/" in key:
+            suite, pat = key.split("/", 1)
+            patterns.setdefault(suite, []).append((pat, entry))
+        else:
+            suites[key] = entry
+    for pats in patterns.values():
+        pats.sort(key=lambda p: (-len(p[0]), p[0]))
+    return suites, patterns
+
+
+def match_pattern(bench_id: str, patterns: list[tuple[str, dict]]) -> dict:
+    """The most specific pattern entry covering `bench_id`, or `{}`.
+
+    Bench ids inside a suite are `group/name`; a pattern matches either
+    the full id or its final `name` segment, so `"ittage*"` covers
+    `predictors/ittage-small` without spelling out the group.
+    """
+    name = bench_id.rsplit("/", 1)[-1]
+    for pat, entry in patterns:
+        if fnmatch.fnmatchcase(bench_id, pat) or fnmatch.fnmatchcase(name, pat):
+            return entry
+    return {}
+
+
 def ratchet_violations(suites: list[str], tolerances: dict[str, dict]) -> list[str]:
     """Checks the tolerance file only tightens: every gated suite covered,
-    no value looser than the stock defaults."""
+    no entry — suite or glob pattern — looser than the stock defaults."""
     problems = []
+    plain, _ = split_tolerances(tolerances)
     for suite in suites:
-        entry = tolerances.get(suite)
-        if entry is None:
+        if suite not in plain:
             problems.append(f"{suite}: missing from the tolerance file (ratchet mode)")
-            continue
+    for key, entry in tolerances.items():
         tol = float(entry.get("tol", DEFAULT_TOL))
         mad_k = float(entry.get("mad_k", DEFAULT_MAD_K))
         if tol > DEFAULT_TOL:
             problems.append(
-                f"{suite}: tol {tol} is looser than the default {DEFAULT_TOL} (ratchet mode)"
+                f"{key}: tol {tol} is looser than the default {DEFAULT_TOL} (ratchet mode)"
             )
         if mad_k > DEFAULT_MAD_K:
             problems.append(
-                f"{suite}: mad_k {mad_k} is looser than the default {DEFAULT_MAD_K} (ratchet mode)"
+                f"{key}: mad_k {mad_k} is looser than the default {DEFAULT_MAD_K} (ratchet mode)"
             )
     return problems
 
@@ -121,9 +159,21 @@ def load_suite(path: Path) -> dict[str, dict]:
 
 
 def gate_suite(
-    suite: str, baseline_dir: Path, fresh_dir: Path, tol: float, mad_k: float
+    suite: str,
+    baseline_dir: Path,
+    fresh_dir: Path,
+    tol: float,
+    mad_k: float,
+    patterns: list[tuple[str, dict]],
+    explicit_tol: float | None,
+    explicit_mad_k: float | None,
 ) -> list[str]:
-    """Returns a list of failure descriptions for one suite (empty = pass)."""
+    """Returns a list of failure descriptions for one suite (empty = pass).
+
+    `tol`/`mad_k` are the suite-level band parameters; a bench id matched
+    by a glob-pattern entry uses the pattern's values instead, unless an
+    explicit flag/environment override (`explicit_*`) pins them globally.
+    """
     name = f"BENCH_{suite}.json"
     base = load_suite(baseline_dir / name)
     fresh = load_suite(fresh_dir / name)
@@ -133,10 +183,15 @@ def gate_suite(
         if fresh_row is None:
             failures.append(f"{suite}/{bench_id}: missing from the fresh run")
             continue
+        entry = match_pattern(bench_id, patterns)
+        b_tol = explicit_tol if explicit_tol is not None else float(entry.get("tol", tol))
+        b_mad_k = (
+            explicit_mad_k if explicit_mad_k is not None else float(entry.get("mad_k", mad_k))
+        )
         base_med = float(base_row["median_ns"])
         base_mad = float(base_row.get("mad_ns", 0.0))
         fresh_med = float(fresh_row["median_ns"])
-        band = max(tol * base_med, mad_k * base_mad)
+        band = max(b_tol * base_med, b_mad_k * base_mad)
         limit = base_med + band
         status = "ok"
         if fresh_med > limit:
@@ -144,7 +199,7 @@ def gate_suite(
             failures.append(
                 f"{suite}/{bench_id}: median {fresh_med:.0f}ns vs baseline "
                 f"{base_med:.0f}ns ({ratio:.2f}x, limit {limit:.0f}ns = "
-                f"median + max({tol:.2f}*median, {mad_k:.1f}*{base_mad:.0f}ns MAD))"
+                f"median + max({b_tol:.2f}*median, {b_mad_k:.1f}*{base_mad:.0f}ns MAD))"
             )
             status = "REGRESSED"
         print(f"  {suite}/{bench_id}: {base_med:.0f}ns -> {fresh_med:.0f}ns "
@@ -175,34 +230,57 @@ def main() -> int:
                              "and is no looser than the stock defaults")
     args = parser.parse_args()
 
-    def resolve(flag_value, env_var, default, what):
+    def explicit(flag_value, env_var):
+        """The flag/environment override for a band parameter, or None."""
         if flag_value is not None:
             return flag_value
+        raw = os.environ.get(env_var)
+        if raw is None:
+            return None
         try:
-            return float(os.environ.get(env_var, default))
+            return float(raw)
         except ValueError:
             print(f"bench-gate: {env_var} is not a number", file=sys.stderr)
             sys.exit(2)
 
     tolerances = load_tolerances(args.tolerances, required=args.ratchet)
+    suite_entries, pattern_entries = split_tolerances(tolerances)
+    explicit_tol = explicit(args.tol, "IVM_BENCH_GATE_TOL")
+    explicit_mad_k = explicit(args.mad_k, "IVM_BENCH_GATE_MAD_K")
 
     failures = []
     if args.ratchet:
         failures.extend(ratchet_violations(args.suites, tolerances))
 
     for suite in args.suites:
-        per_suite = tolerances.get(suite, {})
-        # Precedence: explicit flag/environment, then the suite's entry in
-        # the tolerance file, then the stock default.
-        tol = resolve(args.tol, "IVM_BENCH_GATE_TOL",
-                      per_suite.get("tol", DEFAULT_TOL), "tolerance")
-        mad_k = resolve(args.mad_k, "IVM_BENCH_GATE_MAD_K",
-                        per_suite.get("mad_k", DEFAULT_MAD_K), "MAD multiple")
+        per_suite = suite_entries.get(suite, {})
+        # Precedence: explicit flag/environment, then a glob-pattern entry
+        # covering the bench id, then the suite's entry in the tolerance
+        # file, then the stock default.
+        tol = explicit_tol if explicit_tol is not None else float(per_suite.get("tol", DEFAULT_TOL))
+        mad_k = (
+            explicit_mad_k
+            if explicit_mad_k is not None
+            else float(per_suite.get("mad_k", DEFAULT_MAD_K))
+        )
         if tol < 0 or mad_k < 0:
             print("bench-gate: tolerance and MAD multiple must be non-negative", file=sys.stderr)
             return 2
+        patterns = pattern_entries.get(suite, [])
         print(f"bench-gate: {suite}: band = max({tol:.2f} * median, {mad_k:.1f} * MAD)")
-        failures.extend(gate_suite(suite, args.baseline_dir, args.fresh_dir, tol, mad_k))
+        for pat, entry in patterns:
+            p_tol = float(entry.get("tol", tol))
+            p_mad_k = float(entry.get("mad_k", mad_k))
+            if p_tol < 0 or p_mad_k < 0:
+                print("bench-gate: tolerance and MAD multiple must be non-negative",
+                      file=sys.stderr)
+                return 2
+            print(f"bench-gate: {suite}/{pat}: band = max({p_tol:.2f} * median, "
+                  f"{p_mad_k:.1f} * MAD)")
+        failures.extend(gate_suite(
+            suite, args.baseline_dir, args.fresh_dir, tol, mad_k,
+            patterns, explicit_tol, explicit_mad_k,
+        ))
     if failures:
         print("\nbench-gate: FAIL", file=sys.stderr)
         for f in failures:
