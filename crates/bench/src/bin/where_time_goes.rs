@@ -6,7 +6,8 @@
 //! registry — entirely through executor cells, then reports how the
 //! cell wall time splits across pipeline phases (image build, training,
 //! translate, execute, trace capture/encode/decode, dispatch
-//! simulation, predictor sweep). The `% cell wall` column is each
+//! simulation, predictor sweep, BBV extraction, clustering, sampled
+//! combine). The `% cell wall` column is each
 //! phase's *self* time inside cells as a percentage of the summed cell
 //! wall; together with the `(untracked)` row the percentages sum to
 //! 100% by construction, so hot-loop PRs can cite before/after phase
@@ -18,6 +19,7 @@
 //!
 //! Run with: `cargo run --release -p ivm-bench --bin where_time_goes`
 
+use ivm_bench::pipeline;
 use ivm_bench::{frontend, predictor_registry, run_cells, smoke, trace_store, Cell, Report, Row};
 use ivm_bpred::AnyPredictor;
 use ivm_cache::CpuSpec;
@@ -50,8 +52,10 @@ fn plans() -> Vec<Plan> {
 
 /// Runs one workload through the full pipeline, every stage inside
 /// executor cells so its time is cell-attributed: train, a (technique ×
-/// 1 benchmark) measurement grid, record, trace capture, and a
-/// single-pass predictor-registry sweep over the captured stream.
+/// 1 benchmark) measurement grid, record, trace capture, a single-pass
+/// predictor-registry sweep over the captured stream, and one sampled
+/// pipeline pass (BBV extraction, clustering, representative-interval
+/// simulation, weighted combine).
 fn run_plan(plan: &Plan) {
     let f = frontend(plan.frontend);
     let (name, bench, cpu) = (plan.frontend, plan.bench, &plan.cpu);
@@ -90,6 +94,12 @@ fn run_plan(plan: &Plan) {
         let mut predictors: Vec<AnyPredictor> =
             predictor_registry().iter().map(|(_, build)| build()).collect();
         simulate_many(stored.trace(), &mut predictors).len()
+    });
+    run_cells(one("sampled"), |_, _| {
+        let plan = pipeline::plan(stored.trace(), 1024, 4);
+        let (_, build) = predictor_registry()[0];
+        pipeline::combine(&pipeline::simulate_sampled(stored.trace(), &plan, &build))
+            .simulated_events
     });
 }
 

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod native_model;
+pub mod pipeline;
 pub mod report;
 pub mod tracestore;
 
 pub use ivm_harness::par::{Cell, CellCtx};
+pub use pipeline::SamplingPlan;
 pub use report::{json_enabled, Report};
 pub use tracestore::{predictor_registry, trace_meta, trace_store, StoredTrace, TraceStore};
 

@@ -99,6 +99,7 @@ impl Report {
             .with_executor(crate::executor_meta())
             .with_trace(crate::trace_meta())
             .with_phases(Some(phases))
+            .with_sampling(crate::pipeline::sampling_meta())
             .to_json();
         let mut doc = Json::obj().with("manifest", manifest);
         doc.set("tables", Json::Arr(self.tables.clone()));

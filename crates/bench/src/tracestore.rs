@@ -105,7 +105,7 @@ impl StoredTrace {
         &self.trace
     }
 
-    /// Size of the version-1 binary encoding, in bytes.
+    /// Size of the binary encoding (current format version), in bytes.
     pub fn encoded_bytes(&self) -> u64 {
         self.bytes
     }
@@ -138,6 +138,13 @@ impl TraceStore {
             None => Some(ivm_obs::workspace_root().join("results").join("traces")),
         };
         Self { dir, cache: Memo::new() }
+    }
+
+    /// A store persisting to `dir` unconditionally (even under smoke),
+    /// with its own in-memory memo. Tests use this to exercise the
+    /// on-disk recovery path against a private directory.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: Some(dir.into()), cache: Memo::new() }
     }
 
     /// Where traces are persisted, if anywhere.
@@ -263,5 +270,55 @@ fn persist(path: &Path, encoded: &[u8]) {
     let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
     if std::fs::write(&tmp, encoded).is_ok() && std::fs::rename(&tmp, path).is_err() {
         let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Captures calc/triangle through `store` and returns the trace plus
+    /// the path the store persists it at.
+    fn capture_once(store: &TraceStore, dir: &Path) -> (DispatchTrace, PathBuf) {
+        let fe = crate::frontend("calc");
+        let image = fe.image("triangle");
+        let (exec, _) = ivm_core::record(&*image).expect("recording run");
+        let training = fe.training_for("triangle");
+        let stored = store.get_or_capture(
+            "calc",
+            "triangle",
+            &*image,
+            &exec,
+            Technique::Threaded,
+            Some(&training),
+        );
+        let path =
+            dir.join("calc").join("triangle").join(format!("{}.dtrace", Technique::Threaded.id()));
+        (stored.trace().clone(), path)
+    }
+
+    #[test]
+    fn corrupted_cache_artifacts_are_recaptured_not_trusted() {
+        let dir =
+            std::env::temp_dir().join(format!("ivm-tracestore-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (original, path) = capture_once(&TraceStore::with_dir(&dir), &dir);
+        assert!(path.is_file(), "capture persists the artifact");
+        let good = std::fs::read(&path).expect("persisted trace file");
+
+        // A truncated artifact (interrupted write, torn copy) must be
+        // treated as a miss — decoded, rejected, recaptured — not a panic.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let (recovered, _) = capture_once(&TraceStore::with_dir(&dir), &dir);
+        assert_eq!(recovered, original, "truncated file is recaptured");
+        assert_eq!(std::fs::read(&path).unwrap(), good, "recapture rewrites the artifact");
+
+        // Arbitrary garbage behind a valid-looking magic is also a miss.
+        std::fs::write(&path, b"IVMTgarbage, definitely not a dispatch trace").unwrap();
+        let (recovered, _) = capture_once(&TraceStore::with_dir(&dir), &dir);
+        assert_eq!(recovered, original, "garbage file is recaptured");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,6 +23,7 @@ const BINS: &[(&str, &str)] = &[
     ("frontends", env!("CARGO_BIN_EXE_frontends")),
     ("modern_zoo", env!("CARGO_BIN_EXE_modern_zoo")),
     ("related_work", env!("CARGO_BIN_EXE_related_work")),
+    ("sampling", env!("CARGO_BIN_EXE_sampling")),
     ("scaling", env!("CARGO_BIN_EXE_scaling")),
     ("section3", env!("CARGO_BIN_EXE_section3")),
     ("simulator_study", env!("CARGO_BIN_EXE_simulator_study")),
@@ -104,7 +105,51 @@ fn check_json_report(name: &str, json_dir: &std::path::Path) -> Result<(), Strin
     }
     check_phases_section(name, manifest)?;
     check_chrome_trace(name, json_dir)?;
-    check_trace_section(name, manifest)
+    check_trace_section(name, manifest)?;
+    check_sampling_section(name, manifest)
+}
+
+/// The sampling bin records every sweep configuration in the manifest's
+/// `sampling` section: one workload entry per `(workload, interval, K)`
+/// with normalised cluster weights and a positive error bar.
+fn check_sampling_section(name: &str, manifest: &Json) -> Result<(), String> {
+    if name != "sampling" {
+        return Ok(());
+    }
+    let workloads = manifest
+        .get("sampling")
+        .and_then(|s| s.get("workloads"))
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{name}: manifest has no sampling.workloads array"))?;
+    if workloads.is_empty() {
+        return Err(format!("{name}: sampling section records no workloads"));
+    }
+    for w in workloads {
+        let id = w
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}: sampling entry without an id: {w}"))?;
+        let field = |key: &str| {
+            w.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{name}: sampling entry {id:?} has no numeric {key:?}"))
+        };
+        if field("interval_len")? < 1.0 || field("k")? < 1.0 {
+            return Err(format!("{name}: sampling entry {id:?} has a degenerate plan"));
+        }
+        if field("est_err_pp")? <= 0.0 {
+            return Err(format!("{name}: sampling entry {id:?} reports no error bar"));
+        }
+        let weights = w
+            .get("weights")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: sampling entry {id:?} has no weights array"))?;
+        let sum: f64 = weights.iter().filter_map(Json::as_f64).sum();
+        if (sum - 1.0).abs() > 1e-3 {
+            return Err(format!("{name}: sampling entry {id:?} weights sum to {sum}, not 1"));
+        }
+    }
+    Ok(())
 }
 
 /// Every binary routes work through span-instrumented phases, so the
@@ -179,7 +224,7 @@ fn check_chrome_trace(name: &str, json_dir: &std::path::Path) -> Result<(), Stri
 /// Binaries that acquire dispatch traces through the trace store; their
 /// manifests must account for every capture (in-memory under smoke, but
 /// the accounting is identical).
-const TRACE_BINS: &[&str] = &["figure14_16", "modern_zoo", "simulator_study"];
+const TRACE_BINS: &[&str] = &["figure14_16", "modern_zoo", "sampling", "simulator_study"];
 
 fn check_trace_section(name: &str, manifest: &Json) -> Result<(), String> {
     if !TRACE_BINS.contains(&name) {

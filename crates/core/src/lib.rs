@@ -73,8 +73,9 @@ mod translate;
 
 pub use cache::Memo;
 pub use dtrace::{
-    dispatch_spec_hash, simulate_many, DispatchTrace, DtraceError, SpecHasher, DTRACE_MAGIC,
-    DTRACE_VERSION,
+    dispatch_spec_hash, simulate_many, DispatchTrace, DtraceError, IntervalBbv, IntervalIndex,
+    SpecHasher, DEFAULT_INTERVAL_LEN, DTRACE_FOOTER_MAGIC, DTRACE_MAGIC, DTRACE_VERSION,
+    DTRACE_VERSION_V1,
 };
 pub use engine::{
     DispatchBatch, DispatchObserver, Engine, RunResult, Runner, SharedObserver,

@@ -25,6 +25,10 @@
 //!   `IVM_JOBS` threads, pins each cell's RNG stream to its stable id,
 //!   and merges results in canonical order, so reports are bit-identical
 //!   at any job count.
+//! * [`cluster`] — deterministic k-means phase clustering for
+//!   SimPoint-style interval sampling: seeded by the pinned [`rng`]
+//!   streams, fixed iteration cadence, every tie broken by stable index,
+//!   so representative-interval selection reproduces byte-for-byte.
 //! * [`span`] — low-overhead wall-time span tracing (scoped guards,
 //!   monotonic clocks, thread-local stacks). The primitive under
 //!   `ivm-obs::span`'s phase attribution and Chrome-trace export; it
@@ -36,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cluster;
 pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod span;
 
 pub use bench::Bencher;
+pub use cluster::{kmeans, Clustering};
 pub use par::{run_cells, run_cells_with, Cell, CellCtx, CellError, CellStat, ExecStats};
 pub use prop::{Config, Source};
 pub use rng::Xoshiro256StarStar;

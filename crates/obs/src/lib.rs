@@ -39,7 +39,9 @@ pub use attrib::{
     ittage_breakdown_json, AttributedPredictor, DispatchAttribution, OpTally, SetConflict, Tally,
 };
 pub use json::{parse, Json, ParseError};
-pub use manifest::{smoke_enabled, CellWall, ExecutorMeta, RunManifest, TraceMeta};
+pub use manifest::{
+    smoke_enabled, CellWall, ExecutorMeta, RunManifest, SamplingEntry, SamplingMeta, TraceMeta,
+};
 pub use metrics::{Histogram, Registry};
 pub use ring::{DispatchRecord, DispatchRing};
 pub use span::PhaseAgg;
